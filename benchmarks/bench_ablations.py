@@ -1,0 +1,188 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* machine-model sweep — how the target memory model changes the fence
+  bill (TSO needs mfences only for w->r; PSO adds w->w; RMO everything);
+* RMW-as-fence — how much the locked-instruction optimization saves;
+* slicer address-chasing extension — the cost/precision of chasing load
+  addresses (beyond Listing 2);
+* coherence-cycle exclusion in exact delay-set analysis;
+* simulator cost-model sensitivity (free-fence machine bound).
+"""
+
+import pytest
+
+from repro.analysis.aliasing import PointsTo
+from repro.analysis.escape import EscapeInfo
+from repro.analysis.slicing import Slicer
+from repro.core.delay_set import DelaySetAnalysis
+from repro.core.machine_models import MODELS, PSO, RMO, X86_TSO, MemoryModel
+from repro.core.pipeline import FencePlacer, PipelineVariant, place_fences
+from repro.memmodel.litmus import LITMUS_TESTS
+from repro.programs import get_program
+from repro.simulator.costmodel import DEFAULT_COSTS, FREE_FENCES
+from repro.simulator.machine import TSOSimulator
+from repro.util.orderedset import OrderedSet
+
+
+@pytest.mark.parametrize("model_name", ["x86-tso", "pso", "rmo"])
+def test_memory_model_sweep(benchmark, model_name, report_sink):
+    """Weaker hardware -> strictly more full fences for the same program."""
+    model = MODELS[model_name]
+    program_src = get_program("ocean-con")
+
+    def run():
+        placer = FencePlacer(PipelineVariant.CONTROL, model)
+        return placer.analyze(program_src.compile())
+
+    analysis = benchmark(run)
+    tso_count = FencePlacer(PipelineVariant.CONTROL, X86_TSO).analyze(
+        program_src.compile()
+    ).full_fence_count
+    assert analysis.full_fence_count >= tso_count or model is X86_TSO
+    report_sink.setdefault("ablation-models", "Model sweep (ocean-con, Control):")
+    report_sink["ablation-models"] += (
+        f"\n  {model_name:8s}: {analysis.full_fence_count} full fences, "
+        f"{analysis.compiler_fence_count} compiler directives"
+    )
+
+
+def test_rmw_as_fence_ablation(benchmark, report_sink):
+    """Disable the locked-RMW-is-a-fence optimization: more mfences."""
+    no_rmw_model = MemoryModel(
+        name="tso-no-rmw-fence",
+        enforced=X86_TSO.enforced,
+        rmw_is_full_fence=False,
+    )
+    program = get_program("spanningtree")
+
+    def run():
+        return FencePlacer(PipelineVariant.CONTROL, no_rmw_model).analyze(
+            program.compile()
+        )
+
+    without_opt = benchmark(run)
+    with_opt = FencePlacer(PipelineVariant.CONTROL, X86_TSO).analyze(
+        program.compile()
+    )
+    assert without_opt.full_fence_count >= with_opt.full_fence_count
+    report_sink["ablation-rmw"] = (
+        "RMW-as-fence ablation (spanningtree, Control): "
+        f"with={with_opt.full_fence_count}, without={without_opt.full_fence_count}"
+    )
+
+
+def test_slicer_address_chasing_ablation(benchmark):
+    """Chasing load addresses (beyond Listing 2) is monotonically more
+    conservative; measure its overhead on the biggest model."""
+    program = get_program("water-spatial").compile()
+
+    def run(chase: bool):
+        marked = 0
+        for func in program.functions.values():
+            pt = PointsTo(func)
+            esc = EscapeInfo(func, pt)
+            slicer = Slicer(func, pt, esc, chase_load_addresses=chase)
+            seen: set = set()
+            sync: OrderedSet = OrderedSet()
+            for inst in func.instructions():
+                if inst.is_cond_branch():
+                    slicer.slice_from_values(inst.operands, seen, sync)
+            marked += len(sync)
+        return marked
+
+    chased = benchmark(lambda: run(True))
+    assert chased >= run(False)
+
+
+def test_coherence_exclusion_ablation(benchmark):
+    """Keeping coherence-enforced cycles only adds delays, never removes."""
+    program = LITMUS_TESTS["dekker"].compile()
+
+    def run():
+        return DelaySetAnalysis(program, exclude_coherence_cycles=False).compute()
+
+    raw = benchmark(run)
+    refined = DelaySetAnalysis(program, exclude_coherence_cycles=True).compute()
+    assert raw.total_delays >= refined.total_delays
+
+
+def test_cost_model_sensitivity(benchmark, report_sink):
+    """On a free-fence machine, Pensieve's penalty nearly vanishes —
+    showing Fig. 10's slowdowns are fence cost, not placement artifacts."""
+    program = get_program("lu-con")
+
+    def time_pair(costs):
+        manual = TSOSimulator(program.compile(manual_fences=True), costs).run().cycles
+        fenced_ir = program.compile()
+        place_fences(fenced_ir, PipelineVariant.PENSIEVE)
+        fenced = TSOSimulator(fenced_ir, costs).run().cycles
+        return fenced / manual
+
+    expensive = benchmark.pedantic(
+        lambda: time_pair(DEFAULT_COSTS), rounds=1, iterations=1
+    )
+    free = time_pair(FREE_FENCES)
+    assert free < expensive
+    report_sink["ablation-costs"] = (
+        "Cost-model sensitivity (lu-con, Pensieve vs manual): "
+        f"default costs {expensive:.2f}x, free fences {free:.2f}x"
+    )
+
+
+def test_projection_ablation(benchmark, report_sink):
+    """Source-side vs target-side cross-block interval projection: both
+    sound; the static fence counts differ per program shape."""
+    from repro.analysis.escape import EscapeInfo
+    from repro.analysis.reachability import ReachabilityTable
+    from repro.core.fence_min import plan_fences
+    from repro.core.orderings import generate_orderings
+    from repro.core.pruning import prune_orderings
+    from repro.core.signatures import Variant, detect_acquires
+
+    program_src = get_program("barnes")
+
+    def count(projection: str) -> int:
+        program = program_src.compile()
+        total = 0
+        for func in program.functions.values():
+            esc = EscapeInfo(func)
+            orderings = generate_orderings(func, esc, ReachabilityTable(func))
+            sync = detect_acquires(func, Variant.CONTROL).sync_reads
+            pruned, _ = prune_orderings(orderings, sync)
+            plan = plan_fences(
+                func, pruned, X86_TSO, entry_fence=bool(sync), projection=projection
+            )
+            total += plan.full_count
+        return total
+
+    source_count = benchmark(lambda: count("source"))
+    target_count = count("target")
+    report_sink["ablation-projection"] = (
+        "Cross-block projection (barnes, Control): "
+        f"source-side={source_count} mfences, target-side={target_count} mfences"
+    )
+
+
+def test_exact_vs_approximate_orderings(benchmark, report_sink):
+    """Exact Shasha-Snir vs the Pensieve approximation on litmus scale:
+    the approximation is a superset (that is the imprecision the paper
+    prunes back)."""
+    from repro.core.orderings import generate_orderings
+
+    test = LITMUS_TESTS["dekker"]
+    program = test.compile()
+
+    def exact():
+        return DelaySetAnalysis(program).compute()
+
+    exact_result = benchmark(exact)
+    lines = ["Exact delay-set vs Pensieve approximation (dekker):"]
+    for fn_name, func in program.functions.items():
+        esc = EscapeInfo(func)
+        approx = generate_orderings(func, esc)
+        exact_count = len(exact_result.delays.get(fn_name, []))
+        assert len(approx) >= exact_count
+        lines.append(
+            f"  {fn_name}: exact={exact_count}, pensieve-approx={len(approx)}"
+        )
+    report_sink["ablation-exact"] = "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Analysis-throughput benchmarks: the compiler-side costs.
+
+The paper's pitch is a *practical* tool; these benchmarks track the
+cost of each pipeline stage on the largest workload models so
+regressions in analysis complexity are visible.
+"""
+
+import pytest
+
+from repro.analysis.aliasing import PointsTo
+from repro.analysis.escape import EscapeInfo
+from repro.core.orderings import generate_orderings
+from repro.core.pipeline import PipelineVariant, analyze_program
+from repro.core.signatures import Variant, detect_acquires
+from repro.frontend import compile_source
+from repro.programs import get_program
+
+# The largest models by static size.
+BIG = ("water-nsquared", "water-spatial", "fft")
+
+
+@pytest.fixture(scope="module", params=BIG)
+def big_program(request):
+    return get_program(request.param)
+
+
+def test_frontend_compile_speed(benchmark, big_program):
+    program = benchmark(lambda: big_program.compile())
+    assert program.functions
+
+
+def test_points_to_speed(benchmark, big_program):
+    program = big_program.compile()
+    funcs = list(program.functions.values())
+    results = benchmark(lambda: [PointsTo(f) for f in funcs])
+    assert len(results) == len(funcs)
+
+
+def test_acquire_detection_speed(benchmark, big_program):
+    program = big_program.compile()
+    funcs = list(program.functions.values())
+
+    def detect_all():
+        return [detect_acquires(f, Variant.ADDRESS_CONTROL) for f in funcs]
+
+    results = benchmark(detect_all)
+    assert len(results) == len(funcs)
+
+
+def test_ordering_generation_speed(benchmark, big_program):
+    program = big_program.compile()
+    prepared = [(f, EscapeInfo(f)) for f in program.functions.values()]
+
+    def generate_all():
+        return [generate_orderings(f, esc) for f, esc in prepared]
+
+    results = benchmark(generate_all)
+    assert sum(len(o) for o in results) > 0
+
+
+@pytest.mark.parametrize("variant", list(PipelineVariant))
+def test_full_pipeline_speed(benchmark, big_program, variant):
+    def run():
+        return analyze_program(big_program.compile(), variant)
+
+    analysis = benchmark(run)
+    assert analysis.total_escaping_reads > 0
+
+
+def test_whole_suite_analysis_speed(benchmark):
+    """Analyze all 17 programs with Control — the tool's end-to-end cost."""
+    from repro.programs import all_programs
+
+    progs = list(all_programs().values())
+
+    def run():
+        return [analyze_program(p.compile(), PipelineVariant.CONTROL) for p in progs]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 17

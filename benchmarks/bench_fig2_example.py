@@ -1,0 +1,11 @@
+"""Regenerates the Fig. 2 worked example (5 fences -> 2 after pruning)."""
+
+from repro.experiments import fig2_example
+
+
+def test_fig2_worked_example(benchmark, report_sink):
+    result = benchmark(fig2_example.run)
+    assert result.matches_paper
+    assert result.delay_set_fences == 5
+    assert result.pruned_fences == 2
+    report_sink["fig2"] = fig2_example.render(result)

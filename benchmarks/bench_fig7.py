@@ -1,0 +1,17 @@
+"""Regenerates Fig. 7: % of escaping reads marked acquire, 17 programs."""
+
+from repro.experiments import expected, fig7
+
+
+def test_fig7(benchmark, programs, report_sink):
+    result = benchmark.pedantic(
+        fig7.run, args=(programs,), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 17
+    # Shape assertions (see EXPERIMENTS.md for paper-vs-measured):
+    assert abs(result.geomean_control - expected.FIG7_GEOMEAN_CONTROL) < 0.06
+    assert (
+        abs(result.geomean_address_control - expected.FIG7_GEOMEAN_ADDRESS_CONTROL)
+        < 0.10
+    )
+    report_sink["fig7"] = fig7.render(result)

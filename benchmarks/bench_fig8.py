@@ -1,0 +1,15 @@
+"""Regenerates Fig. 8: ordering breakdown by type for all variants."""
+
+from repro.core.pipeline import PipelineVariant
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, programs, report_sink):
+    result = benchmark.pedantic(
+        fig8.run, args=(programs,), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 17
+    ctl = result.geomean_surviving(PipelineVariant.CONTROL)
+    ac = result.geomean_surviving(PipelineVariant.ADDRESS_CONTROL)
+    assert ctl < ac < 1.0  # pruning helps, Control helps more
+    report_sink["fig8"] = fig8.render(result)

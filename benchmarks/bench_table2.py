@@ -1,0 +1,11 @@
+"""Regenerates Table II: acquire breakdown over 9 sync kernels."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, report_sink):
+    rows = benchmark(table2.run)
+    assert len(rows) == 9
+    assert all(r.matches_paper for r in rows)
+    assert not any(r.has_pure_addr for r in rows)
+    report_sink["table2"] = table2.render(rows)

@@ -1,0 +1,101 @@
+"""Analyze a lock-free workload end to end: the Michael-Scott queue.
+
+Walks the paper's whole story on one realistic kernel:
+
+1. signature breakdown (which protocol reads are acquires, and why);
+2. ordering generation and pruning (what the Control analysis saves);
+3. fence placement on x86-TSO;
+4. timed simulation of all four placements (the Fig. 10 measurement);
+5. a DRF check that the detected marking is race-free.
+
+Run:  python examples/lockfree_queue_analysis.py
+"""
+
+from repro import PipelineVariant, analyze_program, place_fences
+from repro.core.signatures import signature_breakdown
+from repro.memmodel.drf import check_drf_with_detected_acquires
+from repro.programs.sync_kernels import SYNC_KERNELS
+from repro.simulator import simulate
+from repro.util.text import format_table
+
+
+def main() -> None:
+    kernel = SYNC_KERNELS["michael-scott-q"]
+    program = kernel.compile()
+
+    # 1. Signature breakdown per protocol function.
+    rows = []
+    for fn_name in kernel.kernel_functions:
+        bd = signature_breakdown(program.functions[fn_name])
+        rows.append(
+            [
+                fn_name,
+                len(bd.control),
+                len(bd.address),
+                len(bd.pure_address),
+            ]
+        )
+    print(
+        format_table(
+            ["function", "control acquires", "address acquires", "pure address"],
+            rows,
+            title="Michael-Scott queue: acquire signatures",
+        )
+    )
+
+    # 2+3. Orderings and fences per variant.
+    print()
+    rows = []
+    for variant in PipelineVariant:
+        analysis = analyze_program(kernel.compile(), variant)
+        rows.append(
+            [
+                variant.value,
+                analysis.total_sync_reads,
+                analysis.total_orderings,
+                analysis.full_fence_count,
+                analysis.compiler_fence_count,
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "acquires", "orderings", "mfences", "directives"],
+            rows,
+            title="Pipeline comparison (x86-TSO)",
+        )
+    )
+
+    # 4. Timed simulation, normalized to the expert manual placement.
+    print()
+    manual_cycles = simulate(kernel.compile(include_manual_fences=True)).cycles
+    rows = [["manual", manual_cycles, "1.00x"]]
+    for variant in PipelineVariant:
+        fenced = kernel.compile()
+        place_fences(fenced, variant)
+        cycles = simulate(fenced).cycles
+        rows.append([variant.value, cycles, f"{cycles / manual_cycles:.2f}x"])
+    print(
+        format_table(
+            ["placement", "simulated cycles", "vs manual"],
+            rows,
+            title="Timed TSO simulation",
+        )
+    )
+
+    # 5. The detected marking makes the program data-race-free.
+    sync_reads = []
+    for func in program.functions.values():
+        from repro.core.signatures import Variant, detect_acquires
+
+        sync_reads.extend(detect_acquires(func, Variant.CONTROL).sync_reads)
+    report = check_drf_with_detected_acquires(
+        program, sync_reads, max_traces=400
+    )
+    print(
+        f"\nDRF check under detected marking: races={len(report.races)} "
+        f"(traces checked: {report.traces_checked})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — fence placement for legacy data-race-free programs.
+
+A from-scratch reproduction of McPherson, Nagarajan, Sarkar & Cintra,
+"Fence Placement for Legacy Data-Race-Free Programs via Synchronization
+Read Detection" (PPoPP 2015 / extended TACO version), including every
+substrate the paper depends on: a load/store IR and mini-C frontend,
+alias/escape analyses, Pensieve-style ordering generation, exact
+Shasha-Snir delay sets, Fang-style fence minimization, SC and x86-TSO
+model checkers, a timed TSO performance simulator, and the full
+Section-5 workload suite.
+
+Quick start::
+
+    from repro import compile_source, place_fences, PipelineVariant
+
+    program = compile_source(source_text, "my-program")
+    analysis = place_fences(program, PipelineVariant.CONTROL)
+    print(analysis.full_fence_count, "full fences inserted")
+
+See ``examples/`` for runnable walkthroughs and ``repro.experiments``
+for the paper's tables and figures.
+"""
+
+from repro.core.machine_models import MODELS, PSO, RMO, SC, X86_TSO, MemoryModel, OrderKind
+from repro.core.pipeline import (
+    FencePlacer,
+    PipelineVariant,
+    ProgramAnalysis,
+    analyze_program,
+    place_fences,
+)
+from repro.core.signatures import (
+    SignatureBreakdown,
+    Variant,
+    detect_acquires,
+    signature_breakdown,
+)
+from repro.frontend import compile_source
+from repro.ir.function import Program
+from repro.core.interprocedural import detect_acquires_interprocedural
+from repro.memmodel.pso import PSOExplorer
+from repro.memmodel.sc import SCExplorer
+from repro.memmodel.tso import TSOExplorer
+from repro.simulator.machine import TSOSimulator, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FencePlacer",
+    "MODELS",
+    "MemoryModel",
+    "OrderKind",
+    "PSO",
+    "PSOExplorer",
+    "PipelineVariant",
+    "Program",
+    "ProgramAnalysis",
+    "RMO",
+    "SC",
+    "SCExplorer",
+    "SignatureBreakdown",
+    "TSOExplorer",
+    "TSOSimulator",
+    "Variant",
+    "X86_TSO",
+    "analyze_program",
+    "compile_source",
+    "detect_acquires",
+    "detect_acquires_interprocedural",
+    "place_fences",
+    "signature_breakdown",
+    "simulate",
+]

@@ -1,0 +1,28 @@
+"""Static analyses the fence-placement pipeline builds on.
+
+These are the substrates the paper assumes from LLVM/Pensieve:
+alias analysis, thread-escape analysis, CFG reachability, and the
+backwards slicer of Listing 2.
+"""
+
+from repro.analysis.aliasing import (
+    UNKNOWN,
+    AbstractObject,
+    AllocaObj,
+    GlobalObj,
+    PointsTo,
+)
+from repro.analysis.escape import EscapeInfo
+from repro.analysis.reachability import ReachabilityTable
+from repro.analysis.slicing import Slicer
+
+__all__ = [
+    "UNKNOWN",
+    "AbstractObject",
+    "AllocaObj",
+    "EscapeInfo",
+    "GlobalObj",
+    "PointsTo",
+    "ReachabilityTable",
+    "Slicer",
+]

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze FILE``     — run the fence-placement pipeline on a mini-C file
+* ``check FILE``       — exhaustively model-check SC vs x86-TSO, unfenced
+  and with each variant's fences
+* ``simulate FILE``    — run the timed TSO simulator and report cycles
+* ``experiments``      — regenerate the paper's tables and figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.annotations import render_annotations, suggest_annotations
+from repro.core.machine_models import MODELS, X86_TSO
+from repro.core.pipeline import FencePlacer, PipelineVariant
+from repro.frontend import compile_source
+from repro.ir.printer import format_program
+from repro.memmodel.sc import SCExplorer
+from repro.memmodel.tso import TSOExplorer
+from repro.simulator.machine import TSOSimulator
+from repro.util.text import format_table
+
+_VARIANTS = {v.value: v for v in PipelineVariant}
+
+
+def _load(path: str, manual_fences: bool = False):
+    source = Path(path).read_text(encoding="utf-8")
+    return compile_source(source, Path(path).stem, manual_fences)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    placer = FencePlacer(_VARIANTS[args.variant], MODELS[args.model])
+    analysis = placer.place(program) if args.emit_ir else placer.analyze(program)
+
+    rows = []
+    for name, fa in analysis.functions.items():
+        rows.append(
+            [
+                name,
+                len(fa.escape_info.escaping_reads),
+                len(fa.sync_reads),
+                len(fa.orderings),
+                len(fa.pruned),
+                fa.plan.full_count,
+                fa.plan.compiler_count,
+            ]
+        )
+    print(
+        format_table(
+            ["function", "esc reads", "acquires", "orderings", "pruned",
+             "mfences", "directives"],
+            rows,
+            title=f"{program.name}: {args.variant} on {args.model}",
+        )
+    )
+    print(
+        f"\ntotal: {analysis.total_sync_reads}/{analysis.total_escaping_reads} "
+        f"reads marked acquire, {analysis.full_fence_count} full fences, "
+        f"{analysis.compiler_fence_count} compiler directives"
+    )
+    if args.annotations:
+        print()
+        print(render_annotations(suggest_annotations(analysis)))
+    if args.emit_ir:
+        print("\n--- fenced IR ---")
+        print(format_program(program))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    base = _load(args.file)
+    sc = SCExplorer(base, max_states=args.max_states).explore()
+    tso = TSOExplorer(_load(args.file), max_states=args.max_states).explore()
+    if not (sc.complete and tso.complete):
+        print("state space exceeded --max-states; results incomplete")
+        return 2
+    print(f"SC outcomes: {len(sc.observation_sets())}")
+    broken = tso.observation_sets() != sc.observation_sets()
+    print(
+        f"TSO unfenced: {len(tso.observation_sets())} outcomes "
+        f"({'NON-SC BEHAVIOUR' if broken else 'SC-equal'})"
+    )
+    failures = 0
+    for variant in PipelineVariant:
+        fenced = _load(args.file)
+        analysis = FencePlacer(variant, X86_TSO).place(fenced)
+        fenced_tso = TSOExplorer(fenced, max_states=args.max_states).explore()
+        restored = fenced_tso.observation_sets() == sc.observation_sets()
+        failures += 0 if restored else 1
+        print(
+            f"TSO + {variant.value:16s}: {analysis.full_fence_count} mfences, "
+            f"SC restored: {restored}"
+        )
+    return 0 if failures == 0 else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.variant == "manual":
+        program = _load(args.file, manual_fences=True)
+    else:
+        program = _load(args.file)
+        FencePlacer(_VARIANTS[args.variant], X86_TSO).place(program)
+    stats = TSOSimulator(program).run()
+    print(f"placement      : {args.variant}")
+    print(f"cycles         : {stats.cycles}")
+    print(f"instructions   : {stats.instructions}")
+    print(f"mfences run    : {stats.full_fences_executed}")
+    print(f"fence stalls   : {stats.fence_stall_cycles} cycles")
+    for tid, obs in sorted(stats.observations.items()):
+        if obs:
+            rendered = ", ".join(f"{k}={v}" for k, v in obs)
+            print(f"observations T{tid}: {rendered}")
+    if args.globals:
+        for name in args.globals:
+            matches = {
+                k: v for k, v in stats.final_globals.items()
+                if k == name or k.startswith(name + "[")
+            }
+            for k, v in sorted(matches.items()):
+                print(f"{k} = {v}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all
+    from repro.programs import all_programs
+
+    programs = all_programs()
+    if args.quick:
+        keep = ("fft", "water-nsquared", "raytrace", "matrix")
+        programs = {k: programs[k] for k in keep}
+    print(run_all(programs).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fence placement for legacy DRF programs (PPoPP'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run the fence-placement pipeline")
+    p.add_argument("file")
+    p.add_argument("--variant", choices=sorted(_VARIANTS), default="control")
+    p.add_argument("--model", choices=sorted(MODELS), default="x86-tso")
+    p.add_argument("--annotations", action="store_true",
+                   help="also print C11-style annotation suggestions")
+    p.add_argument("--emit-ir", action="store_true",
+                   help="insert the fences and dump the final IR")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("check", help="model-check SC vs x86-TSO")
+    p.add_argument("file")
+    p.add_argument("--max-states", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("simulate", help="run the timed TSO simulator")
+    p.add_argument("file")
+    p.add_argument(
+        "--variant",
+        choices=sorted(_VARIANTS) + ["manual"],
+        default="control",
+    )
+    p.add_argument("--globals", nargs="*", default=[],
+                   help="global variables to print after the run")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's evaluation")
+    p.add_argument("--quick", action="store_true",
+                   help="4-program subset instead of all 17")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

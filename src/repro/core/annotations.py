@@ -1,0 +1,77 @@
+"""Alternative application: emit DRF annotations instead of fences.
+
+Paper Section 1.3: "An alternative application would be to use this
+identification to provide minimal annotations to make the program DRF,
+such that a compliant compiler and the hardware will prevent incorrect
+reorderings." This module turns a pipeline result into C11-style
+``memory_order_acquire`` / ``memory_order_release`` annotation
+suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import ProgramAnalysis
+from repro.ir.printer import format_instruction
+from repro.util.text import format_table
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One suggested annotation at a source access."""
+
+    function: str
+    block: str
+    index: int
+    order: str  # "acquire" | "release" | "acq_rel"
+    text: str   # printable instruction
+
+    def location(self) -> str:
+        return f"{self.function}/{self.block}[{self.index}]"
+
+
+def suggest_annotations(analysis: ProgramAnalysis) -> list[Annotation]:
+    """Acquire annotations for detected sync reads; release annotations
+    for escaping writes (the paper's conservative release treatment).
+    RMWs detected as acquires become acq_rel."""
+    annotations: list[Annotation] = []
+    for name, fa in analysis.functions.items():
+        func = fa.function
+        for inst in fa.sync_reads:
+            block_index, index = func.position(inst)
+            order = "acq_rel" if inst.is_atomic_rmw() else "acquire"
+            annotations.append(
+                Annotation(
+                    name,
+                    func.blocks[block_index].label,
+                    index,
+                    order,
+                    format_instruction(inst),
+                )
+            )
+        for inst in fa.escape_info.escaping_writes:
+            if inst in fa.sync_reads:
+                continue  # already acq_rel
+            block_index, index = func.position(inst)
+            order = "acq_rel" if inst.is_atomic_rmw() else "release"
+            annotations.append(
+                Annotation(
+                    name,
+                    func.blocks[block_index].label,
+                    index,
+                    order,
+                    format_instruction(inst),
+                )
+            )
+    annotations.sort(key=lambda a: (a.function, a.block, a.index))
+    return annotations
+
+
+def render_annotations(annotations: list[Annotation]) -> str:
+    rows = [[a.location(), a.order, a.text] for a in annotations]
+    return format_table(
+        ["location", "memory_order", "instruction"],
+        rows,
+        title="Suggested DRF annotations",
+    )

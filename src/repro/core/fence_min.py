@@ -1,0 +1,236 @@
+"""Locally-optimized fence minimization (after Fang et al. 2003).
+
+Given the surviving orderings of one function, place as few fences as
+possible so that every ordering (u, v) has an enforcement point on
+every path from u to v (paper Section 4.4).
+
+Reconstruction of the locally-optimized algorithm:
+
+* Every ordering becomes an *interval* of legal fence gaps inside u's
+  basic block. A "gap" ``g`` in a block is the insertion point before
+  the instruction at index ``g``. For a same-block ordering with
+  ``u`` at index ``iu`` and ``v`` at ``iv > iu``, the interval is
+  ``[iu+1, iv]``. For a cross-block (or loop wrap-around) ordering the
+  source-side projection is used: ``[iu+1, t]``, where ``t`` is the
+  terminator's index — sound, because every path from u to v leaves
+  through the end of u's block.
+* Per block, minimum-cardinality stabbing of the intervals is the
+  classic greedy: sort by right endpoint, place a fence at the right
+  endpoint of the first uncovered interval. This is optimal per block
+  ("locally optimized").
+* A placed fence is a **full** fence if it covers at least one interval
+  whose ordering kind the machine model does not enforce in hardware
+  (on x86-TSO: only ``w->r``); otherwise it is a zero-cost compiler
+  directive. This mirrors the paper exactly: "the decision as to
+  whether to place a full fence or a compiler directive determined by
+  whether the set of orderings that would be enforced contains one of
+  the form w -> r".
+* Pre-existing full fences and (on models where they are locked
+  instructions) atomic RMWs act as enforcement points: intervals
+  already containing one are dropped before stabbing.
+* Function-entry fences enforce interprocedural ``w->r`` orderings.
+  Pensieve places one in every function with escaping reads; the
+  paper's modification places one only if the function contains
+  *synchronizing* reads (Section 4.4). The pipeline passes the
+  appropriate read set in via ``entry_fence``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.machine_models import MemoryModel, OrderKind
+from repro.core.orderings import Ordering, OrderingSet
+from repro.ir.function import Function
+from repro.ir.instructions import Fence, FenceKind, FenceOrigin, Instruction
+
+
+@dataclass(frozen=True)
+class PlannedFence:
+    """A fence to insert: before instruction index ``gap`` of a block."""
+
+    block_label: str
+    gap: int
+    kind: FenceKind
+
+
+@dataclass
+class _Interval:
+    """Gap interval [lo, hi] in one block, tagged with its ordering kind."""
+
+    block_index: int
+    lo: int
+    hi: int
+    needs_full: bool
+
+
+@dataclass
+class FencePlan:
+    """The minimized fence placement for one function."""
+
+    function: Function
+    fences: list[PlannedFence] = field(default_factory=list)
+    entry_fence: bool = False
+
+    @property
+    def full_fences(self) -> list[PlannedFence]:
+        return [f for f in self.fences if f.kind is FenceKind.FULL]
+
+    @property
+    def compiler_fences(self) -> list[PlannedFence]:
+        return [f for f in self.fences if f.kind is FenceKind.COMPILER]
+
+    @property
+    def full_count(self) -> int:
+        """Full fences including the function-entry fence, if any."""
+        return len(self.full_fences) + (1 if self.entry_fence else 0)
+
+    @property
+    def compiler_count(self) -> int:
+        return len(self.compiler_fences)
+
+
+def _ordering_interval(
+    func: Function, ordering: Ordering, model: MemoryModel, projection: str
+) -> _Interval:
+    u_block, u_index = func.position(ordering.src.inst)
+    v_block, v_index = func.position(ordering.dst.inst)
+    needs_full = model.needs_full_fence(ordering.kind)
+    if u_block == v_block and u_index < v_index:
+        return _Interval(u_block, u_index + 1, v_index, needs_full)
+    if projection == "source":
+        # Fence between u and its block's end: sound, since every path
+        # from u to v leaves through the end of u's block.
+        terminator_index = len(func.blocks[u_block].instructions) - 1
+        return _Interval(u_block, u_index + 1, terminator_index, needs_full)
+    # Target-side projection: fence between v's block entry and v —
+    # equally sound (every path into v enters through its block start).
+    return _Interval(v_block, 0, v_index, needs_full)
+
+
+def _barrier_indices(
+    block_insts: list[Instruction], model: MemoryModel, for_full: bool
+) -> list[int]:
+    """Indices of instructions that already act as enforcement points.
+
+    Full enforcement: existing full fences, plus RMWs when the model
+    gives them fence semantics. Compiler-level enforcement: any fence
+    (both kinds) plus RMWs (atomics are compiler barriers).
+    """
+    indices = []
+    for i, inst in enumerate(block_insts):
+        if isinstance(inst, Fence):
+            if inst.kind is FenceKind.FULL or not for_full:
+                indices.append(i)
+        elif inst.is_atomic_rmw():
+            if model.rmw_is_full_fence or not for_full:
+                indices.append(i)
+    return indices
+
+
+def _satisfied_by_instruction(interval: _Interval, barrier_index: int) -> bool:
+    # An instruction at index k separates indices < k from indices > k,
+    # which covers gap interval [lo, hi] iff lo <= k <= hi - 1.
+    return interval.lo <= barrier_index <= interval.hi - 1
+
+
+def plan_fences(
+    func: Function,
+    orderings: OrderingSet,
+    model: MemoryModel,
+    entry_fence: bool = False,
+    projection: str = "source",
+) -> FencePlan:
+    """Run locally-optimized minimization; returns the plan (no mutation).
+
+    ``projection`` picks which block a cross-block ordering's interval
+    lands in: ``"source"`` (Fang-style, the default) or ``"target"`` —
+    both sound; the ablation benchmark compares the static counts.
+    """
+    if projection not in ("source", "target"):
+        raise ValueError(f"unknown projection {projection!r}")
+    plan = FencePlan(func, entry_fence=entry_fence)
+
+    # An ordering whose endpoint is itself a locked RMW is enforced by
+    # that instruction's own barrier semantics (x86 LOCK prefix).
+    relevant = [
+        o
+        for o in orderings
+        if not (
+            model.rmw_is_full_fence
+            and (o.src.inst.is_atomic_rmw() or o.dst.inst.is_atomic_rmw())
+        )
+    ]
+    intervals = [_ordering_interval(func, o, model, projection) for o in relevant]
+    # Deduplicate: distinct orderings frequently project to one interval.
+    unique: dict[tuple[int, int, int, bool], _Interval] = {}
+    for iv in intervals:
+        unique.setdefault((iv.block_index, iv.lo, iv.hi, iv.needs_full), iv)
+    intervals = list(unique.values())
+
+    by_block: dict[int, list[_Interval]] = {}
+    for iv in intervals:
+        by_block.setdefault(iv.block_index, []).append(iv)
+
+    for block_index in sorted(by_block):
+        block = func.blocks[block_index]
+        block_intervals = by_block[block_index]
+
+        full_barriers = _barrier_indices(block.instructions, model, for_full=True)
+        any_barriers = _barrier_indices(block.instructions, model, for_full=False)
+
+        def uncovered(ivs: list[_Interval], barriers: list[int]) -> list[_Interval]:
+            return [
+                iv
+                for iv in ivs
+                if not any(_satisfied_by_instruction(iv, k) for k in barriers)
+            ]
+
+        # Round 1: intervals that require hardware enforcement.
+        full_needed = uncovered(
+            [iv for iv in block_intervals if iv.needs_full], full_barriers
+        )
+        placed_full_gaps: list[int] = []
+        for iv in sorted(full_needed, key=lambda iv: (iv.hi, iv.lo)):
+            if any(iv.lo <= g <= iv.hi for g in placed_full_gaps):
+                continue
+            placed_full_gaps.append(iv.hi)
+            plan.fences.append(PlannedFence(block.label, iv.hi, FenceKind.FULL))
+
+        # Round 2: compiler-only intervals; full fences placed above and
+        # existing compiler barriers both count as coverage.
+        compiler_needed = uncovered(
+            [iv for iv in block_intervals if not iv.needs_full], any_barriers
+        )
+        placed_compiler_gaps: list[int] = []
+        for iv in sorted(compiler_needed, key=lambda iv: (iv.hi, iv.lo)):
+            if any(iv.lo <= g <= iv.hi for g in placed_full_gaps):
+                continue
+            if any(iv.lo <= g <= iv.hi for g in placed_compiler_gaps):
+                continue
+            placed_compiler_gaps.append(iv.hi)
+            plan.fences.append(PlannedFence(block.label, iv.hi, FenceKind.COMPILER))
+
+    return plan
+
+
+def apply_plan(func: Function, plan: FencePlan) -> int:
+    """Insert the planned fences into ``func``; returns fences inserted.
+
+    The function is re-finalized afterwards (instruction uids shift).
+    """
+    inserted = 0
+    by_block: dict[str, list[PlannedFence]] = {}
+    for fence in plan.fences:
+        by_block.setdefault(fence.block_label, []).append(fence)
+    for label, fences in by_block.items():
+        block = func.block(label)
+        # Insert from the highest gap down so indices stay valid.
+        for fence in sorted(fences, key=lambda f: f.gap, reverse=True):
+            block.insert(fence.gap, Fence(fence.kind, FenceOrigin.INSERTED))
+            inserted += 1
+    if plan.entry_fence:
+        func.entry.insert(0, Fence(FenceKind.FULL, FenceOrigin.INSERTED))
+        inserted += 1
+    func.finalize()
+    return inserted

@@ -1,0 +1,212 @@
+"""The end-to-end fence-placement pipeline.
+
+For every function: escape analysis -> acquire detection (per variant)
+-> Pensieve ordering generation -> Table-I pruning -> locally-optimized
+fence minimization -> (optionally) fence insertion.
+
+Variants:
+
+* ``PENSIEVE`` — the baseline the paper compares against: every
+  escaping read is treated as a potential acquire, so nothing prunes;
+  a function-entry fence goes into every function with escaping reads.
+* ``CONTROL`` — acquires from the control signature only (Listing 1).
+* ``ADDRESS_CONTROL`` — acquires from both signatures (Listing 3).
+
+The detected-acquire variants place a function-entry fence only in
+functions containing synchronizing reads (the paper's modification in
+Section 4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.aliasing import PointsTo
+from repro.analysis.escape import EscapeInfo
+from repro.analysis.reachability import ReachabilityTable
+from repro.core.fence_min import FencePlan, apply_plan, plan_fences
+from repro.core.machine_models import X86_TSO, MemoryModel, OrderKind
+from repro.core.orderings import OrderingSet, generate_orderings
+from repro.core.pruning import PruneStats, prune_orderings
+from repro.core.signatures import Variant, detect_acquires
+from repro.ir.function import Function, Program
+from repro.ir.instructions import Instruction
+from repro.util.orderedset import OrderedSet
+
+
+class PipelineVariant(enum.Enum):
+    """Which analysis drives pruning."""
+
+    PENSIEVE = "pensieve"
+    CONTROL = "control"
+    ADDRESS_CONTROL = "address+control"
+
+
+@dataclass
+class FunctionAnalysis:
+    """Everything the pipeline computed for one function."""
+
+    function: Function
+    points_to: PointsTo
+    escape_info: EscapeInfo
+    sync_reads: OrderedSet[Instruction]
+    orderings: OrderingSet
+    pruned: OrderingSet
+    prune_stats: PruneStats
+    plan: FencePlan
+
+
+@dataclass
+class ProgramAnalysis:
+    """Whole-program pipeline result plus aggregate statistics."""
+
+    program: Program
+    variant: PipelineVariant
+    model: MemoryModel
+    functions: dict[str, FunctionAnalysis] = field(default_factory=dict)
+
+    # --- aggregates used by the experiments -----------------------------
+    @property
+    def total_escaping_reads(self) -> int:
+        return sum(len(fa.escape_info.escaping_reads) for fa in self.functions.values())
+
+    @property
+    def total_sync_reads(self) -> int:
+        return sum(len(fa.sync_reads) for fa in self.functions.values())
+
+    @property
+    def acquire_fraction(self) -> float:
+        """Fraction of escaping reads marked acquire (Fig. 7's metric)."""
+        total = self.total_escaping_reads
+        if total == 0:
+            return 0.0
+        return self.total_sync_reads / total
+
+    def ordering_counts(self, pruned: bool = True) -> dict[OrderKind, int]:
+        counts = {kind: 0 for kind in OrderKind}
+        for fa in self.functions.values():
+            source = fa.pruned if pruned else fa.orderings
+            for kind, n in source.count_by_kind().items():
+                counts[kind] += n
+        return counts
+
+    @property
+    def total_orderings(self) -> int:
+        return sum(self.ordering_counts(pruned=True).values())
+
+    @property
+    def full_fence_count(self) -> int:
+        """Static full fences, entry fences included (Fig. 9's metric)."""
+        return sum(fa.plan.full_count for fa in self.functions.values())
+
+    @property
+    def compiler_fence_count(self) -> int:
+        return sum(fa.plan.compiler_count for fa in self.functions.values())
+
+
+class FencePlacer:
+    """Configurable pipeline runner.
+
+    ``interprocedural=True`` swaps the per-function detectors for the
+    whole-program summary analysis
+    (:mod:`repro.core.interprocedural`), catching acquires whose read
+    and consuming branch live in different functions — the paper's
+    future-work soundness step.
+    """
+
+    def __init__(
+        self,
+        variant: PipelineVariant = PipelineVariant.CONTROL,
+        model: MemoryModel = X86_TSO,
+        interprocedural: bool = False,
+    ) -> None:
+        self.variant = variant
+        self.model = model
+        self.interprocedural = interprocedural
+
+    def _detector_variant(self) -> Variant:
+        return (
+            Variant.CONTROL
+            if self.variant is PipelineVariant.CONTROL
+            else Variant.ADDRESS_CONTROL
+        )
+
+    # --- per-function ----------------------------------------------------
+    def analyze_function(
+        self,
+        func: Function,
+        sync_reads_override: OrderedSet[Instruction] | None = None,
+    ) -> FunctionAnalysis:
+        points_to = PointsTo(func)
+        escape_info = EscapeInfo(func, points_to)
+        reach = ReachabilityTable(func)
+
+        if sync_reads_override is not None:
+            sync_reads = sync_reads_override
+        elif self.variant is PipelineVariant.PENSIEVE:
+            # No acquire knowledge: every escaping read could be one.
+            sync_reads = escape_info.escaping_reads
+        else:
+            sync_reads = detect_acquires(
+                func, self._detector_variant(), points_to, escape_info
+            ).sync_reads
+
+        orderings = generate_orderings(func, escape_info, reach)
+        pruned, stats = prune_orderings(orderings, sync_reads)
+
+        # Entry fence: enforces interprocedural w->r orderings ending in
+        # this function; pointless if the hardware orders w->r itself.
+        entry_fence = bool(sync_reads) and self.model.needs_full_fence(OrderKind.WR)
+        plan = plan_fences(func, pruned, self.model, entry_fence=entry_fence)
+        return FunctionAnalysis(
+            function=func,
+            points_to=points_to,
+            escape_info=escape_info,
+            sync_reads=sync_reads,
+            orderings=orderings,
+            pruned=pruned,
+            prune_stats=stats,
+            plan=plan,
+        )
+
+    # --- whole program ------------------------------------------------------
+    def analyze(self, program: Program) -> ProgramAnalysis:
+        """Run the pipeline; no IR mutation."""
+        overrides: dict[str, OrderedSet[Instruction]] = {}
+        if self.interprocedural and self.variant is not PipelineVariant.PENSIEVE:
+            from repro.core.interprocedural import detect_acquires_interprocedural
+
+            ipa = detect_acquires_interprocedural(program, self._detector_variant())
+            overrides = ipa.acquires
+        result = ProgramAnalysis(program, self.variant, self.model)
+        for name in program.functions:
+            result.functions[name] = self.analyze_function(
+                program.functions[name], overrides.get(name)
+            )
+        return result
+
+    def place(self, program: Program) -> ProgramAnalysis:
+        """Run the pipeline and insert the planned fences into ``program``."""
+        result = self.analyze(program)
+        for fa in result.functions.values():
+            apply_plan(fa.function, fa.plan)
+        return result
+
+
+def analyze_program(
+    program: Program,
+    variant: PipelineVariant = PipelineVariant.CONTROL,
+    model: MemoryModel = X86_TSO,
+) -> ProgramAnalysis:
+    """One-call analysis without mutation (the common entry point)."""
+    return FencePlacer(variant, model).analyze(program)
+
+
+def place_fences(
+    program: Program,
+    variant: PipelineVariant = PipelineVariant.CONTROL,
+    model: MemoryModel = X86_TSO,
+) -> ProgramAnalysis:
+    """One-call analysis + fence insertion (mutates ``program``)."""
+    return FencePlacer(variant, model).place(program)

@@ -1,0 +1,73 @@
+"""Ordering pruning for legacy-DRF programs (paper Section 2.3).
+
+Given detected acquires, keep only orderings conforming to Table I:
+
+=====================  =======================================================
+``r/w -> w_rel``       every escaping write is conservatively a release, so
+                       any ordering *into a write* is kept;
+``r_acq -> r/w``       any ordering *out of a detected acquire* is kept;
+``w_rel -> r_acq``     sync-to-sync orderings are kept.
+=====================  =======================================================
+
+Equivalently (and this is how the paper states it): prune ``r1 -> r2``
+unless ``r1`` is a detected acquire, and prune ``w -> r`` unless ``r``
+is a detected acquire. Acquire status is per *instruction*: the read
+half of an RMW is an acquire iff the RMW instruction was detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine_models import OrderKind
+from repro.core.orderings import Ordering, OrderingSet
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.util.orderedset import OrderedSet
+
+
+@dataclass
+class PruneStats:
+    """Counts before/after pruning, by ordering kind."""
+
+    before: dict[OrderKind, int]
+    after: dict[OrderKind, int]
+
+    @property
+    def total_before(self) -> int:
+        return sum(self.before.values())
+
+    @property
+    def total_after(self) -> int:
+        return sum(self.after.values())
+
+    @property
+    def surviving_fraction(self) -> float:
+        if self.total_before == 0:
+            return 1.0
+        return self.total_after / self.total_before
+
+
+def keep_ordering(
+    ordering: Ordering, sync_reads: OrderedSet[Instruction]
+) -> bool:
+    """Table I check for one ordering."""
+    if ordering.dst.is_write:
+        return True  # r/w -> w_rel: everything into a release is kept.
+    if not ordering.src.is_write:
+        # r -> r: kept only out of an acquire.
+        return ordering.src.inst in sync_reads
+    # w -> r: kept only into an acquire (w_rel -> r_acq).
+    return ordering.dst.inst in sync_reads
+
+
+def prune_orderings(
+    orderings: OrderingSet, sync_reads: OrderedSet[Instruction]
+) -> tuple[OrderingSet, PruneStats]:
+    """Apply Table I; returns the surviving orderings and statistics."""
+    kept = [o for o in orderings if keep_ordering(o, sync_reads)]
+    pruned_set = OrderingSet(orderings.function, kept)
+    stats = PruneStats(
+        before=orderings.count_by_kind(), after=pruned_set.count_by_kind()
+    )
+    return pruned_set, stats

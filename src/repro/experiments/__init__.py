@@ -1,0 +1,16 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments import expected, fig2_example, fig7, fig8, fig9, fig10, table2
+from repro.experiments.runner import FullReport, run_all
+
+__all__ = [
+    "FullReport",
+    "expected",
+    "fig2_example",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "run_all",
+    "table2",
+]

@@ -1,0 +1,45 @@
+"""Paper-reported numbers, for comparison in reports and EXPERIMENTS.md.
+
+All values are from the paper's Section 5 text (geometric means,
+best/worst cases) — per-program bar heights are not tabulated in the
+paper, so only the aggregates and named extremes are encoded.
+"""
+
+from __future__ import annotations
+
+# --- Fig. 7: % of escaping reads marked acquire ---------------------------
+FIG7_GEOMEAN_CONTROL = 0.18
+FIG7_GEOMEAN_ADDRESS_CONTROL = 0.60
+FIG7_BEST_CONTROL = ("water-nsquared", 0.07)
+FIG7_WORST_CONTROL = ("raytrace", 0.33)
+FIG7_BEST_ADDRESS_CONTROL = ("water-spatial", 0.39)
+
+# --- Fig. 8: % of Pensieve orderings that survive pruning ----------------
+FIG8_GEOMEAN_CONTROL = 0.34
+FIG8_GEOMEAN_ADDRESS_CONTROL = 0.68
+
+# --- Fig. 9: % of Pensieve's full fences still placed (x86-TSO) ----------
+FIG9_GEOMEAN_CONTROL = 0.38
+FIG9_GEOMEAN_ADDRESS_CONTROL = 0.73
+FIG9_BEST_CONTROL = ("canneal", 0.11)  # "89% reduction"
+
+# --- Fig. 10: execution time normalized to manual placement --------------
+FIG10_GEOMEAN_PENSIEVE = 1.94
+FIG10_GEOMEAN_ADDRESS_CONTROL = 1.69
+FIG10_GEOMEAN_CONTROL = 1.44
+FIG10_MATRIX_PENSIEVE = 5.84
+FIG10_BEST_CONTROL_SPEEDUP = ("matrix", 2.64)  # Control vs Pensieve
+FIG10_BEST_AC_SPEEDUP = ("water-spatial", 1.42)  # A+C vs Pensieve
+
+# --- Section 5.3: expert manual fence counts -------------------------------
+MANUAL_FENCES = {
+    "canneal": 10,
+    "fmm": 6,
+    "volrend": 2,
+    "matrix": 6,
+    "spanningtree": 5,
+}
+
+# --- Fig. 2 worked example -------------------------------------------------
+FIG2_DELAY_SET_FENCES = 5
+FIG2_PRUNED_FENCES = 2

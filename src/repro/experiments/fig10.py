@@ -1,0 +1,129 @@
+"""Fig. 10: simulated execution time normalized to manual placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.pipeline import PipelineVariant, place_fences
+from repro.experiments import expected
+from repro.programs.registry import BenchProgram, all_programs
+from repro.simulator.costmodel import DEFAULT_COSTS, CostModel
+from repro.simulator.machine import SimStats, TSOSimulator
+from repro.util.stats import geomean
+from repro.util.text import ascii_bar_chart, format_table
+
+# "manual" compiles the expert fences; the rest run the pipeline.
+SERIES = ("manual", "pensieve", "address+control", "control")
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    program: str
+    cycles: dict[str, int]  # series -> simulated cycles
+    fences_executed: dict[str, int]  # dynamic full-fence executions
+
+    def normalized(self, series: str) -> float:
+        return self.cycles[series] / max(1, self.cycles["manual"])
+
+
+@dataclass
+class Fig10Result:
+    rows: list[Fig10Row]
+
+    def geomean(self, series: str) -> float:
+        return geomean([r.normalized(series) for r in self.rows])
+
+
+def simulate_variant(
+    program: BenchProgram, series: str, costs: CostModel = DEFAULT_COSTS
+) -> SimStats:
+    if series == "manual":
+        ir = program.compile(manual_fences=True)
+    else:
+        ir = program.compile(manual_fences=False)
+        variant = {
+            "pensieve": PipelineVariant.PENSIEVE,
+            "address+control": PipelineVariant.ADDRESS_CONTROL,
+            "control": PipelineVariant.CONTROL,
+        }[series]
+        place_fences(ir, variant)
+    return TSOSimulator(ir, costs).run()
+
+
+def run_program(
+    program: BenchProgram, costs: CostModel = DEFAULT_COSTS
+) -> Fig10Row:
+    cycles = {}
+    fences = {}
+    for series in SERIES:
+        stats = simulate_variant(program, series, costs)
+        cycles[series] = stats.cycles
+        fences[series] = stats.full_fences_executed
+    return Fig10Row(program=program.name, cycles=cycles, fences_executed=fences)
+
+
+def run(
+    programs: Optional[dict[str, BenchProgram]] = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> Fig10Result:
+    programs = programs if programs is not None else all_programs()
+    return Fig10Result([run_program(p, costs) for p in programs.values()])
+
+
+def render(result: Fig10Result | None = None) -> str:
+    result = result if result is not None else run()
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [
+                r.program,
+                r.cycles["manual"],
+                f"{r.normalized('pensieve'):.2f}x",
+                f"{r.normalized('address+control'):.2f}x",
+                f"{r.normalized('control'):.2f}x",
+                r.fences_executed["pensieve"],
+                r.fences_executed["control"],
+            ]
+        )
+    rows.append(
+        [
+            "geomean",
+            "",
+            f"{result.geomean('pensieve'):.2f}x",
+            f"{result.geomean('address+control'):.2f}x",
+            f"{result.geomean('control'):.2f}x",
+            "",
+            "",
+        ]
+    )
+    table = format_table(
+        [
+            "program",
+            "manual cycles",
+            "Pensieve",
+            "A+C",
+            "Control",
+            "dyn fences (Pen)",
+            "dyn fences (Ctl)",
+        ],
+        rows,
+        title="Fig. 10: execution time normalized to manual fence placement",
+    )
+    chart = ascii_bar_chart(
+        {
+            r.program: {
+                "Pensieve": r.normalized("pensieve"),
+                "Addr+Ctrl": r.normalized("address+control"),
+                "Control": r.normalized("control"),
+            }
+            for r in result.rows
+        },
+        value_format="{:.2f}x",
+    )
+    footer = (
+        f"\npaper geomeans: Pensieve {expected.FIG10_GEOMEAN_PENSIEVE:.2f}x, "
+        f"Address+Control {expected.FIG10_GEOMEAN_ADDRESS_CONTROL:.2f}x, "
+        f"Control {expected.FIG10_GEOMEAN_CONTROL:.2f}x"
+    )
+    return table + "\n\n" + chart + footer

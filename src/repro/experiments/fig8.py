@@ -1,0 +1,86 @@
+"""Fig. 8: ordering counts by type for Pensieve / Address+Control / Control."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine_models import OrderKind
+from repro.core.pipeline import PipelineVariant, analyze_program
+from repro.experiments import expected
+from repro.programs.registry import BenchProgram, all_programs
+from repro.util.stats import geomean
+from repro.util.text import format_table
+
+VARIANTS = (
+    PipelineVariant.PENSIEVE,
+    PipelineVariant.ADDRESS_CONTROL,
+    PipelineVariant.CONTROL,
+)
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    program: str
+    # variant -> OrderKind -> count (after that variant's pruning)
+    counts: dict[PipelineVariant, dict[OrderKind, int]]
+
+    def total(self, variant: PipelineVariant) -> int:
+        return sum(self.counts[variant].values())
+
+    def surviving_fraction(self, variant: PipelineVariant) -> float:
+        base = self.total(PipelineVariant.PENSIEVE)
+        return self.total(variant) / max(1, base)
+
+
+@dataclass
+class Fig8Result:
+    rows: list[Fig8Row]
+
+    def geomean_surviving(self, variant: PipelineVariant) -> float:
+        return geomean(
+            [max(1e-6, r.surviving_fraction(variant)) for r in self.rows]
+        )
+
+
+def run_program(program: BenchProgram) -> Fig8Row:
+    counts = {}
+    for variant in VARIANTS:
+        analysis = analyze_program(program.compile(), variant)
+        counts[variant] = analysis.ordering_counts(pruned=True)
+    return Fig8Row(program=program.name, counts=counts)
+
+
+def run(programs: dict[str, BenchProgram] | None = None) -> Fig8Result:
+    programs = programs if programs is not None else all_programs()
+    return Fig8Result([run_program(p) for p in programs.values()])
+
+
+def render(result: Fig8Result | None = None) -> str:
+    result = result if result is not None else run()
+    header = ["program"]
+    for variant in VARIANTS:
+        tag = {"pensieve": "Pen", "address+control": "A+C", "control": "Ctl"}[
+            variant.value
+        ]
+        header += [f"{tag} {k.value}" for k in OrderKind] + [f"{tag} total"]
+    rows = []
+    for r in result.rows:
+        row: list[object] = [r.program]
+        for variant in VARIANTS:
+            row += [r.counts[variant][k] for k in OrderKind]
+            row.append(r.total(variant))
+        rows.append(row)
+    table = format_table(
+        header,
+        rows,
+        title="Fig. 8: orderings by type (Pensieve / Address+Control / Control)",
+    )
+    footer = (
+        f"\nsurviving orderings geomean: "
+        f"Control {result.geomean_surviving(PipelineVariant.CONTROL):.1%} "
+        f"(paper {expected.FIG8_GEOMEAN_CONTROL:.0%}), "
+        f"Address+Control "
+        f"{result.geomean_surviving(PipelineVariant.ADDRESS_CONTROL):.1%} "
+        f"(paper {expected.FIG8_GEOMEAN_ADDRESS_CONTROL:.0%})"
+    )
+    return table + footer

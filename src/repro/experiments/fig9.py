@@ -1,0 +1,110 @@
+"""Fig. 9: static % of full fences remaining on x86-TSO vs Pensieve."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import PipelineVariant, analyze_program
+from repro.experiments import expected
+from repro.programs.registry import BenchProgram, all_programs
+from repro.util.stats import geomean
+from repro.util.text import ascii_bar_chart, format_table
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    program: str
+    pensieve_fences: int
+    control_fences: int
+    address_control_fences: int
+    manual_fences: int
+
+    @property
+    def control_fraction(self) -> float:
+        return self.control_fences / max(1, self.pensieve_fences)
+
+    @property
+    def address_control_fraction(self) -> float:
+        return self.address_control_fences / max(1, self.pensieve_fences)
+
+
+@dataclass
+class Fig9Result:
+    rows: list[Fig9Row]
+
+    @property
+    def geomean_control(self) -> float:
+        return geomean([max(1e-6, r.control_fraction) for r in self.rows])
+
+    @property
+    def geomean_address_control(self) -> float:
+        return geomean([max(1e-6, r.address_control_fraction) for r in self.rows])
+
+
+def run_program(program: BenchProgram) -> Fig9Row:
+    fences = {}
+    for variant in (
+        PipelineVariant.PENSIEVE,
+        PipelineVariant.CONTROL,
+        PipelineVariant.ADDRESS_CONTROL,
+    ):
+        fences[variant] = analyze_program(program.compile(), variant).full_fence_count
+    return Fig9Row(
+        program=program.name,
+        pensieve_fences=fences[PipelineVariant.PENSIEVE],
+        control_fences=fences[PipelineVariant.CONTROL],
+        address_control_fences=fences[PipelineVariant.ADDRESS_CONTROL],
+        manual_fences=program.manual_fence_count,
+    )
+
+
+def run(programs: dict[str, BenchProgram] | None = None) -> Fig9Result:
+    programs = programs if programs is not None else all_programs()
+    return Fig9Result([run_program(p) for p in programs.values()])
+
+
+def render(result: Fig9Result | None = None) -> str:
+    result = result if result is not None else run()
+    rows = [
+        [
+            r.program,
+            r.pensieve_fences,
+            r.control_fences,
+            r.address_control_fences,
+            r.manual_fences,
+            f"{r.control_fraction:.1%}",
+            f"{r.address_control_fraction:.1%}",
+        ]
+        for r in result.rows
+    ]
+    rows.append(
+        [
+            "geomean",
+            "",
+            "",
+            "",
+            "",
+            f"{result.geomean_control:.1%}",
+            f"{result.geomean_address_control:.1%}",
+        ]
+    )
+    table = format_table(
+        ["program", "Pensieve", "Control", "A+C", "manual", "Ctl %", "A+C %"],
+        rows,
+        title="Fig. 9: full fences remaining on x86-TSO (static counts)",
+    )
+    chart = ascii_bar_chart(
+        {
+            r.program: {
+                "Control": r.control_fraction,
+                "Addr+Ctrl": r.address_control_fraction,
+            }
+            for r in result.rows
+        },
+        value_format="{:.1%}",
+    )
+    footer = (
+        f"\npaper geomeans: Control {expected.FIG9_GEOMEAN_CONTROL:.0%}, "
+        f"Address+Control {expected.FIG9_GEOMEAN_ADDRESS_CONTROL:.0%}"
+    )
+    return table + "\n\n" + chart + footer

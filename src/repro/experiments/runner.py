@@ -1,0 +1,51 @@
+"""Run every experiment and render the full paper-shaped report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments import fig2_example, fig7, fig8, fig9, fig10, table2
+from repro.programs.registry import BenchProgram, all_programs
+
+
+@dataclass
+class FullReport:
+    table2_rows: list
+    fig7_result: fig7.Fig7Result
+    fig8_result: fig8.Fig8Result
+    fig9_result: fig9.Fig9Result
+    fig10_result: fig10.Fig10Result
+    fig2_result: fig2_example.Fig2Result
+
+    def render(self) -> str:
+        sections = [
+            table2.render(self.table2_rows),
+            fig7.render(self.fig7_result),
+            fig8.render(self.fig8_result),
+            fig9.render(self.fig9_result),
+            fig10.render(self.fig10_result),
+            fig2_example.render(self.fig2_result),
+        ]
+        return ("\n\n" + "=" * 72 + "\n\n").join(sections)
+
+
+def run_all(programs: Optional[dict[str, BenchProgram]] = None) -> FullReport:
+    """Run Table II, Figs 7-10, and the Fig. 2 example in one pass."""
+    programs = programs if programs is not None else all_programs()
+    return FullReport(
+        table2_rows=table2.run(),
+        fig7_result=fig7.run(programs),
+        fig8_result=fig8.run(programs),
+        fig9_result=fig9.run(programs),
+        fig10_result=fig10.run(programs),
+        fig2_result=fig2_example.run(),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_all().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

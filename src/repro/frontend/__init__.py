@@ -1,0 +1,40 @@
+"""Frontend: mini-C source -> IR.
+
+The source language is the paper's multi-threaded "while" language with
+pointers (Fig. 3), extended with arrays, atomics, and calls so the
+evaluation workloads (synchronization kernels, SPLASH-2 models,
+lock-free programs) can be written as readable source text.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.lowering import LoweringError, lower_module
+from repro.frontend.parser import ParseError, parse
+from repro.ir.function import Program
+
+
+def compile_source(
+    source: str,
+    name: str = "program",
+    include_manual_fences: bool = False,
+) -> Program:
+    """Parse and lower mini-C source text into a verified IR program.
+
+    ``include_manual_fences`` keeps explicit ``fence;`` / ``cfence;``
+    statements (the expert manual placement of Section 5.3); by default
+    they are stripped, producing the unfenced legacy program that the
+    automated placements start from.
+    """
+    return lower_module(parse(source), name, include_manual_fences)
+
+
+__all__ = [
+    "LexError",
+    "LoweringError",
+    "ParseError",
+    "compile_source",
+    "lower_module",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,217 @@
+"""AST for the mini-C source language.
+
+The language is the paper's multi-threaded "while" language with
+pointers (Fig. 3), extended with the features the evaluation workloads
+need: global/local arrays, atomic read-modify-writes (``cas``,
+``xchg``, ``fadd``), function calls, explicit ``fence``/``cfence``
+statements for manual placements, and ``observe`` for litmus outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base AST node; ``line`` supports error messages."""
+
+    line: int
+
+
+# --- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable reference (global, local, or parameter)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary ``-``, ``!``, ``*`` (dereference), or ``&`` (address-of)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """``base[index]`` over arrays or pointers."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    callee: str
+    args: Sequence[Expr]
+
+
+@dataclass(frozen=True)
+class CasExpr(Expr):
+    """``cas(addr, expected, new)`` returning the old value."""
+
+    addr: Expr
+    expected: Expr
+    new: Expr
+
+
+@dataclass(frozen=True)
+class XchgExpr(Expr):
+    """``xchg(addr, value)`` returning the old value."""
+
+    addr: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class FaddExpr(Expr):
+    """``fadd(addr, value)`` (fetch-and-add) returning the old value."""
+
+    addr: Expr
+    value: Expr
+
+
+# --- statements --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    stmts: Sequence[Stmt]
+
+
+@dataclass(frozen=True)
+class LocalDecl(Stmt):
+    """``local x;`` or ``local x = e;`` or ``local a[n];``"""
+
+    name: str
+    size: int = 1
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = value;`` where target is Var, Index, or Unary('*')."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Block
+    els: Optional[Block] = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Block
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for (init; cond; step) body`` — sugar; lowered like while."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: Block
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class FenceStmt(Stmt):
+    """``fence;`` (full) or ``cfence;`` (compiler directive).
+
+    These are *manual* fences; the compiler drops them unless asked to
+    keep them (the manual-placement variant of the experiments).
+    """
+
+    full: bool = True
+
+
+@dataclass(frozen=True)
+class ObserveStmt(Stmt):
+    label: str
+    expr: Expr
+
+
+# --- top-level ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalDecl(Node):
+    """``init`` entries are ints or ``("&", name)`` symbolic addresses
+    (paper Fig. 5 needs ``y = &z`` initial state)."""
+
+    name: str
+    size: int = 1
+    init: Sequence[object] = field(default_factory=lambda: (0,))
+
+
+@dataclass(frozen=True)
+class FuncDecl(Node):
+    name: str
+    params: Sequence[str]
+    body: Block
+
+
+@dataclass(frozen=True)
+class ThreadDecl(Node):
+    func_name: str
+    args: Sequence[int]
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    globals: Sequence[GlobalDecl]
+    functions: Sequence[FuncDecl]
+    threads: Sequence[ThreadDecl]

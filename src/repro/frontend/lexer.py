@@ -1,0 +1,137 @@
+"""Tokenizer for the mini-C source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "global",
+    "int",
+    "fn",
+    "local",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "thread",
+    "fence",
+    "cfence",
+    "cas",
+    "xchg",
+    "fadd",
+    "observe",
+    "break",
+    "continue",
+}
+
+# Longest-match first.
+OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "&",
+    "|",
+    "^",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "num", "ident", "kw", "op", "str", "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character."""
+
+
+def tokenize(source: str) -> list[Token]:
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] in "xXabcdefABCDEF"):
+                j += 1
+            yield Token("num", source[i:j], line)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            yield Token("kw" if text in KEYWORDS else "ident", text, line)
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise LexError(f"line {line}: newline in string literal")
+                j += 1
+            if j >= n:
+                raise LexError(f"line {line}: unterminated string literal")
+            yield Token("str", source[i + 1 : j], line)
+            i = j + 1
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, line)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    yield Token("eof", "", line)

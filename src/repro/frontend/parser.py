@@ -1,0 +1,391 @@
+"""Recursive-descent parser for the mini-C source language.
+
+Grammar (informal):
+
+    module   := (global_decl | func_decl | thread_decl)*
+    global   := "global" "int"? IDENT ("[" NUM "]")? ("=" init)? ";"
+    func     := "fn" IDENT "(" params? ")" block
+    thread   := "thread" IDENT "(" int_args? ")" ";"
+    stmt     := local | assign | if | while | for | return | break
+              | continue | fence | cfence | observe | expr ";" | block
+    expr     := precedence-climbing over || && | ^ & == != < <= > >=
+                << >> + - * / % with unary - ! * & and postfix [..] (..)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on malformed source."""
+
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # --- token helpers -------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(f"line {tok.line}: expected {want!r}, got {tok.text!r}")
+        return self.advance()
+
+    # --- top level --------------------------------------------------------
+    def parse_module(self) -> ast.Module:
+        globals_: list[ast.GlobalDecl] = []
+        functions: list[ast.FuncDecl] = []
+        threads: list[ast.ThreadDecl] = []
+        start_line = self.peek().line
+        while not self.check("eof"):
+            if self.check("kw", "global"):
+                globals_.append(self.parse_global())
+            elif self.check("kw", "fn"):
+                functions.append(self.parse_function())
+            elif self.check("kw", "thread"):
+                threads.append(self.parse_thread())
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"line {tok.line}: expected global/fn/thread, got {tok.text!r}"
+                )
+        return ast.Module(start_line, tuple(globals_), tuple(functions), tuple(threads))
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.expect("kw", "global").line
+        self.accept("kw", "int")  # optional noise word
+        name = self.expect("ident").text
+        size = 1
+        if self.accept("op", "["):
+            size = self._parse_int_literal()
+            self.expect("op", "]")
+        init: tuple[object, ...] = tuple([0] * size)
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                values = [self._parse_init_value()]
+                while self.accept("op", ","):
+                    values.append(self._parse_init_value())
+                self.expect("op", "}")
+                if len(values) != size:
+                    raise ParseError(
+                        f"line {line}: {len(values)} initializers for size {size}"
+                    )
+                init = tuple(values)
+            else:
+                value = self._parse_init_value()
+                init = tuple([value] * size) if size > 1 else (value,)
+        self.expect("op", ";")
+        return ast.GlobalDecl(line, name, size, init)
+
+    def parse_function(self) -> ast.FuncDecl:
+        line = self.expect("kw", "fn").line
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.check("op", ")"):
+            self.accept("kw", "int")
+            params.append(self.expect("ident").text)
+            while self.accept("op", ","):
+                self.accept("kw", "int")
+                params.append(self.expect("ident").text)
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FuncDecl(line, name, tuple(params), body)
+
+    def parse_thread(self) -> ast.ThreadDecl:
+        line = self.expect("kw", "thread").line
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        args: list[int] = []
+        if not self.check("op", ")"):
+            args.append(self._parse_signed_int())
+            while self.accept("op", ","):
+                args.append(self._parse_signed_int())
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.ThreadDecl(line, name, tuple(args))
+
+    def _parse_int_literal(self) -> int:
+        tok = self.expect("num")
+        try:
+            return int(tok.text, 0)
+        except ValueError:
+            raise ParseError(f"line {tok.line}: bad integer {tok.text!r}") from None
+
+    def _parse_signed_int(self) -> int:
+        if self.accept("op", "-"):
+            return -self._parse_int_literal()
+        return self._parse_int_literal()
+
+    def _parse_init_value(self) -> object:
+        """An integer, or ``&name`` (address of a global) in an initializer."""
+        if self.accept("op", "&"):
+            return ("&", self.expect("ident").text)
+        return self._parse_signed_int()
+
+    # --- statements --------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        line = self.expect("op", "{").line
+        stmts: list[ast.Stmt] = []
+        while not self.check("op", "}"):
+            stmts.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.Block(line, tuple(stmts))
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "{":
+            return self.parse_block()
+        if tok.kind == "kw":
+            if tok.text == "local":
+                return self.parse_local()
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expression()
+                self.expect("op", ";")
+                return ast.Return(tok.line, value)
+            if tok.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(tok.line)
+            if tok.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(tok.line)
+            if tok.text == "fence":
+                self.advance()
+                self.expect("op", ";")
+                return ast.FenceStmt(tok.line, full=True)
+            if tok.text == "cfence":
+                self.advance()
+                self.expect("op", ";")
+                return ast.FenceStmt(tok.line, full=False)
+            if tok.text == "observe":
+                self.advance()
+                self.expect("op", "(")
+                label = self.expect("str").text
+                self.expect("op", ",")
+                expr = self.parse_expression()
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.ObserveStmt(tok.line, label, expr)
+        return self.parse_simple_statement()
+
+    def parse_local(self) -> ast.LocalDecl:
+        line = self.expect("kw", "local").line
+        self.accept("kw", "int")
+        name = self.expect("ident").text
+        size = 1
+        init: Optional[ast.Expr] = None
+        if self.accept("op", "["):
+            size = self._parse_int_literal()
+            self.expect("op", "]")
+        elif self.accept("op", "="):
+            init = self.parse_expression()
+        self.expect("op", ";")
+        return ast.LocalDecl(line, name, size, init)
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self._block_or_single()
+        els: Optional[ast.Block] = None
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                nested = self.parse_if()
+                els = ast.Block(nested.line, (nested,))
+            else:
+                els = self._block_or_single()
+        return ast.If(line, cond, then, els)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        if self.accept("op", ";"):  # busy-wait: while (e);
+            body = ast.Block(line, ())
+        else:
+            body = self._block_or_single()
+        return ast.While(line, cond, body)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.check("op", ";"):
+            init = self._parse_assign_or_expr(consume_semi=False)
+        self.expect("op", ";")
+        cond: Optional[ast.Expr] = None
+        if not self.check("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        step: Optional[ast.Stmt] = None
+        if not self.check("op", ")"):
+            step = self._parse_assign_or_expr(consume_semi=False)
+        self.expect("op", ")")
+        body = self._block_or_single()
+        return ast.For(line, init, cond, step, body)
+
+    def _block_or_single(self) -> ast.Block:
+        if self.check("op", "{"):
+            return self.parse_block()
+        stmt = self.parse_statement()
+        return ast.Block(stmt.line, (stmt,))
+
+    def parse_simple_statement(self) -> ast.Stmt:
+        return self._parse_assign_or_expr(consume_semi=True)
+
+    def _parse_assign_or_expr(self, consume_semi: bool) -> ast.Stmt:
+        line = self.peek().line
+        expr = self.parse_expression()
+        if self.accept("op", "="):
+            value = self.parse_expression()
+            if consume_semi:
+                self.expect("op", ";")
+            if not isinstance(expr, (ast.Var, ast.Index)) and not (
+                isinstance(expr, ast.Unary) and expr.op == "*"
+            ):
+                raise ParseError(f"line {line}: invalid assignment target")
+            return ast.Assign(line, expr, value)
+        if consume_semi:
+            self.expect("op", ";")
+        return ast.ExprStmt(line, expr)
+
+    # --- expressions -----------------------------------------------------------
+    def parse_expression(self, min_prec: int = 1) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "op":
+                break
+            prec = _PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                break
+            self.advance()
+            rhs = self.parse_expression(prec + 1)
+            lhs = ast.Binary(tok.line, tok.text, lhs, rhs)
+        return lhs
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.line, tok.text, operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(self.peek().line, expr, index)
+            else:
+                break
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "num":
+            self.advance()
+            try:
+                return ast.Num(tok.line, int(tok.text, 0))
+            except ValueError:
+                raise ParseError(f"line {tok.line}: bad integer {tok.text!r}") from None
+        if tok.kind == "kw" and tok.text in ("cas", "xchg", "fadd"):
+            self.advance()
+            self.expect("op", "(")
+            args = [self.parse_expression()]
+            while self.accept("op", ","):
+                args.append(self.parse_expression())
+            self.expect("op", ")")
+            if tok.text == "cas":
+                if len(args) != 3:
+                    raise ParseError(f"line {tok.line}: cas takes 3 arguments")
+                return ast.CasExpr(tok.line, args[0], args[1], args[2])
+            if len(args) != 2:
+                raise ParseError(f"line {tok.line}: {tok.text} takes 2 arguments")
+            if tok.text == "xchg":
+                return ast.XchgExpr(tok.line, args[0], args[1])
+            return ast.FaddExpr(tok.line, args[0], args[1])
+        if tok.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expression())
+                self.expect("op", ")")
+                return ast.CallExpr(tok.line, tok.text, tuple(args))
+            return ast.Var(tok.line, tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> ast.Module:
+    """Parse mini-C source text into a module AST."""
+    return Parser(source).parse_module()

@@ -1,0 +1,72 @@
+"""The IR substrate: an infinite-register load/store representation.
+
+This is the stand-in for LLVM IR in the paper's implementation
+(Section 4: "All the algorithms operate on infinite register
+load-store intermediate representations").
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import CFG
+from repro.ir.function import BasicBlock, Function, GlobalVar, Program, ThreadSpec
+from repro.ir.instructions import (
+    Alloca,
+    AtomicAdd,
+    AtomicXchg,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    CmpXchg,
+    Fence,
+    FenceKind,
+    FenceOrigin,
+    Gep,
+    Instruction,
+    Jump,
+    Load,
+    Observe,
+    Ret,
+    Store,
+)
+from repro.ir.printer import format_function, format_instruction, format_program
+from repro.ir.values import Constant, GlobalRef, Register, Value, get_def
+from repro.ir.verifier import VerificationError, verify_function, verify_program
+
+__all__ = [
+    "Alloca",
+    "AtomicAdd",
+    "AtomicXchg",
+    "BasicBlock",
+    "BinOp",
+    "Br",
+    "CFG",
+    "Call",
+    "Cmp",
+    "CmpXchg",
+    "Constant",
+    "Fence",
+    "FenceKind",
+    "FenceOrigin",
+    "Function",
+    "Gep",
+    "GlobalRef",
+    "GlobalVar",
+    "IRBuilder",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Observe",
+    "Program",
+    "Register",
+    "Ret",
+    "Store",
+    "ThreadSpec",
+    "Value",
+    "VerificationError",
+    "format_function",
+    "format_instruction",
+    "format_program",
+    "get_def",
+    "verify_function",
+    "verify_program",
+]

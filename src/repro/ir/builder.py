@@ -1,0 +1,156 @@
+"""Convenience builder for constructing IR functions programmatically.
+
+Used by the frontend's lowering pass and by tests that hand-build the
+paper's examples (MP, MP-with-pointers, Dekker, the Fig. 2 worked
+example).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    AtomicAdd,
+    AtomicXchg,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    CmpXchg,
+    Fence,
+    FenceKind,
+    FenceOrigin,
+    Gep,
+    Jump,
+    Load,
+    Observe,
+    Ret,
+    Store,
+)
+from repro.ir.values import Constant, GlobalRef, Register, Value
+
+
+class IRBuilder:
+    """Builds one function; tracks the current insertion block."""
+
+    def __init__(self, name: str, param_names: Sequence[str] = ()) -> None:
+        self._reg_counter = 0
+        self._label_counter = 0
+        params = tuple(Register(p) for p in param_names)
+        self.function = Function(name, params)
+        self.current: Optional[BasicBlock] = None
+
+    # --- registers, labels, blocks ---------------------------------------
+    def fresh_reg(self, hint: str = "") -> Register:
+        name = f"{hint}{self._reg_counter}" if hint else str(self._reg_counter)
+        self._reg_counter += 1
+        return Register(name)
+
+    def fresh_label(self, hint: str = "bb") -> str:
+        label = f"{hint}{self._label_counter}"
+        self._label_counter += 1
+        return label
+
+    def block(self, label: Optional[str] = None) -> BasicBlock:
+        """Create a new block (does not switch insertion point)."""
+        return self.function.add_block(label or self.fresh_label())
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.current = block
+        return block
+
+    def new_block(self, label: Optional[str] = None) -> BasicBlock:
+        """Create a new block and make it current."""
+        return self.set_block(self.block(label))
+
+    def _append(self, inst):
+        if self.current is None:
+            raise ValueError("no current block; call new_block() first")
+        return self.current.append(inst)
+
+    # --- value helpers ----------------------------------------------------
+    @staticmethod
+    def const(value: int) -> Constant:
+        return Constant(value)
+
+    @staticmethod
+    def global_addr(name: str) -> GlobalRef:
+        return GlobalRef(name)
+
+    # --- instructions -------------------------------------------------------
+    def alloca(self, size: int = 1, var_name: str = "") -> Register:
+        dest = self.fresh_reg()
+        self._append(Alloca(dest, size, var_name))
+        return dest
+
+    def load(self, addr: Value) -> Register:
+        dest = self.fresh_reg()
+        self._append(Load(dest, addr))
+        return dest
+
+    def store(self, addr: Value, value: Value) -> None:
+        self._append(Store(addr, value))
+
+    def binop(self, op: str, lhs: Value, rhs: Value) -> Register:
+        dest = self.fresh_reg()
+        self._append(BinOp(dest, op, lhs, rhs))
+        return dest
+
+    def cmp(self, op: str, lhs: Value, rhs: Value) -> Register:
+        dest = self.fresh_reg()
+        self._append(Cmp(dest, op, lhs, rhs))
+        return dest
+
+    def gep(self, base: Value, offset: Value) -> Register:
+        dest = self.fresh_reg()
+        self._append(Gep(dest, base, offset))
+        return dest
+
+    def br(self, cond: Value, true_label: str, false_label: str) -> None:
+        self._append(Br(cond, true_label, false_label))
+
+    def jump(self, target: str) -> None:
+        self._append(Jump(target))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        self._append(Ret(value))
+
+    def call(self, callee: str, args: Sequence[Value], returns: bool = False):
+        dest = self.fresh_reg() if returns else None
+        self._append(Call(dest, callee, args))
+        return dest
+
+    def fence(
+        self,
+        kind: FenceKind = FenceKind.FULL,
+        origin: FenceOrigin = FenceOrigin.INSERTED,
+    ) -> None:
+        self._append(Fence(kind, origin))
+
+    def cmpxchg(self, addr: Value, expected: Value, new: Value) -> Register:
+        dest = self.fresh_reg()
+        self._append(CmpXchg(dest, addr, expected, new))
+        return dest
+
+    def xchg(self, addr: Value, value: Value) -> Register:
+        dest = self.fresh_reg()
+        self._append(AtomicXchg(dest, addr, value))
+        return dest
+
+    def fetch_add(self, addr: Value, value: Value) -> Register:
+        dest = self.fresh_reg()
+        self._append(AtomicAdd(dest, addr, value))
+        return dest
+
+    def observe(self, label: str, value: Value) -> None:
+        self._append(Observe(label, value))
+
+    # --- finishing ---------------------------------------------------------
+    def build(self) -> Function:
+        """Terminate any fall-through block with ``ret`` and finalize."""
+        for block in self.function.blocks:
+            if not block.is_terminated():
+                block.append(Ret(None))
+        return self.function.finalize()

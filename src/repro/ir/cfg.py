@@ -1,0 +1,160 @@
+"""Control-flow graph utilities over finalized functions.
+
+Ordering generation (paper Section 4.3) precomputes a block-level
+reachability lookup table from the CFG and queries it for every access
+pair; dominators and loop detection support the verifier, the fence
+minimizer, and the experiments' CFG statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.function import Function
+
+
+class CFG:
+    """Successor/predecessor maps plus derived structure for one function."""
+
+    def __init__(self, func: Function) -> None:
+        self.function = func
+        self.succ: dict[str, tuple[str, ...]] = {}
+        self.pred: dict[str, tuple[str, ...]] = {}
+        pred_acc: dict[str, list[str]] = {b.label: [] for b in func.blocks}
+        for block in func.blocks:
+            succs = block.successor_labels()
+            for s in succs:
+                if s not in pred_acc:
+                    raise ValueError(
+                        f"{func.name}: branch to unknown block {s!r} from {block.label!r}"
+                    )
+            self.succ[block.label] = succs
+            for s in succs:
+                pred_acc[s].append(block.label)
+        self.pred = {label: tuple(ps) for label, ps in pred_acc.items()}
+        self._reachable: dict[str, frozenset[str]] | None = None
+        self._dominators: dict[str, frozenset[str]] | None = None
+
+    # --- reachability ------------------------------------------------------
+    def reachable_from(self, label: str) -> frozenset[str]:
+        """Labels reachable from ``label`` by one or more CFG edges.
+
+        Note this is *proper* reachability: a block reaches itself only
+        if it lies on a cycle. Intra-block "paths" are statement order
+        and handled separately by the ordering generator.
+        """
+        if self._reachable is None:
+            self._reachable = self._compute_reachability()
+        return self._reachable[label]
+
+    def reaches(self, src: str, dst: str) -> bool:
+        return dst in self.reachable_from(src)
+
+    def _compute_reachability(self) -> dict[str, frozenset[str]]:
+        # Iterative DFS per block; function CFGs in this project are
+        # small (tens of blocks), so O(V * E) is fine and simple.
+        result: dict[str, frozenset[str]] = {}
+        for start in self.succ:
+            seen: set[str] = set()
+            stack = list(self.succ[start])
+            while stack:
+                label = stack.pop()
+                if label in seen:
+                    continue
+                seen.add(label)
+                stack.extend(self.succ[label])
+            result[start] = frozenset(seen)
+        return result
+
+    # --- dominators ----------------------------------------------------------
+    def dominators(self) -> dict[str, frozenset[str]]:
+        """Classic iterative dominator sets (entry dominates everything)."""
+        if self._dominators is not None:
+            return self._dominators
+        blocks = [b.label for b in self.function.blocks]
+        if not blocks:
+            return {}
+        entry = blocks[0]
+        all_blocks = frozenset(blocks)
+        dom: dict[str, frozenset[str]] = {label: all_blocks for label in blocks}
+        dom[entry] = frozenset([entry])
+        changed = True
+        while changed:
+            changed = False
+            for label in blocks:
+                if label == entry:
+                    continue
+                preds = self.pred[label]
+                if preds:
+                    new = frozenset.intersection(*(dom[p] for p in preds))
+                else:
+                    # Unreachable block: only itself.
+                    new = frozenset()
+                new = new | {label}
+                if new != dom[label]:
+                    dom[label] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    # --- loops -----------------------------------------------------------------
+    def back_edges(self) -> list[tuple[str, str]]:
+        """CFG edges (u, v) where v dominates u (natural-loop back edges)."""
+        dom = self.dominators()
+        edges = []
+        for u, succs in self.succ.items():
+            for v in succs:
+                if v in dom.get(u, frozenset()):
+                    edges.append((u, v))
+        return edges
+
+    def blocks_in_cycles(self) -> frozenset[str]:
+        """Blocks that can reach themselves (lie on some CFG cycle)."""
+        return frozenset(
+            label for label in self.succ if label in self.reachable_from(label)
+        )
+
+    def natural_loop(self, back_edge: tuple[str, str]) -> frozenset[str]:
+        """Body of the natural loop of ``(tail, header)``."""
+        tail, header = back_edge
+        body = {header, tail}
+        stack = [tail]
+        while stack:
+            label = stack.pop()
+            for p in self.pred[label]:
+                if p not in body:
+                    body.add(p)
+                    stack.append(p)
+        return frozenset(body)
+
+    # --- orderings over blocks ----------------------------------------------
+    def reverse_postorder(self) -> list[str]:
+        """Reverse postorder from the entry (standard dataflow order)."""
+        seen: set[str] = set()
+        order: list[str] = []
+
+        entry = self.function.entry.label
+        # Iterative postorder DFS.
+        stack: list[tuple[str, Iterable[str]]] = [(entry, iter(self.succ[entry]))]
+        seen.add(entry)
+        while stack:
+            label, it = stack[-1]
+            advanced = False
+            for s in it:
+                if s not in seen:
+                    seen.add(s)
+                    stack.append((s, iter(self.succ[s])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(label)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def unreachable_blocks(self) -> frozenset[str]:
+        entry = self.function.entry.label
+        reachable = {entry} | set(self.reachable_from(entry))
+        return frozenset(set(self.succ) - reachable)
+
+

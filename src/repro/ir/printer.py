@@ -1,0 +1,88 @@
+"""Textual IR dumping, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Program
+from repro.ir.instructions import (
+    Alloca,
+    AtomicAdd,
+    AtomicXchg,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    CmpXchg,
+    Fence,
+    Gep,
+    Instruction,
+    Jump,
+    Load,
+    Observe,
+    Ret,
+    Store,
+)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One-line textual form of an instruction."""
+    if isinstance(inst, Alloca):
+        suffix = f" ; {inst.var_name}" if inst.var_name else ""
+        return f"{inst.dest} = alloca {inst.size}{suffix}"
+    if isinstance(inst, Load):
+        return f"{inst.dest} = load {inst.addr}"
+    if isinstance(inst, Store):
+        return f"store {inst.addr}, {inst.value}"
+    if isinstance(inst, BinOp):
+        return f"{inst.dest} = {inst.lhs} {inst.op} {inst.rhs}"
+    if isinstance(inst, Cmp):
+        return f"{inst.dest} = {inst.lhs} {inst.op} {inst.rhs}"
+    if isinstance(inst, Gep):
+        return f"{inst.dest} = gep {inst.base}, {inst.offset}"
+    if isinstance(inst, Br):
+        return f"br {inst.cond}, {inst.true_label}, {inst.false_label}"
+    if isinstance(inst, Jump):
+        return f"jump {inst.target}"
+    if isinstance(inst, Ret):
+        return "ret" if inst.value is None else f"ret {inst.value}"
+    if isinstance(inst, Call):
+        args = ", ".join(str(a) for a in inst.args)
+        prefix = f"{inst.dest} = " if inst.dest is not None else ""
+        return f"{prefix}call @{inst.callee}({args})"
+    if isinstance(inst, Fence):
+        return f"fence.{inst.kind.value} ; {inst.origin.value}"
+    if isinstance(inst, CmpXchg):
+        return f"{inst.dest} = cmpxchg {inst.addr}, {inst.expected}, {inst.new}"
+    if isinstance(inst, AtomicXchg):
+        return f"{inst.dest} = xchg {inst.addr}, {inst.value}"
+    if isinstance(inst, AtomicAdd):
+        return f"{inst.dest} = fadd {inst.addr}, {inst.value}"
+    if isinstance(inst, Observe):
+        return f"observe {inst.label!r}, {inst.value}"
+    return repr(inst)
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(str(p) for p in func.params)
+    lines = [f"func @{func.name}({params}):"]
+    for block in func.blocks:
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    lines = [f"; program {program.name}"]
+    for name in program.globals:
+        var = program.globals[name]
+        if var.size == 1:
+            lines.append(f"global @{name} = {var.init[0]}")
+        else:
+            lines.append(f"global @{name}[{var.size}] = {list(var.init)}")
+    for name in program.functions:
+        lines.append("")
+        lines.append(format_function(program.functions[name]))
+    for thread in program.threads:
+        args = ", ".join(str(a) for a in thread.args)
+        lines.append(f"thread @{thread.func_name}({args})")
+    return "\n".join(lines)

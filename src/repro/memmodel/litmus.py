@@ -1,0 +1,333 @@
+"""Litmus tests from the paper (Figs 1, 4, 5, 6) plus TSO classics.
+
+Each test carries its source, the set of global names the programmer
+*intends* as synchronization variables (the ground-truth marking for
+DRF checks), and whether unfenced x86-TSO execution exhibits non-SC
+observations — the property the explorers verify in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend import compile_source
+from repro.ir.function import Program
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus program with its expected properties."""
+
+    name: str
+    description: str
+    source: str
+    # Global variables the programmer intends as synchronization.
+    sync_globals: frozenset[str] = frozenset()
+    # Is the program well-synchronized under the intended marking?
+    well_synchronized: bool = True
+    # Does unfenced TSO show observations SC cannot produce?
+    tso_breaks_unfenced: bool = False
+    # Which detection variants find all the intended acquires.
+    notes: str = ""
+
+    def compile(self, include_manual_fences: bool = False) -> Program:
+        return compile_source(
+            self.source, self.name, include_manual_fences=include_manual_fences
+        )
+
+
+MP = LitmusTest(
+    name="mp",
+    description="Message passing (paper Fig. 4): flag guards data via a "
+    "spin loop; the flag read is a control acquire.",
+    source="""
+global int flag;
+global int data;
+
+fn producer(tid) {
+  data = 1;
+  flag = 1;
+}
+
+fn consumer(tid) {
+  local r = 0;
+  while (flag == 0) { }
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+""",
+    sync_globals=frozenset({"flag"}),
+    well_synchronized=True,
+    tso_breaks_unfenced=False,  # TSO preserves w->w and r->r
+    notes="control acquire on the flag read; safe on TSO even unfenced",
+)
+
+
+MP_POINTERS = LitmusTest(
+    name="mp-pointers",
+    description="Message passing through a pointer (paper Fig. 5): the "
+    "read of y is a pure address acquire — no branch depends on it.",
+    source="""
+global int x;
+global int z;
+global int y = &z;
+
+fn writer(tid) {
+  x = 1;
+  y = &x;
+}
+
+fn reader(tid) {
+  local r = 0;
+  local r1 = 0;
+  r = y;
+  r1 = *r;
+  observe("r1", r1);
+}
+
+thread writer(0);
+thread reader(1);
+""",
+    sync_globals=frozenset({"y"}),
+    well_synchronized=True,
+    tso_breaks_unfenced=False,
+    notes="address acquire only: detected by Address+Control, missed by Control",
+)
+
+
+DEKKER = LitmusTest(
+    name="dekker",
+    description="Dekker-style mutual exclusion attempt (paper Fig. 6): "
+    "each thread writes its flag then checks the other's; both reads "
+    "are control acquires and the w->r orderings need mfences on TSO.",
+    source="""
+global int x;
+global int y;
+global int z;
+
+fn left(tid) {
+  local r = 0;
+  x = 1;
+  r = y;
+  if (r == 0) {
+    z = z + 1;
+    observe("in", 1);
+  }
+}
+
+fn right(tid) {
+  local r = 0;
+  y = 1;
+  r = x;
+  if (r == 0) {
+    z = z + 1;
+    observe("in", 1);
+  }
+}
+
+thread left(0);
+thread right(1);
+""",
+    sync_globals=frozenset({"x", "y"}),
+    well_synchronized=True,  # z is guarded by the x/y protocol under SC
+    tso_breaks_unfenced=True,  # both threads can enter without fences
+    notes="w->r delay in each thread; the canonical TSO violation",
+)
+
+
+SB = LitmusTest(
+    name="sb",
+    description="Store buffering: racy by design; both threads can read "
+    "0 under TSO but not under SC. The loads feed only observations, so "
+    "they are not acquires and the paper's approach (correctly, per its "
+    "contract) does not fence them.",
+    source="""
+global int x;
+global int y;
+
+fn p1(tid) {
+  local r1 = 0;
+  x = 1;
+  r1 = y;
+  observe("r1", r1);
+}
+
+fn p2(tid) {
+  local r2 = 0;
+  y = 1;
+  r2 = x;
+  observe("r2", r2);
+}
+
+thread p1(0);
+thread p2(1);
+""",
+    sync_globals=frozenset(),
+    well_synchronized=False,  # the x/y accesses race
+    tso_breaks_unfenced=True,
+    notes="not legacy-DRF: pruning drops the w->r orderings; Pensieve keeps them",
+)
+
+
+BENIGN_RACES = LitmusTest(
+    name="benign-races",
+    description="The relaxation-solver shape of paper Fig. 1(b): "
+    "unsynchronized accesses by design; no acquires exist and no "
+    "orderings need enforcement.",
+    source="""
+global int x;
+global int y;
+
+fn p1(tid) {
+  local l1 = 0;
+  x = 7;
+  l1 = y;
+  observe("l1", l1);
+}
+
+fn p2(tid) {
+  local l2 = 0;
+  y = 9;
+  l2 = x;
+  observe("l2", l2);
+}
+
+thread p1(0);
+thread p2(1);
+""",
+    sync_globals=frozenset(),
+    well_synchronized=False,
+    tso_breaks_unfenced=True,
+    notes="identical shape to SB; included under the paper's Fig 1(b) framing",
+)
+
+
+LB = LitmusTest(
+    name="lb",
+    description="Load buffering: forbidden outcome (both threads read 1) "
+    "is impossible under both SC and TSO; a sanity check that the TSO "
+    "explorer does not over-relax.",
+    source="""
+global int x;
+global int y;
+
+fn p1(tid) {
+  local r1 = 0;
+  r1 = x;
+  y = 1;
+  observe("r1", r1);
+}
+
+fn p2(tid) {
+  local r2 = 0;
+  r2 = y;
+  x = 1;
+  observe("r2", r2);
+}
+
+thread p1(0);
+thread p2(1);
+""",
+    sync_globals=frozenset(),
+    well_synchronized=False,
+    tso_breaks_unfenced=False,  # TSO forbids r->w reordering
+    notes="TSO == SC outcome sets here",
+)
+
+
+MP_STALE = LitmusTest(
+    name="mp-stale",
+    description="MP without the spin loop: the consumer may read data "
+    "before the producer writes; well-synchronized it is not. Used to "
+    "exercise race detection under the intended-marking check.",
+    source="""
+global int flag;
+global int data;
+
+fn producer(tid) {
+  data = 1;
+  flag = 1;
+}
+
+fn consumer(tid) {
+  local r = 0;
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+""",
+    sync_globals=frozenset({"flag"}),
+    well_synchronized=False,
+    tso_breaks_unfenced=False,
+    notes="data race on data under any marking that keeps it a data access",
+)
+
+
+IRIW = LitmusTest(
+    name="iriw",
+    description="Independent reads of independent writes: two writers, "
+    "two readers observing them in opposite orders. x86-TSO is "
+    "multi-copy atomic, so TSO forbids the disagreement just like SC — "
+    "a sanity check that the TSO explorer's store buffers are local.",
+    source="""
+global int x;
+global int y;
+
+fn w1(tid) { x = 1; }
+fn w2(tid) { y = 1; }
+
+fn r1(tid) {
+  local a = 0;
+  local b = 0;
+  a = x;
+  b = y;
+  observe("a", a);
+  observe("b", b);
+}
+
+fn r2(tid) {
+  local c = 0;
+  local d = 0;
+  c = y;
+  d = x;
+  observe("c", c);
+  observe("d", d);
+}
+
+thread w1(0);
+thread w2(1);
+thread r1(2);
+thread r2(3);
+""",
+    sync_globals=frozenset(),
+    well_synchronized=False,
+    tso_breaks_unfenced=False,  # multi-copy atomicity: TSO == SC here
+    notes="4 threads; the classic non-MCA shape that TSO still forbids",
+)
+
+
+LITMUS_TESTS: dict[str, LitmusTest] = {
+    t.name: t
+    for t in (MP, MP_POINTERS, DEKKER, SB, BENIGN_RACES, LB, MP_STALE, IRIW)
+}
+
+
+def sync_marking_for(test: LitmusTest, program: Program):
+    """Trace-action predicate for the test's intended sync globals."""
+    from repro.memmodel.interpreter import GlobalLayout
+
+    layout = GlobalLayout(program)
+    ranges = []
+    for name in test.sync_globals:
+        base = layout.base[name]
+        ranges.append((base, base + program.globals[name].size))
+
+    def predicate(action) -> bool:
+        return any(lo <= action.addr < hi for lo, hi in ranges)
+
+    return predicate

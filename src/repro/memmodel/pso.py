@@ -1,0 +1,179 @@
+"""Exhaustive PSO (partial store order) operational model exploration.
+
+PSO relaxes TSO's ``w->w`` ordering: each thread keeps a FIFO store
+buffer *per address* (same-address stores stay ordered — coherence —
+but stores to different addresses drain in any order). Loads forward
+from the own per-address buffer; ``mfence`` and atomic RMWs require the
+entire buffer empty.
+
+This makes message passing (paper Fig. 4) genuinely break without
+fences: the flag store can drain before the data store. The pipeline
+driven by the PSO machine model must therefore fence the producer side
+(``w -> w_rel`` into the release), which the integration tests verify
+end to end — evidence that the Table-I orderings, not just the TSO
+``w->r`` subset, are doing their job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Program
+from repro.ir.instructions import FenceKind
+from repro.memmodel.interpreter import (
+    ExecutionError,
+    PendingAction,
+    ThreadExecutor,
+    ThreadState,
+)
+from repro.memmodel.sc import ExplorationResult, Outcome, make_outcome
+
+# Per-thread buffer: address -> FIFO of pending values (oldest first).
+PsoBuffer = tuple[tuple[int, tuple[int, ...]], ...]
+
+
+def _buffer_get(buffer: PsoBuffer, addr: int) -> tuple[int, ...]:
+    for entry_addr, values in buffer:
+        if entry_addr == addr:
+            return values
+    return ()
+
+
+def _buffer_set(buffer: PsoBuffer, addr: int, values: tuple[int, ...]) -> PsoBuffer:
+    rest = tuple((a, v) for a, v in buffer if a != addr)
+    if not values:
+        return rest
+    return tuple(sorted(rest + ((addr, values),)))
+
+
+def _buffer_empty(buffer: PsoBuffer) -> bool:
+    return not buffer
+
+
+class PSOExplorer:
+    """DFS over the PSO state graph (threads x per-address buffers)."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_states: int = 1_000_000,
+        max_steps_per_thread: int = 100_000,
+        observe_globals: Optional[list[str]] = None,
+    ) -> None:
+        self.program = program
+        self.executor = ThreadExecutor(program)
+        self.layout = self.executor.layout
+        self.max_states = max_states
+        self.max_steps = max_steps_per_thread
+        self.observe_globals = observe_globals
+
+    def _state_key(
+        self,
+        memory: dict[int, int],
+        threads: list[ThreadState],
+        buffers: list[PsoBuffer],
+    ) -> tuple:
+        return (
+            tuple(sorted(memory.items())),
+            tuple(ts.key() for ts in threads),
+            tuple(buffers),
+        )
+
+    def explore(self) -> ExplorationResult:
+        memory = self.layout.initial_memory()
+        threads = self.executor.start_all()
+        buffers: list[PsoBuffer] = [() for _ in threads]
+        outcomes: set[Outcome] = set()
+        visited: set[tuple] = set()
+        stack = [(memory, threads, buffers)]
+        states = 0
+        complete = True
+
+        while stack:
+            memory, threads, buffers = stack.pop()
+            key = self._state_key(memory, threads, buffers)
+            if key in visited:
+                continue
+            visited.add(key)
+            states += 1
+            if states > self.max_states:
+                complete = False
+                break
+
+            progressed = False
+
+            # (a) flush the oldest entry of ANY per-address queue: this
+            # is where PSO differs from TSO — each address drains
+            # independently, so differently-addressed stores reorder.
+            for i, buffer in enumerate(buffers):
+                for addr, values in buffer:
+                    new_memory = dict(memory)
+                    new_memory[addr] = values[0]
+                    new_buffers = list(buffers)
+                    new_buffers[i] = _buffer_set(buffer, addr, values[1:])
+                    stack.append(
+                        (new_memory, [t.clone() for t in threads], new_buffers)
+                    )
+                    progressed = True
+
+            # (b) thread steps.
+            for i, ts in enumerate(threads):
+                if ts.done:
+                    continue
+                new_threads = [t.clone() for t in threads]
+                new_memory = dict(memory)
+                new_buffers = list(buffers)
+                clone = new_threads[i]
+                pending = self.executor.next_action(clone, self.max_steps)
+                if pending is None:
+                    stack.append((new_memory, new_threads, new_buffers))
+                    progressed = True
+                    continue
+                if not self._apply(new_memory, new_buffers, i, clone, pending):
+                    continue
+                stack.append((new_memory, new_threads, new_buffers))
+                progressed = True
+
+            if not progressed:
+                if any(buffers):  # pragma: no cover - flushes always enabled
+                    raise ExecutionError("deadlock with non-empty buffer")
+                outcomes.add(
+                    make_outcome(self.layout, memory, threads, self.observe_globals)
+                )
+
+        return ExplorationResult(outcomes, states, complete)
+
+    def _apply(
+        self,
+        memory: dict[int, int],
+        buffers: list[PsoBuffer],
+        i: int,
+        ts: ThreadState,
+        pending: PendingAction,
+    ) -> bool:
+        buffer = buffers[i]
+        if pending.kind == "load":
+            values = _buffer_get(buffer, pending.addr)
+            value = values[-1] if values else memory.get(pending.addr, 0)
+            self.executor.commit(ts, pending, value)
+            return True
+        if pending.kind == "store":
+            values = _buffer_get(buffer, pending.addr)
+            buffers[i] = _buffer_set(buffer, pending.addr, values + (pending.value,))
+            self.executor.commit(ts, pending)
+            return True
+        if pending.kind == "rmw":
+            if not _buffer_empty(buffer):
+                return False
+            old = memory.get(pending.addr, 0)
+            result, new = pending.rmw_result(old)
+            if new is not None:
+                memory[pending.addr] = new
+            self.executor.commit(ts, pending, result)
+            return True
+        if pending.kind == "fence":
+            if pending.fence_kind is FenceKind.FULL and not _buffer_empty(buffer):
+                return False
+            self.executor.commit(ts, pending)
+            return True
+        raise ExecutionError(f"unknown action {pending.kind}")  # pragma: no cover

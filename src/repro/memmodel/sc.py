@@ -1,0 +1,273 @@
+"""Exhaustive sequentially-consistent execution exploration.
+
+Explores every interleaving of visible actions (with state-key
+memoization, so spin loops terminate) and collects the set of final
+outcomes. This defines the paper's reference behaviour: "the intended
+behavior of the program [is] the set of data read actions of any
+possible sequentially consistent execution" — exposed here through
+``observe`` results plus final global values.
+
+Also provides memoization-free bounded *trace* enumeration, which the
+happens-before/race machinery consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.ir.function import Program
+from repro.ir.instructions import Instruction
+from repro.memmodel.interpreter import (
+    ExecutionError,
+    GlobalLayout,
+    PendingAction,
+    ThreadExecutor,
+    ThreadState,
+)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """A final program outcome: observations plus (scalar) global values."""
+
+    observations: tuple[tuple[int, str, int], ...]  # (tid, label, value), sorted
+    final_globals: tuple[tuple[str, int], ...]  # sorted name/value pairs
+
+    def observation_dict(self) -> dict[str, int]:
+        return {f"{tid}:{label}": value for tid, label, value in self.observations}
+
+    def globals_dict(self) -> dict[str, int]:
+        return dict(self.final_globals)
+
+
+@dataclass
+class ExplorationResult:
+    outcomes: set[Outcome]
+    states_explored: int
+    complete: bool
+
+    def observation_sets(self) -> set[tuple[tuple[int, str, int], ...]]:
+        return {o.observations for o in self.outcomes}
+
+
+def make_outcome(
+    layout: GlobalLayout,
+    memory: dict[int, int],
+    threads: Iterable[ThreadState],
+    observe_globals: Optional[list[str]] = None,
+) -> Outcome:
+    observations = tuple(
+        sorted(
+            (ts.tid, label, value)
+            for ts in threads
+            for label, value in ts.observations
+        )
+    )
+    final = layout.final_globals(memory)
+    if observe_globals is not None:
+        final = {k: v for k, v in final.items() if k in observe_globals}
+    return Outcome(observations, tuple(sorted(final.items())))
+
+
+class SCExplorer:
+    """DFS over the SC state graph with memoization."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_states: int = 500_000,
+        max_steps_per_thread: int = 100_000,
+        observe_globals: Optional[list[str]] = None,
+    ) -> None:
+        self.program = program
+        self.executor = ThreadExecutor(program)
+        self.layout = self.executor.layout
+        self.max_states = max_states
+        self.max_steps = max_steps_per_thread
+        self.observe_globals = observe_globals
+
+    def _state_key(self, memory: dict[int, int], threads: list[ThreadState]) -> tuple:
+        return (
+            tuple(sorted(memory.items())),
+            tuple(ts.key() for ts in threads),
+        )
+
+    def explore(self) -> ExplorationResult:
+        memory = self.layout.initial_memory()
+        threads = self.executor.start_all()
+        outcomes: set[Outcome] = set()
+        visited: set[tuple] = set()
+        stack = [(memory, threads)]
+        states = 0
+        complete = True
+
+        while stack:
+            memory, threads = stack.pop()
+            key = self._state_key(memory, threads)
+            if key in visited:
+                continue
+            visited.add(key)
+            states += 1
+            if states > self.max_states:
+                complete = False
+                break
+
+            progressed = False
+            for i, ts in enumerate(threads):
+                if ts.done:
+                    continue
+                new_threads = [t.clone() for t in threads]
+                new_memory = dict(memory)
+                clone = new_threads[i]
+                pending = self.executor.next_action(clone, self.max_steps)
+                if pending is None:
+                    # Thread ran to completion with no more visible actions.
+                    stack.append((new_memory, new_threads))
+                    progressed = True
+                    continue
+                self._apply(new_memory, clone, pending)
+                stack.append((new_memory, new_threads))
+                progressed = True
+
+            if not progressed:
+                outcomes.add(
+                    make_outcome(self.layout, memory, threads, self.observe_globals)
+                )
+
+        return ExplorationResult(outcomes, states, complete)
+
+    def _apply(
+        self, memory: dict[int, int], ts: ThreadState, pending: PendingAction
+    ) -> None:
+        if pending.kind == "load":
+            self.executor.commit(ts, pending, memory.get(pending.addr, 0))
+        elif pending.kind == "store":
+            memory[pending.addr] = pending.value
+            self.executor.commit(ts, pending)
+        elif pending.kind == "rmw":
+            old = memory.get(pending.addr, 0)
+            result, new = pending.rmw_result(old)
+            if new is not None:
+                memory[pending.addr] = new
+            self.executor.commit(ts, pending, result)
+        elif pending.kind == "fence":
+            self.executor.commit(ts, pending)  # fences are no-ops under SC
+        else:  # pragma: no cover
+            raise ExecutionError(f"unknown action {pending.kind}")
+
+
+# --- bounded trace enumeration (no memoization) -----------------------------
+
+
+@dataclass(frozen=True)
+class TraceAction:
+    """One memory action in an execution trace."""
+
+    index: int
+    tid: int
+    is_write: bool
+    addr: int
+    value: int
+    inst: Instruction = field(hash=False, compare=False)
+
+
+@dataclass
+class Trace:
+    actions: list[TraceAction]
+    outcome: Outcome
+    complete: bool  # False if truncated by the depth bound
+
+
+def enumerate_sc_traces(
+    program: Program,
+    max_traces: int = 2_000,
+    max_actions: int = 200,
+    max_steps_per_thread: int = 100_000,
+    schedule_filter: Optional[Callable[[int], bool]] = None,
+) -> list[Trace]:
+    """Enumerate complete SC traces by DFS (no state merging).
+
+    Exponential in general — intended for litmus-scale programs. Each
+    RMW contributes a read action then a write action (atomically
+    adjacent), matching the paper's read-followed-by-write treatment.
+    """
+    executor = ThreadExecutor(program)
+    layout = executor.layout
+    traces: list[Trace] = []
+
+    def dfs(
+        memory: dict[int, int],
+        threads: list[ThreadState],
+        actions: list[TraceAction],
+    ) -> None:
+        if len(traces) >= max_traces:
+            return
+        progressed = False
+        for i, ts in enumerate(threads):
+            if ts.done:
+                continue
+            if schedule_filter is not None and not schedule_filter(i):
+                continue
+            new_threads = [t.clone() for t in threads]
+            new_memory = dict(memory)
+            clone = new_threads[i]
+            pending = executor.next_action(clone, max_steps_per_thread)
+            if pending is None:
+                dfs(new_memory, new_threads, actions)
+                progressed = True
+                continue
+            new_actions = list(actions)
+            if len(new_actions) >= max_actions:
+                traces.append(
+                    Trace(
+                        new_actions,
+                        make_outcome(layout, new_memory, new_threads),
+                        complete=False,
+                    )
+                )
+                return
+            index = len(new_actions)
+            if pending.kind == "load":
+                value = new_memory.get(pending.addr, 0)
+                new_actions.append(
+                    TraceAction(index, clone.tid, False, pending.addr, value, pending.inst)
+                )
+                executor.commit(clone, pending, value)
+            elif pending.kind == "store":
+                new_memory[pending.addr] = pending.value
+                new_actions.append(
+                    TraceAction(
+                        index, clone.tid, True, pending.addr, pending.value, pending.inst
+                    )
+                )
+                executor.commit(clone, pending)
+            elif pending.kind == "rmw":
+                old = new_memory.get(pending.addr, 0)
+                result, new = pending.rmw_result(old)
+                new_actions.append(
+                    TraceAction(index, clone.tid, False, pending.addr, old, pending.inst)
+                )
+                if new is not None:
+                    new_memory[pending.addr] = new
+                    new_actions.append(
+                        TraceAction(
+                            index + 1, clone.tid, True, pending.addr, new, pending.inst
+                        )
+                    )
+                executor.commit(clone, pending, result)
+            else:  # fence
+                executor.commit(clone, pending)
+            dfs(new_memory, new_threads, new_actions)
+            progressed = True
+        if not progressed and len(traces) < max_traces:
+            traces.append(
+                Trace(
+                    list(actions),
+                    make_outcome(layout, memory, threads),
+                    complete=True,
+                )
+            )
+
+    dfs(layout.initial_memory(), executor.start_all(), [])
+    return traces

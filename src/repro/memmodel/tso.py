@@ -1,0 +1,192 @@
+"""Exhaustive x86-TSO operational model exploration.
+
+Standard operational TSO: each thread owns a FIFO store buffer.
+
+* stores enqueue into the buffer;
+* loads forward from the newest matching buffer entry, else read memory;
+* buffer entries drain to memory nondeterministically, in FIFO order;
+* ``mfence`` and atomic RMWs (LOCK-prefixed on x86) execute only with
+  an empty buffer — RMWs then act directly and atomically on memory;
+* compiler directives have no hardware effect.
+
+The explorer enumerates every interleaving of thread steps and buffer
+flushes. Final outcomes (all threads done, all buffers drained) are
+comparable with :class:`repro.memmodel.sc.SCExplorer` outcomes — the
+reproduction's correctness criterion is exactly the paper's: a fence
+placement is good if the TSO outcome set of the fenced program equals
+the SC outcome set of the original for the data reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.function import Program
+from repro.ir.instructions import FenceKind
+from repro.memmodel.interpreter import (
+    ExecutionError,
+    PendingAction,
+    ThreadExecutor,
+    ThreadState,
+)
+from repro.memmodel.sc import ExplorationResult, Outcome, make_outcome
+
+Buffer = tuple[tuple[int, int], ...]  # FIFO of (addr, value); oldest first
+
+
+class TSOExplorer:
+    """DFS over the TSO state graph (threads x buffers x memory)."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_states: int = 1_000_000,
+        max_steps_per_thread: int = 100_000,
+        observe_globals: Optional[list[str]] = None,
+    ) -> None:
+        self.program = program
+        self.executor = ThreadExecutor(program)
+        self.layout = self.executor.layout
+        self.max_states = max_states
+        self.max_steps = max_steps_per_thread
+        self.observe_globals = observe_globals
+
+    def _state_key(
+        self,
+        memory: dict[int, int],
+        threads: list[ThreadState],
+        buffers: list[Buffer],
+    ) -> tuple:
+        return (
+            tuple(sorted(memory.items())),
+            tuple(ts.key() for ts in threads),
+            tuple(buffers),
+        )
+
+    @staticmethod
+    def _buffer_lookup(buffer: Buffer, addr: int) -> Optional[int]:
+        """Newest buffered value for ``addr``, if any (store forwarding)."""
+        for entry_addr, entry_value in reversed(buffer):
+            if entry_addr == addr:
+                return entry_value
+        return None
+
+    def explore(self) -> ExplorationResult:
+        memory = self.layout.initial_memory()
+        threads = self.executor.start_all()
+        buffers: list[Buffer] = [() for _ in threads]
+        outcomes: set[Outcome] = set()
+        visited: set[tuple] = set()
+        stack = [(memory, threads, buffers)]
+        states = 0
+        complete = True
+
+        while stack:
+            memory, threads, buffers = stack.pop()
+            key = self._state_key(memory, threads, buffers)
+            if key in visited:
+                continue
+            visited.add(key)
+            states += 1
+            if states > self.max_states:
+                complete = False
+                break
+
+            progressed = False
+
+            # (a) buffer flush transitions.
+            for i, buffer in enumerate(buffers):
+                if not buffer:
+                    continue
+                new_memory = dict(memory)
+                (addr, value), rest = buffer[0], buffer[1:]
+                new_memory[addr] = value
+                new_buffers = list(buffers)
+                new_buffers[i] = rest
+                stack.append(
+                    (new_memory, [t.clone() for t in threads], new_buffers)
+                )
+                progressed = True
+
+            # (b) thread step transitions.
+            for i, ts in enumerate(threads):
+                if ts.done:
+                    continue
+                new_threads = [t.clone() for t in threads]
+                new_memory = dict(memory)
+                new_buffers = list(buffers)
+                clone = new_threads[i]
+                pending = self.executor.next_action(clone, self.max_steps)
+                if pending is None:
+                    stack.append((new_memory, new_threads, new_buffers))
+                    progressed = True
+                    continue
+                if not self._apply(new_memory, new_buffers, i, clone, pending):
+                    continue  # blocked (fence/RMW with non-empty buffer)
+                stack.append((new_memory, new_threads, new_buffers))
+                progressed = True
+
+            if not progressed:
+                if any(buffers):  # pragma: no cover - flushes always enabled
+                    raise ExecutionError("deadlock with non-empty buffer")
+                outcomes.add(
+                    make_outcome(self.layout, memory, threads, self.observe_globals)
+                )
+
+        return ExplorationResult(outcomes, states, complete)
+
+    def _apply(
+        self,
+        memory: dict[int, int],
+        buffers: list[Buffer],
+        i: int,
+        ts: ThreadState,
+        pending: PendingAction,
+    ) -> bool:
+        """Perform a thread action; False if the action is blocked."""
+        buffer = buffers[i]
+        if pending.kind == "load":
+            value = self._buffer_lookup(buffer, pending.addr)
+            if value is None:
+                value = memory.get(pending.addr, 0)
+            self.executor.commit(ts, pending, value)
+            return True
+        if pending.kind == "store":
+            buffers[i] = buffer + ((pending.addr, pending.value),)
+            self.executor.commit(ts, pending)
+            return True
+        if pending.kind == "rmw":
+            if buffer:
+                return False  # LOCK-prefixed: drains the buffer first
+            old = memory.get(pending.addr, 0)
+            result, new = pending.rmw_result(old)
+            if new is not None:
+                memory[pending.addr] = new
+            self.executor.commit(ts, pending, result)
+            return True
+        if pending.kind == "fence":
+            if pending.fence_kind is FenceKind.FULL and buffer:
+                return False  # mfence waits for the buffer to drain
+            self.executor.commit(ts, pending)
+            return True
+        raise ExecutionError(f"unknown action {pending.kind}")  # pragma: no cover
+
+
+def tso_equals_sc_for_observations(
+    program_unfenced: Program,
+    program_fenced: Program,
+    max_states: int = 1_000_000,
+) -> tuple[bool, set, set]:
+    """Compare observation sets: SC of the original program vs TSO of
+    the fenced program (the paper's correctness criterion for data
+    reads). Returns (equal, sc_only, tso_only)."""
+    from repro.memmodel.sc import SCExplorer
+
+    sc = SCExplorer(program_unfenced, max_states=max_states).explore()
+    tso = TSOExplorer(program_fenced, max_states=max_states).explore()
+    if not (sc.complete and tso.complete):
+        raise ExecutionError("state-space bound hit; raise max_states")
+    sc_obs = sc.observation_sets()
+    tso_obs = tso.observation_sets()
+    return sc_obs == tso_obs, sc_obs - tso_obs, tso_obs - sc_obs

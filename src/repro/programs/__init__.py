@@ -1,0 +1,25 @@
+"""Evaluation workloads: Table II kernels and the 17 Section-5 programs."""
+
+from repro.programs.registry import (
+    BenchProgram,
+    all_programs,
+    get_program,
+    lockfree_programs,
+    splash2_programs,
+)
+from repro.programs.runtime import BARRIER_LIB, LOCK_LIB, RUNTIME_LIB, with_runtime
+from repro.programs.sync_kernels import SYNC_KERNELS, SyncKernel
+
+__all__ = [
+    "BARRIER_LIB",
+    "BenchProgram",
+    "LOCK_LIB",
+    "RUNTIME_LIB",
+    "SYNC_KERNELS",
+    "SyncKernel",
+    "all_programs",
+    "get_program",
+    "lockfree_programs",
+    "splash2_programs",
+    "with_runtime",
+]

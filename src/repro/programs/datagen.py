@@ -1,0 +1,234 @@
+"""Workload generator: compute kernels with a controlled read mix.
+
+The paper's Figs 7-9 are driven by the *static composition* of each
+benchmark: how many potentially-escaping reads exist, and what fraction
+feed branches (control acquires), feed addresses (address acquires), or
+feed pure arithmetic (neither). Real SPLASH-2 programs are dominated by
+data code with long runs of loads that never touch a branch; the models
+reproduce that by composing a hand-written synchronization scaffold
+with generated compute kernels of three flavours:
+
+* **stream** — ``out[i] = f(a[i], b[i], ...)`` with local loop indices:
+  these reads match *neither* signature (the bulk of real code);
+* **gather** — ``out[i] = table[key[i] % size]``: the ``key`` reads
+  feed address computations, so they are *address* acquires (visible
+  only to Address+Control), like index/permutation arrays in Radix or
+  neighbour lists in Water-Spatial;
+* **guarded** — ``if (mask[i] > c) {...}``: the ``mask`` reads feed a
+  branch, i.e. *control* acquires, like Raytrace's intersection tests.
+
+Every generated expression varies coefficients with the statement
+index, so kernels are formulaic but not copy-identical. Generated
+arrays are private to their kernel (never branched on elsewhere), so
+the backwards slicer's transitive pull cannot leak markings between
+kernels — each kernel contributes exactly its designed read mix.
+"""
+
+from __future__ import annotations
+
+
+def _loop(body_lines: list[str], bound: int, stride_threads: bool) -> list[str]:
+    """Wrap body lines in the standard strided worker loop."""
+    lines = ["  local i = 0;", "  local t0 = 0;"]
+    if stride_threads:
+        lines.append("  i = tid;")
+        step = "4"
+    else:
+        lines.append("  i = 0;")
+        step = "1"
+    lines.append(f"  while (i < {bound}) {{")
+    lines.extend("    " + line for line in body_lines)
+    lines.append(f"    i = i + {step};")
+    lines.append("  }")
+    return lines
+
+
+def stream_kernel(
+    fn_name: str,
+    prefix: str,
+    reads: int,
+    size: int = 32,
+    stride_threads: bool = True,
+) -> tuple[str, str]:
+    """A streaming kernel with ``reads`` static array loads feeding
+    arithmetic only. Returns (global decls, function source)."""
+    if reads < 1:
+        raise ValueError("reads must be >= 1")
+    n_arrays = max(2, min(4, (reads + 3) // 4))
+    arrays = [f"{prefix}_s{k}" for k in range(n_arrays)]
+    decls = "\n".join(f"global int {a}[{size}];" for a in arrays)
+    decls += f"\nglobal int {prefix}_sout[{size}];"
+
+    body: list[str] = ["t0 = 0;"]
+    emitted = 0
+    stmt = 0
+    while emitted < reads:
+        take = min(reads - emitted, 3)
+        terms = []
+        for k in range(take):
+            arr = arrays[(stmt + k) % n_arrays]
+            coeff = 2 + (stmt * 3 + k) % 5
+            off = (stmt + k) % 2
+            if off:
+                terms.append(f"{arr}[(i + 1) % {size}] * {coeff}")
+            else:
+                terms.append(f"{arr}[i] * {coeff}")
+            emitted += 1
+        body.append(f"t0 = t0 + {' + '.join(terms)};")
+        stmt += 1
+    body.append(f"{prefix}_sout[i] = t0 - t0 / 3;")
+
+    lines = [f"fn {fn_name}(tid) {{"]
+    lines += _loop(body, size, stride_threads)
+    lines.append("}")
+    return decls, "\n".join(lines)
+
+
+def gather_kernel(
+    fn_name: str,
+    prefix: str,
+    index_reads: int,
+    scatter_reads: int = 0,
+    size: int = 32,
+    stride_threads: bool = True,
+) -> tuple[str, str]:
+    """A gather/scatter kernel.
+
+    ``index_reads`` loads of index arrays feed the address of a table
+    *read* (each adds one unmarked table read alongside the marked
+    index read); ``scatter_reads`` feed the address of a table *write*
+    (marked index read, no companion read) — the permutation-store
+    pattern of Radix. Together they set the address-acquire fraction.
+    """
+    if index_reads < 1 and scatter_reads < 1:
+        raise ValueError("need at least one gather or scatter read")
+    n_keys = max(1, min(3, (max(index_reads, scatter_reads) + 3) // 4))
+    keys = [f"{prefix}_k{k}" for k in range(n_keys)]
+    decls = "\n".join(f"global int {a}[{size}];" for a in keys)
+    decls += f"\nglobal int {prefix}_tab[{size}];"
+    decls += f"\nglobal int {prefix}_gout[{size}];"
+
+    body: list[str] = ["t0 = 0;"]
+    emitted = 0
+    stmt = 0
+    while emitted < index_reads:
+        take = min(index_reads - emitted, 2)
+        terms = []
+        for k in range(take):
+            key = keys[(stmt + k) % n_keys]
+            shift = (stmt * 2 + k) % 3
+            terms.append(f"{prefix}_tab[({key}[(i + {shift}) % {size}] + {k}) % {size}]")
+            emitted += 1
+        body.append(f"t0 = t0 + {' + '.join(terms)};")
+        stmt += 1
+    for s in range(scatter_reads):
+        key = keys[s % n_keys]
+        shift = s % 5
+        body.append(
+            f"{prefix}_gout[({key}[(i + {shift}) % {size}] + {s}) % {size}] = t0 + {s};"
+        )
+    body.append(f"{prefix}_gout[i % {size}] = t0 + i;")
+
+    lines = [f"fn {fn_name}(tid) {{"]
+    lines += _loop(body, size, stride_threads)
+    lines.append("}")
+    return decls, "\n".join(lines)
+
+
+def guarded_kernel(
+    fn_name: str,
+    prefix: str,
+    guard_reads: int,
+    size: int = 32,
+    stride_threads: bool = True,
+) -> tuple[str, str]:
+    """A branch-heavy kernel: ``guard_reads`` static loads feed
+    comparisons (control acquires), as in intersection/visibility
+    tests."""
+    if guard_reads < 1:
+        raise ValueError("guard_reads must be >= 1")
+    n_masks = max(1, min(3, (guard_reads + 3) // 4))
+    masks = [f"{prefix}_m{k}" for k in range(n_masks)]
+    decls = "\n".join(f"global int {a}[{size}];" for a in masks)
+    decls += f"\nglobal int {prefix}_hout[{size}];"
+
+    body: list[str] = ["t0 = 0;"]
+    for stmt in range(guard_reads):
+        mask = masks[stmt % n_masks]
+        threshold = (stmt * 7) % 11
+        shift = stmt % 3
+        body.append(
+            f"if ({mask}[(i + {shift}) % {size}] > {threshold}) {{ t0 = t0 + {stmt + 1}; }}"
+        )
+    body.append(f"{prefix}_hout[i] = t0;")
+
+    lines = [f"fn {fn_name}(tid) {{"]
+    lines += _loop(body, size, stride_threads)
+    lines.append("}")
+    return decls, "\n".join(lines)
+
+
+def init_kernel(
+    fn_name: str,
+    prefix: str,
+    arrays: list[str],
+    size: int = 32,
+) -> str:
+    """Thread-0 initialization of generated arrays (pure stores)."""
+    body = []
+    for k, arr in enumerate(arrays):
+        body.append(f"{arr}[i] = (i * {3 + 2 * k} + {k + 1}) % {17 + k};")
+    lines = [f"fn {fn_name}(tid) {{", "  local i = 0;", "  if (tid == 0) {",
+             f"    while (i < {size}) {{"]
+    lines.extend("      " + line for line in body)
+    lines.append("      i = i + 1;")
+    lines.append("    }")
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def compute_section(
+    prefix: str,
+    stream_reads: int = 0,
+    gather_reads: int = 0,
+    scatter_reads: int = 0,
+    guard_reads: int = 0,
+    size: int = 32,
+) -> tuple[str, str, list[str]]:
+    """Assemble a full generated section for one benchmark.
+
+    Returns ``(decls, functions_source, phase_call_names)`` — the
+    caller embeds the decls and functions into its source and calls the
+    phase functions (plus ``{prefix}_init``) from its worker.
+    """
+    decls_parts: list[str] = []
+    fn_parts: list[str] = []
+    calls: list[str] = []
+    init_arrays: list[str] = []
+
+    if stream_reads:
+        d, f = stream_kernel(f"{prefix}_stream", prefix, stream_reads, size)
+        decls_parts.append(d)
+        fn_parts.append(f)
+        calls.append(f"{prefix}_stream")
+        init_arrays += [f"{prefix}_s{k}" for k in range(max(2, min(4, (stream_reads + 3) // 4)))]
+    if gather_reads or scatter_reads:
+        d, f = gather_kernel(
+            f"{prefix}_gather", prefix, gather_reads, scatter_reads, size
+        )
+        decls_parts.append(d)
+        fn_parts.append(f)
+        calls.append(f"{prefix}_gather")
+        n_keys = max(1, min(3, (max(gather_reads, scatter_reads) + 3) // 4))
+        init_arrays += [f"{prefix}_k{k}" for k in range(n_keys)]
+        init_arrays.append(f"{prefix}_tab")
+    if guard_reads:
+        d, f = guarded_kernel(f"{prefix}_guard", prefix, guard_reads, size)
+        decls_parts.append(d)
+        fn_parts.append(f)
+        calls.append(f"{prefix}_guard")
+        init_arrays += [f"{prefix}_m{k}" for k in range(max(1, min(3, (guard_reads + 3) // 4)))]
+
+    fn_parts.append(init_kernel(f"{prefix}_init", prefix, init_arrays, size))
+    return "\n".join(decls_parts), "\n\n".join(fn_parts), calls

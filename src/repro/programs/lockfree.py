@@ -1,0 +1,460 @@
+"""The lock-free programs of the paper's Table III.
+
+* **Canneal** — cache-aware simulated annealing (from PARSEC): element
+  locations swapped with atomic exchanges; the original ships explicit
+  fences for a variety of architectures (10 of them, Section 5.3).
+* **Matrix** — parallel matrix multiply with work distribution over a
+  Michael & Scott lock-free queue. The paper's best case: Pensieve's
+  unpruned ``w->r`` orderings put an mfence into the multiply inner
+  loop (5.84x), while Control prunes them all (2.64x speedup).
+* **SpanningTree** — parallel spanning tree over a work-stealing queue
+  (Bader & Cong): per-thread deques with CAS steals and CAS node
+  claims; 5 expert fences.
+
+These programs use user-defined synchronization exclusively (paper
+Section 5), so they are the ones where acquire detection matters most.
+"""
+
+from __future__ import annotations
+
+from repro.programs.datagen import compute_section
+from repro.programs.registry import BenchProgram
+
+_CNX_DECLS, _CNX_FNS, _ = compute_section(
+    "cnx", stream_reads=24, gather_reads=9, scatter_reads=27, guard_reads=4
+)
+
+CANNEAL = BenchProgram(
+    name="canneal",
+    suite="lockfree",
+    description="Simulated annealing over a netlist: lock-free element "
+    "swaps via xchg marking, cost deltas from neighbour locations, a "
+    "temperature loop, and a done-flag handshake (10 expert fences).",
+    manual_fences_paper=10,
+    source=_CNX_DECLS
+    + "\n"
+    + _CNX_FNS
+    + """
+// Element e sits at location cn_loc[e]; -1 marks an in-flight swap.
+global int cn_loc[16] = {0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15};
+global int cn_neigh[32] = {1,15,2,14,3,13,4,12,5,11,6,10,7,9,8,8,
+                           9,7,10,6,11,5,12,4,13,3,14,2,15,1,0,0};
+global int cn_accepted;
+global int cn_done[4];
+global int cn_started[4];
+
+fn cn_cost(e) {
+  local n1 = 0;
+  local n2 = 0;
+  local l = 0;
+  local c = 0;
+  l = cn_loc[e];
+  if (l < 0) {
+    return 1000;
+  }
+  n1 = cn_loc[cn_neigh[e * 2]];
+  n2 = cn_loc[cn_neigh[e * 2 + 1]];
+  if (n1 >= 0) {
+    c = c + (l - n1) * (l - n1);
+  }
+  if (n2 >= 0) {
+    c = c + (l - n2) * (l - n2);
+  }
+  return c;
+}
+
+fn cn_try_swap(ea, eb) {
+  local la = 0;
+  local lb = 0;
+  local before = 0;
+  local after = 0;
+  fence;  // prior iteration's location writes drain before costing
+  before = cn_cost(ea) + cn_cost(eb);
+  la = xchg(&cn_loc[ea], -1);
+  if (la < 0) {
+    return 0;
+  }
+  fence;
+  lb = xchg(&cn_loc[eb], -1);
+  if (lb < 0) {
+    cn_loc[ea] = la;
+    fence;
+    return 0;
+  }
+  cn_loc[ea] = lb;
+  fence;
+  cn_loc[eb] = la;
+  fence;
+  after = cn_cost(ea) + cn_cost(eb);
+  if (after > before + 8) {
+    // Reject: swap back.
+    la = xchg(&cn_loc[ea], -1);
+    fence;
+    lb = xchg(&cn_loc[eb], -1);
+    cn_loc[ea] = lb;
+    fence;
+    cn_loc[eb] = la;
+    fence;
+    return 0;
+  }
+  return 1;
+}
+
+fn cn_worker(tid) {
+  local temp = 0;
+  local i = 0;
+  local a = 0;
+  local b = 0;
+  local seed = 0;
+  local ok = 0;
+  local t = 0;
+  cnx_init(tid);
+  cn_started[tid] = 1;
+  fence;
+  t = 0;
+  while (t < 4) {
+    while (cn_started[t] == 0) { }
+    t = t + 1;
+  }
+  seed = tid * 7 + 3;
+  temp = 3;
+  while (temp > 0) {
+    i = 0;
+    while (i < 6) {
+      seed = (seed * 1103515245 + 12345) % 65536;
+      a = seed % 16;
+      b = (seed / 16) % 16;
+      if (a != b) {
+        ok = cn_try_swap(a, b);
+        cn_accepted = cn_accepted + ok;
+      }
+      i = i + 1;
+    }
+    temp = temp - 1;
+  }
+  cnx_stream(tid);
+  cnx_gather(tid);
+  cnx_guard(tid);
+  cn_done[tid] = 1;
+  fence;
+  t = 0;
+  while (t < 4) {
+    while (cn_done[t] == 0) { }
+    t = t + 1;
+  }
+}
+
+thread cn_worker(0);
+thread cn_worker(1);
+thread cn_worker(2);
+thread cn_worker(3);
+""",
+)
+
+
+_MXX_DECLS, _MXX_FNS, _ = compute_section(
+    "mxx", stream_reads=31, gather_reads=8, scatter_reads=25, guard_reads=4
+)
+
+MATRIX = BenchProgram(
+    name="matrix",
+    suite="lockfree",
+    description="Matrix multiply with row tasks distributed through a "
+    "Michael & Scott lock-free queue; the dense inner loops are where "
+    "Pensieve's unpruned w->r orderings hurt (paper: 5.84x).",
+    manual_fences_paper=6,
+    source=_MXX_DECLS
+    + "\n"
+    + _MXX_FNS
+    + """
+global int mx_a[64];
+global int mx_b[64];
+global int mx_c[64];
+// MS queue node pool: pool[2i] = value, pool[2i+1] = next.
+global int mx_pool[40];
+global int mx_alloc;
+global int mx_head = &mx_pool;
+global int mx_tail = &mx_pool;
+global int mx_feeding_done;
+global int mx_rows_done;
+
+fn mx_enqueue(v) {
+  local idx = 0;
+  local node = 0;
+  local tail = 0;
+  local next = 0;
+  local won = 0;
+  idx = fadd(&mx_alloc, 1);
+  node = &mx_pool[2 * (idx + 1)];
+  *node = v;
+  *(node + 1) = 0;
+  fence;
+  won = 0;
+  while (won == 0) {
+    tail = mx_tail;
+    next = *(tail + 1);
+    if (tail == mx_tail) {
+      if (next == 0) {
+        if (cas(tail + 1, 0, node) == 0) {
+          won = 1;
+          cas(&mx_tail, tail, node);
+        }
+      } else {
+        cas(&mx_tail, tail, next);
+      }
+    }
+  }
+}
+
+fn mx_dequeue(tid) {
+  local head = 0;
+  local tail = 0;
+  local next = 0;
+  local value = 0;
+  local got = 0;
+  local trying = 1;
+  while (trying == 1) {
+    head = mx_head;
+    tail = mx_tail;
+    fence;
+    next = *(head + 1);
+    if (head == mx_head) {
+      if (head == tail) {
+        if (next == 0) {
+          trying = 0;  // empty
+        } else {
+          cas(&mx_tail, tail, next);
+        }
+      } else {
+        value = *next;
+        if (cas(&mx_head, head, next) == head) {
+          got = value;
+          trying = 0;
+        }
+      }
+    }
+  }
+  return got;
+}
+
+fn mx_multiply_row(row) {
+  local col = 0;
+  local k = 0;
+  local round = 0;
+  round = 0;
+  while (round < 6) {
+    col = 0;
+    while (col < 8) {
+      mx_c[row * 8 + col] = 0;
+      k = 0;
+      while (k < 8) {
+        // Legacy-style accumulation directly into the output cell: the
+        // store-then-load per k iteration is the w->r pattern that makes
+        // Pensieve fence the inner loop (the paper's 5.84x extreme).
+        mx_c[row * 8 + col] = mx_c[row * 8 + col]
+                              + mx_a[row * 8 + k] * mx_b[k * 8 + col];
+        k = k + 1;
+      }
+      col = col + 1;
+    }
+    round = round + 1;
+  }
+  fence;  // publish the finished row before bumping the done count
+  fadd(&mx_rows_done, 1);
+}
+
+fn mx_worker(tid) {
+  local row = 0;
+  local i = 0;
+  local spinning = 1;
+  mxx_init(tid);
+  if (tid == 0) {
+    // The feeder initializes both operands before enqueuing any task,
+    // so workers see A and B through the queue's happens-before.
+    i = 0;
+    while (i < 64) {
+      mx_a[i] = (i * 3 + 1) % 9;
+      mx_b[i] = (i * 5 + 2) % 7;
+      i = i + 1;
+    }
+    fence;
+    row = 1;
+    while (row <= 8) {
+      mx_enqueue(row);  // rows 1..8 (0 flags "empty")
+      row = row + 1;
+    }
+    mx_feeding_done = 1;
+    fence;
+  }
+  while (spinning == 1) {
+    row = mx_dequeue(tid);
+    if (row == 0) {
+      fence;
+      if (mx_feeding_done == 1) {
+        if (mx_rows_done == 8) {
+          spinning = 0;
+        }
+      }
+    } else {
+      mx_multiply_row(row - 1);
+    }
+  }
+  mxx_stream(tid);
+  mxx_gather(tid);
+  mxx_guard(tid);
+}
+
+thread mx_worker(0);
+thread mx_worker(1);
+thread mx_worker(2);
+thread mx_worker(3);
+""",
+)
+
+
+_STX_DECLS, _STX_FNS, _ = compute_section(
+    "stx", stream_reads=17, gather_reads=8, scatter_reads=23, guard_reads=9
+)
+
+SPANNING_TREE = BenchProgram(
+    name="spanningtree",
+    suite="lockfree",
+    description="Parallel spanning tree (Bader & Cong): per-thread "
+    "work-stealing deques of frontier nodes, CAS colour claims, parent "
+    "writes; 5 expert fences (the Chase-Lev take/steal StoreLoads plus "
+    "the termination handshake).",
+    manual_fences_paper=5,
+    source=_STX_DECLS
+    + "\n"
+    + _STX_FNS
+    + """
+// 4x4 grid graph, 4 neighbours per node (-1 = none).
+global int st_adj[64] = {
+  1, 4,-1,-1,  0, 2, 5,-1,  1, 3, 6,-1,  2, 7,-1,-1,
+  0, 5, 8,-1,  1, 4, 6, 9,  2, 5, 7,10,  3, 6,11,-1,
+  4, 9,12,-1,  5, 8,10,13,  6, 9,11,14,  7,10,15,-1,
+  8,13,-1,-1,  9,12,14,-1, 10,13,15,-1, 11,14,-1,-1
+};
+global int st_color[16];
+global int st_parent[16];
+global int st_claimed;
+// Per-thread deques: 16 slots each; top/bottom per thread.
+global int st_deque[64];
+global int st_top[4];
+global int st_bottom[4];
+
+fn st_push(tid, node) {
+  local b = 0;
+  b = st_bottom[tid];
+  st_deque[tid * 16 + b % 16] = node + 1;
+  fence;
+  st_bottom[tid] = b + 1;
+}
+
+fn st_take(tid) {
+  local b = 0;
+  local t = 0;
+  local task = 0;
+  b = st_bottom[tid];
+  b = b - 1;
+  st_bottom[tid] = b;
+  fence;
+  t = st_top[tid];
+  if (t <= b) {
+    task = st_deque[tid * 16 + b % 16];
+    if (t == b) {
+      if (cas(&st_top[tid], t, t + 1) != t) {
+        task = 0;
+      }
+      st_bottom[tid] = b + 1;
+    }
+  } else {
+    st_bottom[tid] = b + 1;
+  }
+  return task;
+}
+
+fn st_steal(tid, victim) {
+  local t = 0;
+  local b = 0;
+  local task = 0;
+  t = st_top[victim];
+  fence;
+  b = st_bottom[victim];
+  if (t < b) {
+    task = st_deque[victim * 16 + t % 16];
+    if (cas(&st_top[victim], t, t + 1) != t) {
+      task = 0;
+    }
+  }
+  return task;
+}
+
+fn st_visit(tid, node) {
+  local k = 0;
+  local n = 0;
+  k = 0;
+  while (k < 4) {
+    n = st_adj[node * 4 + k];
+    if (n >= 0) {
+      if (cas(&st_color[n], 0, 1) == 0) {
+        st_parent[n] = node + 1;
+        fadd(&st_claimed, 1);
+        st_push(tid, n);
+      }
+    }
+    k = k + 1;
+  }
+}
+
+fn st_worker(tid) {
+  local task = 0;
+  local victim = 0;
+  local idle = 0;
+  stx_init(tid);
+  if (tid == 0) {
+    if (cas(&st_color[0], 0, 1) == 0) {
+      st_parent[0] = 100;  // root marker
+      fadd(&st_claimed, 1);
+      st_push(0, 0);
+    }
+  }
+  fence;
+  idle = 0;
+  while (idle == 0) {
+    task = st_take(tid);
+    if (task != 0) {
+      st_visit(tid, task - 1);
+    } else {
+      victim = 0;
+      task = 0;
+      while (victim < 4 && task == 0) {
+        if (victim != tid) {
+          task = st_steal(tid, victim);
+        }
+        victim = victim + 1;
+      }
+      if (task != 0) {
+        st_visit(tid, task - 1);
+      } else {
+        fence;  // own deque restores must drain before the global check
+        if (st_claimed == 16) {
+          idle = 1;
+        }
+      }
+    }
+  }
+  stx_stream(tid);
+  stx_gather(tid);
+  stx_guard(tid);
+}
+
+thread st_worker(0);
+thread st_worker(1);
+thread st_worker(2);
+thread st_worker(3);
+""",
+)
+
+
+LOCKFREE_PROGRAMS = (CANNEAL, MATRIX, SPANNING_TREE)

@@ -1,0 +1,104 @@
+"""The benchmark-program registry (the paper's Section 5 workloads).
+
+17 programs: 14 SPLASH-2 models plus the three lock-free programs of
+Table III (Canneal, Matrix, SpanningTree). Each entry knows its source,
+its suite, and the paper's manual-fence count where one was reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.frontend import compile_source
+from repro.ir.function import Program
+
+
+@dataclass(frozen=True)
+class BenchProgram:
+    """One evaluation workload."""
+
+    name: str
+    suite: str  # "splash2" | "lockfree"
+    description: str
+    source: str
+    manual_fences_paper: int = 0  # Section 5.3's expert counts (0 = library-sync'd)
+
+    def compile(self, manual_fences: bool = False) -> Program:
+        """Fresh IR for this program; ``manual_fences`` keeps the expert
+        ``fence;`` placements (the Fig. 10 baseline)."""
+        return compile_source(
+            self.source, self.name, include_manual_fences=manual_fences
+        )
+
+    @property
+    def manual_fence_count(self) -> int:
+        """Static full fences in this model's expert placement."""
+        return sum(
+            1 for f in self.compile(manual_fences=True).fences()
+            if f.kind.value == "full"
+        )
+
+
+@lru_cache(maxsize=1)
+def _load() -> dict[str, BenchProgram]:
+    # Imported lazily: the part modules import BenchProgram from here.
+    from repro.programs.lockfree import LOCKFREE_PROGRAMS
+    from repro.programs.splash2_part1 import (
+        BARNES,
+        CHOLESKY,
+        FFT,
+        FMM,
+        LU_CON,
+        LU_NONCON,
+        OCEAN_CON,
+    )
+    from repro.programs.splash2_part2 import (
+        OCEAN_NONCON,
+        RADIOSITY,
+        RADIX,
+        RAYTRACE,
+        VOLREND,
+        WATER_NSQUARED,
+        WATER_SPATIAL,
+    )
+
+    ordered = [
+        BARNES,
+        CHOLESKY,
+        FFT,
+        FMM,
+        LU_CON,
+        LU_NONCON,
+        OCEAN_CON,
+        OCEAN_NONCON,
+        RADIOSITY,
+        RADIX,
+        RAYTRACE,
+        VOLREND,
+        WATER_NSQUARED,
+        WATER_SPATIAL,
+    ] + list(LOCKFREE_PROGRAMS)
+    return {p.name: p for p in ordered}
+
+
+def all_programs() -> dict[str, BenchProgram]:
+    """Every registered workload, in the paper's figure order."""
+    return dict(_load())
+
+
+def get_program(name: str) -> BenchProgram:
+    try:
+        return _load()[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; known: {', '.join(_load())}"
+        ) from None
+
+
+def splash2_programs() -> dict[str, BenchProgram]:
+    return {k: v for k, v in _load().items() if v.suite == "splash2"}
+
+
+def lockfree_programs() -> dict[str, BenchProgram]:
+    return {k: v for k, v in _load().items() if v.suite == "lockfree"}

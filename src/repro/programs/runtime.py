@@ -1,0 +1,59 @@
+"""Shared mini-C runtime: spin lock and sense-reversing barrier.
+
+The SPLASH-2 models synchronize mostly "by library calls to locks and
+barriers" (paper Section 5.3); these are those library kernels. They
+are concatenated into each model's source, so the analysis sees them as
+ordinary functions — exactly as Pensieve sees pthread-free user-level
+synchronization.
+
+The lock is a CAS test-and-set with a test-and-test-and-set spin; the
+barrier is a global-sense sense-reversing barrier over a fetch-and-add
+counter. Both expose textbook control acquires (the spin conditions).
+"""
+
+LOCK_LIB = """
+fn lock_acquire(l) {
+  local old = 1;
+  old = cas(l, 0, 1);
+  while (old != 0) {
+    while (*l != 0) { }
+    old = cas(l, 0, 1);
+  }
+}
+
+fn lock_release(l) {
+  *l = 0;
+}
+"""
+
+# Callers pass the thread count; the last arrival resets and flips sense.
+BARRIER_LIB = """
+global int _bar_count;
+global int _bar_sense;
+
+fn barrier_wait(n) {
+  local my = 0;
+  local arrived = 0;
+  my = _bar_sense;
+  arrived = fadd(&_bar_count, 1);
+  if (arrived == n - 1) {
+    _bar_count = 0;
+    _bar_sense = 1 - my;
+  } else {
+    while (_bar_sense == my) { }
+  }
+}
+"""
+
+RUNTIME_LIB = LOCK_LIB + BARRIER_LIB
+
+
+def with_runtime(source: str, lock: bool = True, barrier: bool = True) -> str:
+    """Prepend the requested runtime kernels to a program source."""
+    parts = []
+    if lock:
+        parts.append(LOCK_LIB)
+    if barrier:
+        parts.append(BARRIER_LIB)
+    parts.append(source)
+    return "\n".join(parts)

@@ -1,0 +1,655 @@
+"""SPLASH-2 models, part 1: Barnes, Cholesky, FFT, FMM, LU (x2), Ocean-con.
+
+Each model composes two parts:
+
+* a hand-written **synchronization scaffold** reproducing the original
+  benchmark's sync structure (locks, barriers, ad-hoc flags, task
+  counters) and its characteristic shared-data guards (tree-walk null
+  checks in Barnes, column-bound loads in Cholesky, ...);
+* a generated **compute section** (:mod:`repro.programs.datagen`)
+  reproducing the benchmark's static read mix — the ratio of plain
+  streaming reads to index-gather reads to branch-guarded reads that
+  drives Figs 7-9 per program.
+
+All models use 4 worker threads (the paper used 64; thread count does
+not change the static analysis, and 4 keeps the timed simulator fast).
+``fence;`` statements mark the expert manual placement of Section 5.3
+and are stripped unless the manual variant is compiled.
+"""
+
+from __future__ import annotations
+
+from repro.programs.datagen import compute_section
+from repro.programs.registry import BenchProgram
+from repro.programs.runtime import RUNTIME_LIB
+
+NTHREADS = 4
+
+
+_BH_DECLS, _BH_FNS, _ = compute_section(
+    "bhx", stream_reads=17, gather_reads=10, scatter_reads=33, guard_reads=6
+)
+
+BARNES = BenchProgram(
+    name="barnes",
+    suite="splash2",
+    description="Barnes-Hut N-body: locked tree build, pointer-chasing "
+    "force walk (null checks + child dereferences), barriered phases, "
+    "and a cell-interaction compute section with heavy index gathers.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _BH_DECLS
+    + "\n"
+    + _BH_FNS
+    + """
+
+// 16 tree cells x 4 children; child entries are cell indices + 1 (0 = empty).
+global int bh_child[64];
+global int bh_mass[16];
+global int bh_lock[16];
+global int bh_cells = 1;
+global int bh_body_x[32];
+global int bh_body_acc[32];
+global int bh_done;
+
+fn bh_insert(tid, body) {
+  local cell = 0;
+  local slot = 0;
+  local kid = 0;
+  local placed = 0;
+  slot = body % 4;
+  while (placed == 0) {
+    lock_acquire(&bh_lock[cell]);
+    kid = bh_child[cell * 4 + slot];
+    if (kid == 0) {
+      bh_child[cell * 4 + slot] = body + 100;
+      bh_mass[cell] = bh_mass[cell] + bh_body_x[body];
+      lock_release(&bh_lock[cell]);
+      placed = 1;
+    } else {
+      if (kid < 100 && kid < 16) {
+        lock_release(&bh_lock[cell]);
+        cell = kid;
+        slot = (body + cell) % 4;
+      } else {
+        kid = fadd(&bh_cells, 1);
+        if (kid < 16) {
+          bh_child[cell * 4 + slot] = kid;
+          lock_release(&bh_lock[cell]);
+          cell = kid;
+          slot = (body + cell) % 4;
+        } else {
+          bh_child[cell * 4 + slot] = body + 100;
+          lock_release(&bh_lock[cell]);
+          placed = 1;
+        }
+      }
+    }
+  }
+}
+
+fn bh_force(tid, body) {
+  local acc = 0;
+  local cell = 0;
+  local slot = 0;
+  local kid = 0;
+  local depth = 0;
+  cell = 0;
+  depth = 0;
+  while (depth < 8) {
+    slot = (body + depth) % 4;
+    kid = bh_child[cell * 4 + slot];
+    if (kid == 0) {
+      depth = 8;
+    } else {
+      if (kid >= 100) {
+        acc = acc + bh_body_x[kid - 100];
+        depth = 8;
+      } else {
+        acc = acc + bh_mass[kid];
+        cell = kid;
+        depth = depth + 1;
+      }
+    }
+  }
+  bh_body_acc[body] = acc;
+}
+
+fn bh_worker(tid) {
+  local i = 0;
+  local b = 0;
+  i = 0;
+  while (i < 8) {
+    b = tid * 8 + i;
+    bh_body_x[b] = b * 3 + 1;
+    i = i + 1;
+  }
+  bhx_init(tid);
+  barrier_wait(4);
+  i = 0;
+  while (i < 8) {
+    bh_insert(tid, tid * 8 + i);
+    i = i + 1;
+  }
+  barrier_wait(4);
+  i = 0;
+  while (i < 8) {
+    bh_force(tid, tid * 8 + i);
+    i = i + 1;
+  }
+  bhx_stream(tid);
+  bhx_gather(tid);
+  bhx_guard(tid);
+  barrier_wait(4);
+  fadd(&bh_done, 1);
+}
+
+thread bh_worker(0);
+thread bh_worker(1);
+thread bh_worker(2);
+thread bh_worker(3);
+""",
+)
+
+
+_CH_DECLS, _CH_FNS, _ = compute_section(
+    "chx", stream_reads=23, gather_reads=9, scatter_reads=24, guard_reads=9
+)
+
+CHOLESKY = BenchProgram(
+    name="cholesky",
+    suite="splash2",
+    description="Sparse Cholesky: fadd task counter over supernodes, "
+    "per-column locks, loads of the column-structure table feeding loop "
+    "bounds, plus a supernodal update compute section.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _CH_DECLS
+    + "\n"
+    + _CH_FNS
+    + """
+
+global int ch_ncols = 12;
+global int ch_colptr[13] = {0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30, 33, 36};
+global int ch_values[36];
+global int ch_collock[12];
+global int ch_task;
+global int ch_done[12];
+
+fn ch_factor_col(tid, col) {
+  local p = 0;
+  local q = 0;
+  local j = 0;
+  local pivot = 0;
+  p = ch_colptr[col];
+  q = ch_colptr[col + 1];
+  pivot = ch_values[p] + 1;
+  j = p;
+  while (j < q) {
+    ch_values[j] = ch_values[j] * 2 + pivot;
+    j = j + 1;
+  }
+  if (col + 1 < ch_ncols) {
+    lock_acquire(&ch_collock[col + 1]);
+    p = ch_colptr[col + 1];
+    ch_values[p] = ch_values[p] + pivot;
+    lock_release(&ch_collock[col + 1]);
+  }
+  ch_done[col] = 1;
+}
+
+fn ch_worker(tid) {
+  local col = 0;
+  chx_init(tid);
+  barrier_wait(4);
+  col = fadd(&ch_task, 1);
+  while (col < ch_ncols) {
+    ch_factor_col(tid, col);
+    col = fadd(&ch_task, 1);
+  }
+  chx_stream(tid);
+  chx_gather(tid);
+  chx_guard(tid);
+  barrier_wait(4);
+}
+
+thread ch_worker(0);
+thread ch_worker(1);
+thread ch_worker(2);
+thread ch_worker(3);
+""",
+)
+
+
+_FFT_DECLS, _FFT_FNS, _ = compute_section(
+    "fftx", stream_reads=30, gather_reads=10, scatter_reads=35, guard_reads=4
+)
+
+FFT = BenchProgram(
+    name="fft",
+    suite="splash2",
+    description="Radix-2 FFT: bit-reverse permutation through a shared "
+    "reversal table (index gathers), butterfly stages of pure data "
+    "movement, barriers between stages — the low-acquire profile.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _FFT_DECLS
+    + "\n"
+    + _FFT_FNS
+    + """
+
+global int fft_re[64];
+global int fft_im[64];
+global int fft_scratch[64];
+global int fft_brev[64];
+
+fn fft_bitrev(tid) {
+  local i = 0;
+  local n = 0;
+  i = tid * 16;
+  n = i + 16;
+  while (i < n) {
+    fft_scratch[fft_brev[i]] = fft_re[i];
+    i = i + 1;
+  }
+}
+
+fn fft_stage(tid, span) {
+  local i = 0;
+  local n = 0;
+  local a = 0;
+  local b = 0;
+  local partner = 0;
+  i = tid * 16;
+  n = i + 16;
+  while (i < n) {
+    partner = i ^ span;
+    if (partner > i) {
+      a = fft_re[i];
+      b = fft_re[partner];
+      fft_re[i] = a + b;
+      fft_im[i] = a - b + fft_im[i];
+    }
+    i = i + 1;
+  }
+}
+
+fn fft_worker(tid) {
+  local s = 0;
+  local i = 0;
+  local j = 0;
+  local k = 0;
+  i = tid * 16;
+  while (i < tid * 16 + 16) {
+    fft_re[i] = i * 7 + 3;
+    // Precompute the 6-bit reversal table entry (local arithmetic).
+    j = 0;
+    k = 0;
+    while (k < 6) {
+      j = j * 2 + ((i >> k) & 1);
+      k = k + 1;
+    }
+    fft_brev[i] = j;
+    i = i + 1;
+  }
+  fftx_init(tid);
+  barrier_wait(4);
+  fft_bitrev(tid);
+  barrier_wait(4);
+  s = 1;
+  while (s < 64) {
+    fft_stage(tid, s);
+    barrier_wait(4);
+    s = s * 2;
+  }
+  fftx_stream(tid);
+  fftx_gather(tid);
+  fftx_guard(tid);
+}
+
+thread fft_worker(0);
+thread fft_worker(1);
+thread fft_worker(2);
+thread fft_worker(3);
+""",
+)
+
+
+_FMM_DECLS, _FMM_FNS, _ = compute_section(
+    "fmx", stream_reads=18, gather_reads=10, scatter_reads=33, guard_reads=7
+)
+
+FMM = BenchProgram(
+    name="fmm",
+    suite="splash2",
+    description="Fast multipole: interaction-list traversal through "
+    "loaded cell indices plus the ad-hoc pairwise flag handshakes the "
+    "paper calls out (each needs a w->r fence between setting the own "
+    "flag and reading the partner's).",
+    manual_fences_paper=6,
+    source=RUNTIME_LIB
+    + _FMM_DECLS
+    + "\n"
+    + _FMM_FNS
+    + """
+
+global int fmm_mpole[16];
+global int fmm_local[16];
+global int fmm_ilist[32] = {1,3,5,7,9,11,13,15,0,2,4,6,8,10,12,14,
+                            2,3,0,1,6,7,4,5,10,11,8,9,14,15,12,13};
+global int fmm_ready[4];
+global int fmm_ack[4];
+global int fmm_result[4];
+
+// Three phase-specific ad-hoc flag handshakes (the six expert fences
+// of Section 5.3 sit between each own-flag write and partner-flag read).
+fn fmm_sync_upward(tid) {
+  local partner = 0;
+  partner = tid ^ 1;
+  fmm_ready[tid] = 1;
+  fence;
+  while (fmm_ready[partner] < 1) { }
+  fmm_ack[tid] = 1;
+  fence;
+  while (fmm_ack[partner] < 1) { }
+}
+
+fn fmm_sync_interact(tid) {
+  local partner = 0;
+  partner = tid ^ 2;
+  fmm_ready[tid] = 2;
+  fence;
+  while (fmm_ready[partner] < 2) { }
+  fmm_ack[tid] = 2;
+  fence;
+  while (fmm_ack[partner] < 2) { }
+}
+
+fn fmm_sync_result(tid) {
+  local partner = 0;
+  partner = tid ^ 1;
+  fmm_ready[tid] = 3;
+  fence;
+  while (fmm_ready[partner] < 3) { }
+  fmm_ack[tid] = 3;
+  fence;
+  while (fmm_ack[partner] < 3) { }
+}
+
+fn fmm_upward(tid) {
+  local c = 0;
+  local n = 0;
+  c = tid * 4;
+  n = c + 4;
+  while (c < n) {
+    fmm_mpole[c] = fmm_mpole[c] + c * 2 + 1;
+    c = c + 1;
+  }
+}
+
+fn fmm_interact(tid) {
+  local c = 0;
+  local n = 0;
+  local k = 0;
+  local src = 0;
+  local acc = 0;
+  c = tid * 4;
+  n = c + 4;
+  while (c < n) {
+    acc = 0;
+    k = 0;
+    while (k < 2) {
+      src = fmm_ilist[c * 2 + k];
+      acc = acc + fmm_mpole[src];
+      k = k + 1;
+    }
+    fmm_local[c] = acc;
+    c = c + 1;
+  }
+}
+
+fn fmm_worker(tid) {
+  fmx_init(tid);
+  fmm_upward(tid);
+  fmx_stream(tid);
+  fmm_sync_upward(tid);
+  fmm_interact(tid);
+  fmx_gather(tid);
+  fmx_guard(tid);
+  fmm_sync_interact(tid);
+  fmm_result[tid] = fmm_local[tid * 4] + fmm_local[tid * 4 + 1];
+  fmm_sync_result(tid);
+}
+
+thread fmm_worker(0);
+thread fmm_worker(1);
+thread fmm_worker(2);
+thread fmm_worker(3);
+""",
+)
+
+
+_LU_DECLS, _LU_FNS, _ = compute_section(
+    "lux", stream_reads=36, gather_reads=8, scatter_reads=28, guard_reads=5
+)
+
+LU_CON = BenchProgram(
+    name="lu-con",
+    suite="splash2",
+    description="Blocked dense LU, contiguous blocks: elimination loops "
+    "of direct-indexed data traffic with barriers between steps; almost "
+    "no shared read feeds a branch.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _LU_DECLS
+    + "\n"
+    + _LU_FNS
+    + """
+
+global int lu_a[64];  // 8x8 matrix, row-major
+
+fn lu_eliminate(tid, k) {
+  local i = 0;
+  local j = 0;
+  local pivot = 0;
+  local factor = 0;
+  pivot = lu_a[k * 8 + k] + 1;
+  i = k + 1 + tid;
+  while (i < 8) {
+    factor = lu_a[i * 8 + k] / pivot;
+    j = k;
+    while (j < 8) {
+      lu_a[i * 8 + j] = lu_a[i * 8 + j] - factor * lu_a[k * 8 + j];
+      j = j + 1;
+    }
+    i = i + 4;
+  }
+}
+
+fn lu_worker(tid) {
+  local k = 0;
+  local i = 0;
+  i = tid * 16;
+  while (i < tid * 16 + 16) {
+    lu_a[i] = (i * 13) % 17 + 1;
+    i = i + 1;
+  }
+  lux_init(tid);
+  barrier_wait(4);
+  k = 0;
+  while (k < 7) {
+    lu_eliminate(tid, k);
+    barrier_wait(4);
+    k = k + 1;
+  }
+  lux_stream(tid);
+  lux_gather(tid);
+  lux_guard(tid);
+}
+
+thread lu_worker(0);
+thread lu_worker(1);
+thread lu_worker(2);
+thread lu_worker(3);
+""",
+)
+
+
+_LUN_DECLS, _LUN_FNS, _ = compute_section(
+    "lnx", stream_reads=24, gather_reads=10, scatter_reads=41, guard_reads=5
+)
+
+LU_NONCON = BenchProgram(
+    name="lu-noncon",
+    suite="splash2",
+    description="Blocked LU, non-contiguous blocks: the same algorithm "
+    "but every block is reached through a loaded block-pointer table, "
+    "so many data reads feed addresses (visible to Address+Control).",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _LUN_DECLS
+    + "\n"
+    + _LUN_FNS
+    + """
+
+global int lun_storage[64];
+global int lun_blockptr[4] = {&lun_storage, 0, 0, 0};
+global int lun_init;
+
+fn lun_setup(tid) {
+  if (tid == 0) {
+    lun_blockptr[1] = &lun_storage[32];
+    lun_blockptr[2] = &lun_storage[16];
+    lun_blockptr[3] = &lun_storage[48];
+    lun_init = 1;
+  }
+}
+
+fn lun_eliminate(tid, k) {
+  local base = 0;
+  local i = 0;
+  local j = 0;
+  local pivot = 0;
+  local factor = 0;
+  base = lun_blockptr[k % 4];
+  pivot = *(base + (k % 4) * 4 + (k % 4)) + 1;
+  i = tid;
+  while (i < 4) {
+    factor = *(base + i * 4 + k % 4) / pivot;
+    j = 0;
+    while (j < 4) {
+      *(base + i * 4 + j) = *(base + i * 4 + j) - factor;
+      j = j + 1;
+    }
+    i = i + 4;
+  }
+}
+
+fn lun_worker(tid) {
+  local k = 0;
+  local i = 0;
+  lun_setup(tid);
+  lnx_init(tid);
+  barrier_wait(4);
+  i = tid * 16;
+  while (i < tid * 16 + 16) {
+    lun_storage[i] = (i * 11) % 13 + 1;
+    i = i + 1;
+  }
+  barrier_wait(4);
+  k = 0;
+  while (k < 8) {
+    lun_eliminate(tid, k);
+    barrier_wait(4);
+    k = k + 1;
+  }
+  lnx_stream(tid);
+  lnx_gather(tid);
+  lnx_guard(tid);
+}
+
+thread lun_worker(0);
+thread lun_worker(1);
+thread lun_worker(2);
+thread lun_worker(3);
+""",
+)
+
+
+_OC_DECLS, _OC_FNS, _ = compute_section(
+    "ocx", stream_reads=22, gather_reads=9, scatter_reads=30, guard_reads=12
+)
+
+OCEAN_CON = BenchProgram(
+    name="ocean-con",
+    suite="splash2",
+    description="Ocean, contiguous grids: red-black relaxation sweeps "
+    "with a lock-accumulated residual (written, never branched on "
+    "mid-run) and barriers between sweeps.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _OC_DECLS
+    + "\n"
+    + _OC_FNS
+    + """
+
+global int oc_grid[64];  // 8x8
+global int oc_err;
+global int oc_errlock;
+global int oc_iters;
+
+fn oc_sweep(tid, color) {
+  local r = 0;
+  local c = 0;
+  local v = 0;
+  local delta = 0;
+  local localerr = 0;
+  r = 1 + tid;
+  while (r < 7) {
+    c = 1 + ((r + color) % 2);
+    while (c < 7) {
+      v = (oc_grid[(r - 1) * 8 + c] + oc_grid[(r + 1) * 8 + c]
+           + oc_grid[r * 8 + c - 1] + oc_grid[r * 8 + c + 1]) / 4;
+      delta = v - oc_grid[r * 8 + c];
+      localerr = localerr + delta * delta;
+      oc_grid[r * 8 + c] = v;
+      c = c + 2;
+    }
+    r = r + 4;
+  }
+  lock_acquire(&oc_errlock);
+  oc_err = oc_err + localerr;
+  lock_release(&oc_errlock);
+}
+
+fn oc_worker(tid) {
+  local it = 0;
+  local i = 0;
+  i = tid * 16;
+  while (i < tid * 16 + 16) {
+    oc_grid[i] = (i * 7) % 23;
+    i = i + 1;
+  }
+  ocx_init(tid);
+  barrier_wait(4);
+  it = 0;
+  while (it < 3) {
+    oc_sweep(tid, 0);
+    barrier_wait(4);
+    oc_sweep(tid, 1);
+    barrier_wait(4);
+    it = it + 1;
+  }
+  ocx_stream(tid);
+  ocx_gather(tid);
+  ocx_guard(tid);
+  barrier_wait(4);
+  fadd(&oc_iters, 1);
+}
+
+thread oc_worker(0);
+thread oc_worker(1);
+thread oc_worker(2);
+thread oc_worker(3);
+""",
+)

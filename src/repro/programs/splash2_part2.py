@@ -1,0 +1,679 @@
+"""SPLASH-2 models, part 2: Ocean-noncon, Radiosity, Radix, Raytrace,
+Volrend, Water-NSquared, Water-Spatial.
+
+See :mod:`repro.programs.splash2_part1` for the modeling rules. The
+programs in this half carry the per-program extremes the paper calls
+out: Raytrace's branch-heavy loads (most reads marked acquire by
+Control), Water-NSquared's arithmetic-only loads (fewest), Radix's
+index-array permutation (Address+Control marks the rank reads), and
+Volrend's ad-hoc barrier (2 expert fences).
+"""
+
+from __future__ import annotations
+
+from repro.programs.datagen import compute_section
+from repro.programs.registry import BenchProgram
+from repro.programs.runtime import RUNTIME_LIB
+
+_ONX_DECLS, _ONX_FNS, _ = compute_section(
+    "onx", stream_reads=17, gather_reads=10, scatter_reads=33, guard_reads=5
+)
+
+OCEAN_NONCON = BenchProgram(
+    name="ocean-noncon",
+    suite="splash2",
+    description="Ocean with non-contiguous grids: same red-black "
+    "relaxation as ocean-con, but rows are reached through a loaded "
+    "row-pointer table (address acquires for A+C).",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _ONX_DECLS
+    + "\n"
+    + _ONX_FNS
+    + """
+global int on_storage[64];
+global int on_rows[8] = {&on_storage, 0, 0, 0, 0, 0, 0, 0};
+global int on_err;
+global int on_errlock;
+
+fn on_setup(tid) {
+  local r = 0;
+  if (tid == 0) {
+    r = 1;
+    while (r < 8) {
+      on_rows[r] = &on_storage[((r * 3) % 8) * 8];
+      r = r + 1;
+    }
+  }
+}
+
+fn on_sweep(tid, color) {
+  local r = 0;
+  local c = 0;
+  local up = 0;
+  local down = 0;
+  local row = 0;
+  local v = 0;
+  local delta = 0;
+  local localerr = 0;
+  r = 1 + tid;
+  while (r < 7) {
+    row = on_rows[r];
+    up = on_rows[r - 1];
+    down = on_rows[r + 1];
+    c = 1 + ((r + color) % 2);
+    while (c < 7) {
+      v = (*(up + c) + *(down + c) + *(row + c - 1) + *(row + c + 1)) / 4;
+      delta = v - *(row + c);
+      if (delta < 0) {
+        delta = 0 - delta;
+      }
+      localerr = localerr + delta;
+      *(row + c) = v;
+      c = c + 2;
+    }
+    r = r + 4;
+  }
+  lock_acquire(&on_errlock);
+  on_err = on_err + localerr;
+  lock_release(&on_errlock);
+}
+
+fn on_worker(tid) {
+  local it = 0;
+  local i = 0;
+  on_setup(tid);
+  onx_init(tid);
+  barrier_wait(4);
+  i = tid * 16;
+  while (i < tid * 16 + 16) {
+    on_storage[i] = (i * 5) % 19;
+    i = i + 1;
+  }
+  barrier_wait(4);
+  it = 0;
+  while (it < 4) {
+    on_sweep(tid, 0);
+    barrier_wait(4);
+    on_sweep(tid, 1);
+    barrier_wait(4);
+    it = it + 1;
+  }
+  onx_stream(tid);
+  onx_gather(tid);
+  onx_guard(tid);
+}
+
+thread on_worker(0);
+thread on_worker(1);
+thread on_worker(2);
+thread on_worker(3);
+""",
+)
+
+
+_RDX_DECLS, _RDX_FNS, _ = compute_section(
+    "rdx", stream_reads=19, gather_reads=9, scatter_reads=20, guard_reads=12
+)
+
+RADIOSITY = BenchProgram(
+    name="radiosity",
+    suite="splash2",
+    description="Radiosity: lock-protected shared task stack of patch "
+    "ids, branch-heavy visibility estimates over loaded geometry, "
+    "per-patch energy locks.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _RDX_DECLS
+    + "\n"
+    + _RDX_FNS
+    + """
+global int rd_stack[32];
+global int rd_top;
+global int rd_stacklock;
+global int rd_energy[16];
+global int rd_patchlock[16];
+global int rd_vis[256];
+global int rd_processed;
+
+fn rd_push(p) {
+  lock_acquire(&rd_stacklock);
+  rd_stack[rd_top] = p;
+  rd_top = rd_top + 1;
+  lock_release(&rd_stacklock);
+}
+
+fn rd_pop(tid) {
+  local p = 0;
+  lock_acquire(&rd_stacklock);
+  if (rd_top > 0) {
+    rd_top = rd_top - 1;
+    p = rd_stack[rd_top] + 1;
+  }
+  lock_release(&rd_stacklock);
+  return p;
+}
+
+fn rd_process(tid, patch) {
+  local other = 0;
+  local v = 0;
+  local transfer = 0;
+  other = 0;
+  while (other < 16) {
+    if (other != patch) {
+      v = rd_vis[patch * 16 + other];
+      if (v > 2) {
+        transfer = rd_energy[patch] * v / 16;
+        if (transfer > 0) {
+          lock_acquire(&rd_patchlock[other]);
+          rd_energy[other] = rd_energy[other] + transfer;
+          lock_release(&rd_patchlock[other]);
+        }
+      }
+    }
+    other = other + 1;
+  }
+  fadd(&rd_processed, 1);
+}
+
+fn rd_worker(tid) {
+  local p = 0;
+  local i = 0;
+  i = tid * 64;
+  while (i < tid * 64 + 64) {
+    rd_vis[i] = (i * 3 + tid) % 7;
+    i = i + 1;
+  }
+  rdx_init(tid);
+  if (tid == 0) {
+    i = 0;
+    while (i < 16) {
+      rd_energy[i] = 16 + i;
+      rd_push(i);
+      i = i + 1;
+    }
+  }
+  barrier_wait(4);
+  p = rd_pop(tid);
+  while (p != 0) {
+    rd_process(tid, p - 1);
+    p = rd_pop(tid);
+  }
+  rdx_stream(tid);
+  rdx_gather(tid);
+  rdx_guard(tid);
+  barrier_wait(4);
+}
+
+thread rd_worker(0);
+thread rd_worker(1);
+thread rd_worker(2);
+thread rd_worker(3);
+""",
+)
+
+
+_RXX_DECLS, _RXX_FNS, _ = compute_section(
+    "rxx", stream_reads=13, gather_reads=10, scatter_reads=33, guard_reads=7
+)
+
+RADIX = BenchProgram(
+    name="radix",
+    suite="splash2",
+    description="Radix sort: local histograms merged by fadd, then the "
+    "permutation writes keys through loaded rank values (the A+C "
+    "address acquires). The shortest-running program — the paper notes "
+    "its results are noise-sensitive.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _RXX_DECLS
+    + "\n"
+    + _RXX_FNS
+    + """
+global int rx_keys[32];
+global int rx_out[32];
+global int rx_rank[8];
+
+fn rx_histogram(tid) {
+  local i = 0;
+  local n = 0;
+  local d = 0;
+  i = tid * 8;
+  n = i + 8;
+  while (i < n) {
+    d = rx_keys[i] % 8;
+    fadd(&rx_rank[d], 1);
+    i = i + 1;
+  }
+}
+
+fn rx_scan(tid) {
+  local d = 0;
+  local sum = 0;
+  local c = 0;
+  if (tid == 0) {
+    d = 0;
+    sum = 0;
+    while (d < 8) {
+      c = rx_rank[d];
+      rx_rank[d] = sum;
+      sum = sum + c;
+      d = d + 1;
+    }
+  }
+}
+
+fn rx_permute(tid) {
+  local i = 0;
+  local n = 0;
+  local d = 0;
+  local pos = 0;
+  i = tid * 8;
+  n = i + 8;
+  while (i < n) {
+    d = rx_keys[i] % 8;
+    pos = fadd(&rx_rank[d], 1);
+    rx_out[pos] = rx_keys[i];
+    i = i + 1;
+  }
+}
+
+fn rx_worker(tid) {
+  local i = 0;
+  i = tid * 8;
+  while (i < tid * 8 + 8) {
+    rx_keys[i] = (i * 13 + 5) % 29;
+    i = i + 1;
+  }
+  rxx_init(tid);
+  barrier_wait(4);
+  rx_histogram(tid);
+  barrier_wait(4);
+  rx_scan(tid);
+  barrier_wait(4);
+  rx_permute(tid);
+  barrier_wait(4);
+  rxx_stream(tid);
+  rxx_gather(tid);
+  rxx_guard(tid);
+}
+
+thread rx_worker(0);
+thread rx_worker(1);
+thread rx_worker(2);
+thread rx_worker(3);
+""",
+)
+
+
+_RTX_DECLS, _RTX_FNS, _ = compute_section(
+    "rtx", stream_reads=14, gather_reads=8, scatter_reads=23, guard_reads=15
+)
+
+RAYTRACE = BenchProgram(
+    name="raytrace",
+    suite="splash2",
+    description="Raytrace: fadd ray tickets from a shared queue, then "
+    "per-ray intersection tests where nearly every loaded value feeds a "
+    "comparison — the paper's worst case for Control (33% acquires).",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _RTX_DECLS
+    + "\n"
+    + _RTX_FNS
+    + """
+global int rt_ray_count = 24;
+global int rt_next_ray;
+global int rt_obj_x[8];
+global int rt_obj_r[8];
+global int rt_hits[24];
+global int rt_shade[24];
+
+fn rt_trace(tid, ray) {
+  local obj = 0;
+  local best = 0;
+  local bestdist = 1000;
+  local x = 0;
+  local r = 0;
+  local dist = 0;
+  obj = 0;
+  while (obj < 8) {
+    x = rt_obj_x[obj];
+    r = rt_obj_r[obj];
+    dist = x - ray * 2;
+    if (dist < 0) {
+      dist = 0 - dist;
+    }
+    if (dist < r) {
+      if (dist < bestdist) {
+        bestdist = dist;
+        best = obj + 1;
+      }
+    }
+    obj = obj + 1;
+  }
+  rt_hits[ray] = best;
+  if (best != 0) {
+    rt_shade[ray] = rt_obj_x[best - 1] + bestdist;
+  }
+}
+
+fn rt_worker(tid) {
+  local ray = 0;
+  local i = 0;
+  if (tid == 0) {
+    i = 0;
+    while (i < 8) {
+      rt_obj_x[i] = i * 6 + 2;
+      rt_obj_r[i] = (i % 3) + 2;
+      i = i + 1;
+    }
+  }
+  rtx_init(tid);
+  barrier_wait(4);
+  ray = fadd(&rt_next_ray, 1);
+  while (ray < rt_ray_count) {
+    rt_trace(tid, ray);
+    ray = fadd(&rt_next_ray, 1);
+  }
+  rtx_stream(tid);
+  rtx_gather(tid);
+  rtx_guard(tid);
+  barrier_wait(4);
+}
+
+thread rt_worker(0);
+thread rt_worker(1);
+thread rt_worker(2);
+thread rt_worker(3);
+""",
+)
+
+
+_VRX_DECLS, _VRX_FNS, _ = compute_section(
+    "vrx", stream_reads=20, gather_reads=9, scatter_reads=27, guard_reads=8
+)
+
+VOLREND = BenchProgram(
+    name="volrend",
+    suite="splash2",
+    description="Volrend: octree opacity skip lookups and an ad-hoc "
+    "barrier built on a lock-protected counter with a generation spin "
+    "(the 2 expert fences of Section 5.3 sit in that barrier).",
+    manual_fences_paper=2,
+    source=RUNTIME_LIB
+    + _VRX_DECLS
+    + "\n"
+    + _VRX_FNS
+    + """
+global int vr_voxels[64];
+global int vr_octree[16];
+global int vr_image[16];
+global int vr_count;
+global int vr_gen;
+global int vr_countlock;
+
+// The ad-hoc barrier the paper mentions: pthread-lock-protected
+// counter plus a hand-rolled generation spin.
+fn vr_adhoc_barrier(tid) {
+  local g = 0;
+  g = vr_gen;
+  lock_acquire(&vr_countlock);
+  vr_count = vr_count + 1;
+  if (vr_count == 4) {
+    vr_count = 0;
+    fence;
+    vr_gen = g + 1;
+  }
+  lock_release(&vr_countlock);
+  fence;
+  while (vr_gen == g) { }
+}
+
+fn vr_render(tid) {
+  local px = 0;
+  local v = 0;
+  local node = 0;
+  local acc = 0;
+  local step = 0;
+  px = tid * 4;
+  while (px < tid * 4 + 4) {
+    acc = 0;
+    step = 0;
+    while (step < 4) {
+      node = vr_octree[(px + step) % 16];
+      if (node > 1) {
+        v = vr_voxels[(node * 4 + step) % 64];
+        acc = acc + v;
+      }
+      step = step + 1;
+    }
+    vr_image[px] = acc;
+    px = px + 1;
+  }
+}
+
+fn vr_worker(tid) {
+  local i = 0;
+  i = tid * 16;
+  while (i < tid * 16 + 16) {
+    vr_voxels[i] = (i * 3) % 11;
+    i = i + 1;
+  }
+  if (tid == 0) {
+    i = 0;
+    while (i < 16) {
+      vr_octree[i] = (i * 5) % 4;
+      i = i + 1;
+    }
+  }
+  vrx_init(tid);
+  vr_adhoc_barrier(tid);
+  vr_render(tid);
+  vrx_stream(tid);
+  vrx_gather(tid);
+  vrx_guard(tid);
+  vr_adhoc_barrier(tid);
+}
+
+thread vr_worker(0);
+thread vr_worker(1);
+thread vr_worker(2);
+thread vr_worker(3);
+""",
+)
+
+
+_WNX_DECLS, _WNX_FNS, _ = compute_section(
+    "wnx", stream_reads=42, gather_reads=10, scatter_reads=31, guard_reads=2
+)
+
+WATER_NSQUARED = BenchProgram(
+    name="water-nsquared",
+    suite="splash2",
+    description="Water-NSquared: O(n^2) pairwise force accumulation — "
+    "long runs of loads feeding pure arithmetic, the paper's best case "
+    "for Control (7% acquires); per-molecule accumulator locks.",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _WNX_DECLS
+    + "\n"
+    + _WNX_FNS
+    + """
+global int wn_pos[16];
+global int wn_force[16];
+global int wn_lock[16];
+global int wn_potential;
+global int wn_potlock;
+
+fn wn_pairforces(tid) {
+  local i = 0;
+  local j = 0;
+  local dx = 0;
+  local f = 0;
+  local pot = 0;
+  i = tid;
+  while (i < 16) {
+    j = i + 1;
+    while (j < 16) {
+      dx = wn_pos[i] - wn_pos[j];
+      f = dx * 3 - dx / 2 + (wn_pos[i] + wn_pos[j]) / 4;
+      pot = pot + dx * dx;
+      lock_acquire(&wn_lock[i]);
+      wn_force[i] = wn_force[i] + f;
+      lock_release(&wn_lock[i]);
+      lock_acquire(&wn_lock[j]);
+      wn_force[j] = wn_force[j] - f;
+      lock_release(&wn_lock[j]);
+      j = j + 1;
+    }
+    i = i + 4;
+  }
+  lock_acquire(&wn_potlock);
+  wn_potential = wn_potential + pot;
+  lock_release(&wn_potlock);
+}
+
+fn wn_integrate(tid) {
+  local i = 0;
+  i = tid * 4;
+  while (i < tid * 4 + 4) {
+    wn_pos[i] = wn_pos[i] + wn_force[i] / 8;
+    wn_force[i] = 0;
+    i = i + 1;
+  }
+}
+
+fn wn_worker(tid) {
+  local step = 0;
+  local i = 0;
+  i = tid * 4;
+  while (i < tid * 4 + 4) {
+    wn_pos[i] = i * 9 + 4;
+    i = i + 1;
+  }
+  wnx_init(tid);
+  barrier_wait(4);
+  step = 0;
+  while (step < 3) {
+    wn_pairforces(tid);
+    barrier_wait(4);
+    wn_integrate(tid);
+    barrier_wait(4);
+    step = step + 1;
+  }
+  wnx_stream(tid);
+  wnx_gather(tid);
+  wnx_guard(tid);
+}
+
+thread wn_worker(0);
+thread wn_worker(1);
+thread wn_worker(2);
+thread wn_worker(3);
+""",
+)
+
+
+_WSX_DECLS, _WSX_FNS, _ = compute_section(
+    "wsx", stream_reads=50, gather_reads=8, scatter_reads=19, guard_reads=3
+)
+
+WATER_SPATIAL = BenchProgram(
+    name="water-spatial",
+    suite="splash2",
+    description="Water-Spatial: cell lists — molecules are reached "
+    "through per-cell member tables (loads feeding addresses), with a "
+    "counted loop bound from a loaded cell size; the paper's best case "
+    "for Address+Control (39%).",
+    manual_fences_paper=0,
+    source=RUNTIME_LIB
+    + _WSX_DECLS
+    + "\n"
+    + _WSX_FNS
+    + """
+global int ws_pos[16];
+global int ws_force[16];
+global int ws_lock[4];
+// 4 cells x up to 4 members; cellcount[c] members in cellmem[c*4..].
+global int ws_cellcount[4];
+global int ws_cellmem[16];
+
+fn ws_build_cells(tid) {
+  local m = 0;
+  local c = 0;
+  local n = 0;
+  if (tid == 0) {
+    m = 0;
+    while (m < 16) {
+      c = (ws_pos[m] / 16) % 4;
+      n = ws_cellcount[c];
+      ws_cellmem[c * 4 + n] = m;
+      ws_cellcount[c] = n + 1;
+      m = m + 1;
+    }
+  }
+}
+
+fn ws_cellforces(tid, c) {
+  local n = 0;
+  local k = 0;
+  local k2 = 0;
+  local mi = 0;
+  local mj = 0;
+  local dx = 0;
+  local f = 0;
+  n = ws_cellcount[c];
+  k = 0;
+  while (k < n) {
+    mi = ws_cellmem[c * 4 + k];
+    k2 = k + 1;
+    while (k2 < n) {
+      mj = ws_cellmem[c * 4 + k2];
+      dx = ws_pos[mi] - ws_pos[mj];
+      f = dx * 2 + dx / 3;
+      lock_acquire(&ws_lock[c]);
+      ws_force[mi] = ws_force[mi] + f;
+      ws_force[mj] = ws_force[mj] - f;
+      lock_release(&ws_lock[c]);
+      k2 = k2 + 1;
+    }
+    k = k + 1;
+  }
+}
+
+fn ws_worker(tid) {
+  local i = 0;
+  local step = 0;
+  i = tid * 4;
+  while (i < tid * 4 + 4) {
+    ws_pos[i] = (i * 17 + 3) % 64;
+    i = i + 1;
+  }
+  wsx_init(tid);
+  barrier_wait(4);
+  ws_build_cells(tid);
+  barrier_wait(4);
+  step = 0;
+  while (step < 3) {
+    ws_cellforces(tid, tid);
+    barrier_wait(4);
+    i = tid * 4;
+    while (i < tid * 4 + 4) {
+      ws_pos[i] = ws_pos[i] + ws_force[i] / 8;
+      i = i + 1;
+    }
+    barrier_wait(4);
+    step = step + 1;
+  }
+  wsx_stream(tid);
+  wsx_gather(tid);
+  wsx_guard(tid);
+}
+
+thread ws_worker(0);
+thread ws_worker(1);
+thread ws_worker(2);
+thread ws_worker(3);
+""",
+)

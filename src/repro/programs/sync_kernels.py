@@ -1,0 +1,699 @@
+"""The nine synchronization primitives of the paper's Table II.
+
+Each kernel is written as a runnable mini-C program (protocol code plus
+a small driver), modeled after the implementations the paper examined:
+CLH and MCS from David et al. 2013, the rest from the Alglave et al.
+2014 benchmark collection — which are protocol skeletons (in
+particular, the Cilk-5 THE kernel exercises the T/H/E handshake on a
+scalar task slot rather than a full deque; that is why Table II shows
+no address acquires for it).
+
+The ground truth asserted by the Table II experiment:
+
+==================  ====  ====  =========
+kernel              Addr  Ctrl  Pure Addr
+==================  ====  ====  =========
+chase-lev-wsq        yes   yes    no
+cilk5-wsq            no    yes    no
+clh-lock             yes   yes    no
+dekker               no    yes    no
+lamport              no    yes    no
+mcs-lock             yes   yes    no
+michael-scott-q      yes   yes    no
+peterson             no    yes    no
+szymanski            no    yes    no
+==================  ====  ====  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import compile_source
+from repro.ir.function import Program
+
+
+@dataclass(frozen=True)
+class SyncKernel:
+    """One Table II row: source plus the paper's ground truth."""
+
+    name: str
+    description: str
+    source: str
+    # Functions making up the primitive itself (drivers excluded from
+    # the Table II classification, as in the paper's kernel study).
+    kernel_functions: tuple[str, ...]
+    paper_addr: bool
+    paper_ctrl: bool
+    paper_pure_addr: bool
+    citation: str
+
+    def compile(self, include_manual_fences: bool = False) -> Program:
+        return compile_source(self.source, self.name, include_manual_fences)
+
+
+DEKKER = SyncKernel(
+    name="dekker",
+    description="Dekker's mutual exclusion: intent flags plus a turn "
+    "variable; every shared read feeds a branch.",
+    citation="Dijkstra 1965",
+    kernel_functions=("dekker_enter", "dekker_exit"),
+    paper_addr=False,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+global int d_flag[2];
+global int d_turn;
+global int d_counter;
+
+fn dekker_enter(me) {
+  local other = 1 - me;
+  d_flag[me] = 1;
+  fence;
+  while (d_flag[other] == 1) {
+    if (d_turn != me) {
+      d_flag[me] = 0;
+      while (d_turn != me) { }
+      d_flag[me] = 1;
+      fence;
+    }
+  }
+}
+
+fn dekker_exit(me) {
+  d_turn = 1 - me;
+  d_flag[me] = 0;
+}
+
+fn dekker_worker(me) {
+  local i = 0;
+  while (i < 3) {
+    dekker_enter(me);
+    d_counter = d_counter + 1;
+    dekker_exit(me);
+    i = i + 1;
+  }
+}
+
+thread dekker_worker(0);
+thread dekker_worker(1);
+""",
+)
+
+
+PETERSON = SyncKernel(
+    name="peterson",
+    description="Peterson's 2-thread lock: flag[other] and turn reads "
+    "guard the spin condition.",
+    citation="Peterson 1981",
+    kernel_functions=("peterson_enter", "peterson_exit"),
+    paper_addr=False,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+global int p_flag[2];
+global int p_turn;
+global int p_counter;
+
+fn peterson_enter(me) {
+  local other = 1 - me;
+  p_flag[me] = 1;
+  p_turn = other;
+  fence;
+  while (p_flag[other] == 1 && p_turn == other) { }
+}
+
+fn peterson_exit(me) {
+  p_flag[me] = 0;
+}
+
+fn peterson_worker(me) {
+  local i = 0;
+  while (i < 3) {
+    peterson_enter(me);
+    p_counter = p_counter + 1;
+    peterson_exit(me);
+    i = i + 1;
+  }
+}
+
+thread peterson_worker(0);
+thread peterson_worker(1);
+""",
+)
+
+
+LAMPORT = SyncKernel(
+    name="lamport",
+    description="Lamport's fast mutual exclusion (two-variable fast "
+    "path with per-thread flags).",
+    citation="Lamport 1987",
+    kernel_functions=("lamport_enter", "lamport_exit"),
+    paper_addr=False,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+global int l_x;
+global int l_y;
+global int l_b[2];
+global int l_counter;
+
+fn lamport_enter(me) {
+  local id = me + 1;
+  local other = 0;
+  local done = 0;
+  while (done == 0) {
+    l_b[me] = 1;
+    l_x = id;
+    fence;
+    if (l_y != 0) {
+      l_b[me] = 0;
+      while (l_y != 0) { }
+    } else {
+      l_y = id;
+      fence;
+      if (l_x == id) {
+        done = 1;
+      } else {
+        l_b[me] = 0;
+        other = 1 - me;
+        while (l_b[other] != 0) { }
+        if (l_y == id) {
+          done = 1;
+        } else {
+          while (l_y != 0) { }
+        }
+      }
+    }
+  }
+}
+
+fn lamport_exit(me) {
+  l_y = 0;
+  l_b[me] = 0;
+}
+
+fn lamport_worker(me) {
+  local i = 0;
+  while (i < 2) {
+    lamport_enter(me);
+    l_counter = l_counter + 1;
+    lamport_exit(me);
+    i = i + 1;
+  }
+}
+
+thread lamport_worker(0);
+thread lamport_worker(1);
+""",
+)
+
+
+SZYMANSKI = SyncKernel(
+    name="szymanski",
+    description="Szymanski's linear-wait mutual exclusion; flag state "
+    "machine read in many guards.",
+    citation="Szymanski 1988",
+    kernel_functions=("szymanski_enter", "szymanski_exit"),
+    paper_addr=False,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+global int s_flag[2];
+global int s_counter;
+
+fn szymanski_enter(me) {
+  local other = 1 - me;
+  s_flag[me] = 1;
+  fence;
+  while (s_flag[other] >= 3) { }
+  s_flag[me] = 3;
+  fence;
+  if (s_flag[other] == 1) {
+    s_flag[me] = 2;
+    while (s_flag[other] != 4) { }
+  }
+  s_flag[me] = 4;
+  fence;
+  if (me == 1) {
+    while (s_flag[other] >= 2) { }
+  }
+}
+
+fn szymanski_exit(me) {
+  s_flag[me] = 0;
+}
+
+fn szymanski_worker(me) {
+  local i = 0;
+  while (i < 2) {
+    szymanski_enter(me);
+    s_counter = s_counter + 1;
+    szymanski_exit(me);
+    i = i + 1;
+  }
+}
+
+thread szymanski_worker(0);
+thread szymanski_worker(1);
+""",
+)
+
+
+CILK5_WSQ = SyncKernel(
+    name="cilk5-wsq",
+    description="Cilk-5 THE work-stealing protocol skeleton: the "
+    "tail/head/exception handshake on a scalar task slot, with the "
+    "lock-protected slow path (as in the Alglave et al. collection).",
+    citation="Frigo et al. 1998",
+    kernel_functions=("cilk_push", "cilk_pop", "cilk_steal"),
+    paper_addr=False,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+global int c_T;
+global int c_H;
+global int c_lock;
+global int c_task;
+global int c_done_work;
+global int c_stolen;
+
+fn cilk_push(v) {
+  local t = 0;
+  c_task = v;
+  t = c_T;
+  c_T = t + 1;
+}
+
+fn cilk_pop(tid) {
+  local t = 0;
+  local h = 0;
+  local got = 0;
+  t = c_T;
+  t = t - 1;
+  c_T = t;
+  fence;
+  h = c_H;
+  if (h > t) {
+    c_T = t + 1;
+    lock_acquire(&c_lock);
+    h = c_H;
+    if (h > t) {
+      got = 0;
+    } else {
+      c_T = t;
+      got = c_task;
+      c_done_work = c_done_work + got;
+    }
+    lock_release(&c_lock);
+  } else {
+    got = c_task;
+    c_done_work = c_done_work + got;
+  }
+}
+
+fn cilk_steal(tid) {
+  local h = 0;
+  local t = 0;
+  local got = 0;
+  lock_acquire(&c_lock);
+  h = c_H;
+  c_H = h + 1;
+  fence;
+  t = c_T;
+  if (h >= t) {
+    c_H = h;
+  } else {
+    got = c_task;
+    c_stolen = c_stolen + got;
+  }
+  lock_release(&c_lock);
+}
+
+fn cilk_owner(tid) {
+  local i = 0;
+  while (i < 3) {
+    cilk_push(1);
+    cilk_pop(tid);
+    i = i + 1;
+  }
+}
+
+fn cilk_thief(tid) {
+  local i = 0;
+  while (i < 2) {
+    cilk_steal(tid);
+    i = i + 1;
+  }
+}
+
+thread cilk_owner(0);
+thread cilk_thief(1);
+""",
+)
+# cilk5 needs the lock runtime prepended; done below.
+
+
+CHASE_LEV_WSQ = SyncKernel(
+    name="chase-lev-wsq",
+    description="Chase-Lev work-stealing deque over a circular buffer; "
+    "bottom/top reads guard emptiness checks *and* index the buffer, so "
+    "they match both signatures.",
+    citation="Chase and Lev 2005",
+    kernel_functions=("cl_push", "cl_take", "cl_steal"),
+    paper_addr=True,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+global int cl_top;
+global int cl_bottom;
+global int cl_buf[16];
+global int cl_taken;
+global int cl_stolen;
+
+fn cl_push(v) {
+  local b = 0;
+  local t = 0;
+  b = cl_bottom;
+  t = cl_top;
+  if (b - t < 16) {
+    cl_buf[b % 16] = v;
+    fence;
+    cl_bottom = b + 1;
+  }
+}
+
+fn cl_take(tid) {
+  local b = 0;
+  local t = 0;
+  local task = 0;
+  local won = 0;
+  b = cl_bottom;
+  b = b - 1;
+  cl_bottom = b;
+  fence;
+  t = cl_top;
+  if (t <= b) {
+    task = cl_buf[b % 16];
+    if (t == b) {
+      won = cas(&cl_top, t, t + 1);
+      if (won != t) {
+        task = 0;
+      }
+      cl_bottom = b + 1;
+    }
+    cl_taken = cl_taken + task;
+  } else {
+    cl_bottom = b + 1;
+  }
+}
+
+fn cl_steal(tid) {
+  local t = 0;
+  local b = 0;
+  local task = 0;
+  local won = 0;
+  t = cl_top;
+  fence;
+  b = cl_bottom;
+  if (t < b) {
+    task = cl_buf[t % 16];
+    won = cas(&cl_top, t, t + 1);
+    if (won == t) {
+      cl_stolen = cl_stolen + task;
+    }
+  }
+}
+
+fn cl_owner(tid) {
+  local i = 0;
+  while (i < 3) {
+    cl_push(i + 1);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 3) {
+    cl_take(tid);
+    i = i + 1;
+  }
+}
+
+fn cl_thief(tid) {
+  local i = 0;
+  while (i < 2) {
+    cl_steal(tid);
+    i = i + 1;
+  }
+}
+
+thread cl_owner(0);
+thread cl_thief(1);
+""",
+)
+
+
+CLH_LOCK = SyncKernel(
+    name="clh-lock",
+    description="CLH queue lock: xchg on the tail returns the "
+    "predecessor node, dereferenced in the spin — the xchg read feeds "
+    "an address (and, through the spin slice, a branch).",
+    citation="Craig 1994",
+    kernel_functions=("clh_acquire", "clh_release"),
+    paper_addr=True,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+global int clh_nodes[8];
+global int clh_tail = &clh_nodes;
+global int clh_counter;
+
+fn clh_acquire(me) {
+  local mynode = 0;
+  local pred = 0;
+  mynode = &clh_nodes[me + 1];
+  *mynode = 1;
+  pred = xchg(&clh_tail, mynode);
+  while (*pred == 1) { }
+}
+
+fn clh_release(me) {
+  local mynode = 0;
+  mynode = &clh_nodes[me + 1];
+  *mynode = 0;
+}
+
+fn clh_worker(me) {
+  local i = 0;
+  while (i < 2) {
+    clh_acquire(me * 2 + i);
+    clh_counter = clh_counter + 1;
+    clh_release(me * 2 + i);
+    i = i + 1;
+  }
+}
+
+thread clh_worker(0);
+thread clh_worker(1);
+""",
+)
+
+
+MCS_LOCK = SyncKernel(
+    name="mcs-lock",
+    description="MCS queue lock: xchg returns the predecessor, whose "
+    "next field is written through the returned pointer; the handoff "
+    "read of next both branches and dereferences.",
+    citation="Mellor-Crummey and Scott 1991",
+    kernel_functions=("mcs_acquire", "mcs_release"),
+    paper_addr=True,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+// Node layout: nodes[2*i] = locked flag, nodes[2*i + 1] = next pointer.
+global int mcs_nodes[8];
+global int mcs_tail;
+global int mcs_counter;
+
+fn mcs_acquire(me) {
+  local mynode = 0;
+  local pred = 0;
+  mynode = &mcs_nodes[2 * me];
+  mcs_nodes[2 * me + 1] = 0;
+  pred = xchg(&mcs_tail, mynode);
+  if (pred != 0) {
+    *mynode = 1;
+    *(pred + 1) = mynode;
+    while (*mynode == 1) { }
+  }
+}
+
+fn mcs_release(me) {
+  local mynode = 0;
+  local next = 0;
+  local won = 0;
+  mynode = &mcs_nodes[2 * me];
+  next = *(mynode + 1);
+  if (next == 0) {
+    won = cas(&mcs_tail, mynode, 0);
+    if (won != mynode) {
+      while (*(mynode + 1) == 0) { }
+      next = *(mynode + 1);
+      *next = 0;
+    }
+  } else {
+    *next = 0;
+  }
+}
+
+fn mcs_worker(me) {
+  local i = 0;
+  while (i < 2) {
+    mcs_acquire(me);
+    mcs_counter = mcs_counter + 1;
+    mcs_release(me);
+    i = i + 1;
+  }
+}
+
+thread mcs_worker(0);
+thread mcs_worker(1);
+""",
+)
+
+
+MICHAEL_SCOTT_Q = SyncKernel(
+    name="michael-scott-q",
+    description="Michael & Scott two-lock-free FIFO queue over a node "
+    "pool: head/tail/next loads guard CAS retries and are dereferenced "
+    "to reach values, matching both signatures.",
+    citation="Michael and Scott 1996",
+    kernel_functions=("msq_enqueue", "msq_dequeue"),
+    paper_addr=True,
+    paper_ctrl=True,
+    paper_pure_addr=False,
+    source="""
+// Node layout: pool[2*i] = value, pool[2*i + 1] = next pointer.
+global int msq_pool[32];
+global int msq_alloc;
+global int msq_head = &msq_pool;
+global int msq_tail = &msq_pool;
+global int msq_popped;
+
+fn msq_enqueue(v) {
+  local idx = 0;
+  local node = 0;
+  local tail = 0;
+  local next = 0;
+  local won = 0;
+  idx = fadd(&msq_alloc, 1);
+  node = &msq_pool[2 * (idx + 1)];
+  *node = v;
+  *(node + 1) = 0;
+  won = 0;
+  while (won == 0) {
+    tail = msq_tail;
+    next = *(tail + 1);
+    if (tail == msq_tail) {
+      if (next == 0) {
+        won = cas(tail + 1, 0, node);
+        if (won == 0) {
+          won = 1;
+          cas(&msq_tail, tail, node);
+        } else {
+          won = 0;
+        }
+      } else {
+        cas(&msq_tail, tail, next);
+      }
+    }
+  }
+}
+
+fn msq_dequeue(tid) {
+  local head = 0;
+  local tail = 0;
+  local next = 0;
+  local value = 0;
+  local done = 0;
+  local old = 0;
+  local got = 0;
+  while (done == 0) {
+    head = msq_head;
+    tail = msq_tail;
+    next = *(head + 1);
+    if (head == msq_head) {
+      if (head == tail) {
+        if (next == 0) {
+          done = 1;  // empty: report failure
+        } else {
+          cas(&msq_tail, tail, next);
+        }
+      } else {
+        value = *next;
+        old = cas(&msq_head, head, next);
+        if (old == head) {
+          msq_popped = msq_popped + value;
+          got = 1;
+          done = 1;
+        }
+      }
+    }
+  }
+  return got;
+}
+
+fn msq_producer(tid) {
+  local i = 0;
+  while (i < 3) {
+    msq_enqueue(i + 1);
+    i = i + 1;
+  }
+}
+
+fn msq_consumer(tid) {
+  local got = 0;
+  local popped = 0;
+  while (popped < 3) {
+    got = msq_dequeue(tid);
+    popped = popped + got;
+  }
+}
+
+thread msq_producer(0);
+thread msq_consumer(1);
+""",
+)
+
+
+def _with_lock_lib(kernel: SyncKernel) -> SyncKernel:
+    from repro.programs.runtime import LOCK_LIB
+
+    return SyncKernel(
+        name=kernel.name,
+        description=kernel.description,
+        source=LOCK_LIB + kernel.source,
+        kernel_functions=kernel.kernel_functions,
+        paper_addr=kernel.paper_addr,
+        paper_ctrl=kernel.paper_ctrl,
+        paper_pure_addr=kernel.paper_pure_addr,
+        citation=kernel.citation,
+    )
+
+
+CILK5_WSQ = _with_lock_lib(CILK5_WSQ)
+
+
+SYNC_KERNELS: dict[str, SyncKernel] = {
+    k.name: k
+    for k in (
+        CHASE_LEV_WSQ,
+        CILK5_WSQ,
+        CLH_LOCK,
+        DEKKER,
+        LAMPORT,
+        MCS_LOCK,
+        MICHAEL_SCOTT_Q,
+        PETERSON,
+        SZYMANSKI,
+    )
+}

@@ -1,0 +1,13 @@
+"""Timed x86-TSO multicore simulator — the Fig. 10 measurement substrate."""
+
+from repro.simulator.costmodel import DEFAULT_COSTS, FREE_FENCES, CostModel
+from repro.simulator.machine import SimStats, TSOSimulator, simulate
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "FREE_FENCES",
+    "SimStats",
+    "TSOSimulator",
+    "simulate",
+]

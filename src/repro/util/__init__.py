@@ -1,0 +1,19 @@
+"""Small shared utilities: ordered sets, statistics, and text rendering.
+
+Everything in :mod:`repro` that needs deterministic iteration order or
+report formatting goes through this package, so analyses stay
+reproducible run-to-run (a property the test suite relies on).
+"""
+
+from repro.util.orderedset import OrderedSet
+from repro.util.stats import geomean, mean, normalize
+from repro.util.text import ascii_bar_chart, format_table
+
+__all__ = [
+    "OrderedSet",
+    "ascii_bar_chart",
+    "format_table",
+    "geomean",
+    "mean",
+    "normalize",
+]

@@ -1,0 +1,97 @@
+"""A deterministic insertion-ordered set.
+
+Python ``set`` iteration order depends on hash seeds; compiler analyses
+that iterate worklists must be deterministic for reproducible fence
+placement, so we use this thin wrapper over ``dict`` (which preserves
+insertion order) everywhere order can leak into results.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet(Generic[T]):
+    """Set with deterministic (insertion) iteration order.
+
+    Supports the subset of the ``set`` API used by the analyses:
+    membership, add/discard, update, union/intersection/difference,
+    and iteration.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._items: dict[T, None] = dict.fromkeys(items)
+
+    def add(self, item: T) -> None:
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        del self._items[item]
+
+    def pop_first(self) -> T:
+        """Remove and return the oldest element (FIFO worklist order)."""
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def union(self, other: Iterable[T]) -> "OrderedSet[T]":
+        result = OrderedSet(self)
+        result.update(other)
+        return result
+
+    def intersection(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item in other_set)
+
+    def difference(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item not in other_set)
+
+    def issubset(self, other: Iterable[T]) -> bool:
+        other_set = set(other)
+        return all(item in other_set for item in self)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - OrderedSet is mutable
+        raise TypeError("OrderedSet is unhashable")
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"
+
+    def __or__(self, other: "OrderedSet[T]") -> "OrderedSet[T]":
+        return self.union(other)
+
+    def __and__(self, other: "OrderedSet[T]") -> "OrderedSet[T]":
+        return self.intersection(other)
+
+    def __sub__(self, other: "OrderedSet[T]") -> "OrderedSet[T]":
+        return self.difference(other)

@@ -1,0 +1,62 @@
+"""Statistics helpers used by the experiment harness.
+
+The paper reports geometric means for all normalized results
+(footnote 7), so :func:`geomean` is the aggregation used throughout
+:mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises ``ValueError`` on an empty sequence or non-positive entries,
+    which would silently corrupt normalized results otherwise.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def normalize(values: Mapping[str, float], baseline: Mapping[str, float]) -> dict[str, float]:
+    """Per-key ratio ``values[k] / baseline[k]``.
+
+    Used to normalize simulated execution times against the manual
+    fence placement baseline (Fig. 10).
+    """
+    missing = set(values) - set(baseline)
+    if missing:
+        raise KeyError(f"baseline missing keys: {sorted(missing)}")
+    return {k: values[k] / baseline[k] for k in values}
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -1,0 +1,75 @@
+"""Plain-text table and bar-chart rendering for experiment reports.
+
+The paper's figures are bar charts; the reproduction renders the same
+series as ASCII so the benchmark harness can print paper-shaped output
+without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    value_format: str = "{:.2f}",
+    title: str | None = None,
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``series`` maps group label (e.g. benchmark name) to a mapping of
+    series label (e.g. "Control") to value. Bars are scaled to the
+    global maximum so cross-group comparison is visual, like the
+    paper's figures.
+    """
+    if not series:
+        return title or ""
+    max_value = max(
+        (v for group in series.values() for v in group.values()), default=0.0
+    )
+    if max_value <= 0:
+        max_value = 1.0
+    label_width = max(
+        (len(name) for group in series.values() for name in group), default=0
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group_label, group in series.items():
+        lines.append(f"{group_label}:")
+        for name, value in group.items():
+            bar = "#" * max(1 if value > 0 else 0, round(value / max_value * width))
+            lines.append(
+                f"  {name.ljust(label_width)} |{bar.ljust(width)}| "
+                + value_format.format(value)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+
+MP_SOURCE = """
+global int flag;
+global int data;
+
+fn producer(tid) {
+  data = 1;
+  flag = 1;
+}
+
+fn consumer(tid) {
+  local r = 0;
+  while (flag == 0) { }
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+SB_SOURCE = """
+global int x;
+global int y;
+
+fn p1(tid) {
+  local r1 = 0;
+  x = 1;
+  r1 = y;
+  observe("r1", r1);
+}
+
+fn p2(tid) {
+  local r2 = 0;
+  y = 1;
+  r2 = x;
+  observe("r2", r2);
+}
+
+thread p1(0);
+thread p2(1);
+"""
+
+
+@pytest.fixture
+def mp_program():
+    return compile_source(MP_SOURCE, "mp")
+
+
+@pytest.fixture
+def sb_program():
+    return compile_source(SB_SOURCE, "sb")
+
+
+@pytest.fixture
+def mp_source():
+    return MP_SOURCE
+
+
+@pytest.fixture
+def sb_source():
+    return SB_SOURCE

@@ -1,0 +1,193 @@
+"""Unit tests for points-to / may-alias analysis."""
+
+from repro.analysis.aliasing import UNKNOWN, AllocaObj, GlobalObj, PointsTo
+from repro.frontend import compile_source
+from repro.ir import Load, Store
+
+
+def _analyze(src: str, fn: str = "f"):
+    func = compile_source(src, "t").functions[fn]
+    return func, PointsTo(func)
+
+
+def _loads(func):
+    return [i for i in func.instructions() if isinstance(i, Load)]
+
+
+def _stores(func):
+    return [i for i in func.instructions() if isinstance(i, Store)]
+
+
+def test_globalref_points_to_global():
+    func, pt = _analyze("global x; fn f() { x = 1; }")
+    store = _stores(func)[0]
+    assert pt.pointees(store.addr) == {GlobalObj("x")}
+
+
+def test_local_pointer_assigned_two_globals():
+    src = """
+    global x; global y; global sel;
+    fn f() {
+      local p;
+      if (sel) { p = &x; } else { p = &y; }
+      *p = 1;
+    }
+    """
+    func, pt = _analyze(src)
+    # the store through p
+    deref_store = [s for s in _stores(func) if s.is_dereference()][-1]
+    objs = pt.pointees(deref_store.addr)
+    assert objs == {GlobalObj("x"), GlobalObj("y")}
+
+
+def test_null_initialized_pointer_stays_precise():
+    # `local p = 0;` must not poison p's pointees with Unknown.
+    src = """
+    global x; global flag;
+    fn f() {
+      local p = 0;
+      p = &x;
+      *p = 1;
+      flag = 1;
+    }
+    """
+    func, pt = _analyze(src)
+    deref_store = [s for s in _stores(func) if s.is_dereference()][-1]
+    flag_store = [s for s in _stores(func) if str(s.addr) == "@flag"][0]
+    assert pt.pointees(deref_store.addr) == {GlobalObj("x")}
+    assert not pt.may_alias(deref_store.addr, flag_store.addr)
+
+
+def test_may_alias_same_global():
+    func, pt = _analyze("global x; fn f() { x = 1; local r = x; }")
+    st = _stores(func)[0]
+    ld = [l for l in _loads(func) if str(l.addr) == "@x"][0]
+    assert pt.may_alias(st.addr, ld.addr)
+
+
+def test_no_alias_distinct_globals():
+    func, pt = _analyze("global x; global y; fn f() { x = 1; y = 2; }")
+    s1, s2 = _stores(func)
+    assert not pt.may_alias(s1.addr, s2.addr)
+
+
+def test_unknown_pointer_aliases_globals_but_not_locals():
+    src = """
+    global g;
+    fn f(p) {
+      local secret;
+      *p = 1;
+      secret = 2;
+      g = 3;
+    }
+    """
+    from repro.ir import Constant
+
+    func, pt = _analyze(src)
+    stores = _stores(func)
+    deref = [
+        s for s in stores if isinstance(s.value, Constant) and s.value.value == 1
+    ][0]
+    g_store = [s for s in stores if str(s.addr) == "@g"][0]
+    assert pt.pointees(deref.addr) == {UNKNOWN}
+    assert pt.may_alias(deref.addr, g_store.addr)
+    # non-escaped alloca: unknown cannot alias it
+    secret_store = [
+        s for s in stores
+        if all(isinstance(o, AllocaObj) for o in pt.pointees(s.addr))
+    ]
+    assert secret_store  # the spills + secret
+    assert all(not pt.may_alias(deref.addr, s.addr) for s in secret_store)
+
+
+def test_gep_is_field_insensitive():
+    from repro.ir import Constant
+
+    func, pt = _analyze("global a[8]; fn f() { a[3] = 1; local r = a[5]; }")
+    st = [
+        s for s in _stores(func)
+        if isinstance(s.value, Constant) and s.value.value == 1
+    ][0]
+    ld = [l for l in _loads(func) if l.is_dereference()][0]
+    assert pt.may_alias(st.addr, ld.addr)
+
+
+def test_potential_writers_finds_aliasing_stores():
+    src = """
+    global a[8]; global b[8];
+    fn f() {
+      a[1] = 10;
+      b[1] = 20;
+      local r = a[2];
+    }
+    """
+    func, pt = _analyze(src)
+    ld = [l for l in _loads(func) if l.is_dereference()][-1]
+    writers = pt.potential_writers(ld)
+    writer_bases = {str(w.addr.defining_inst.base) for w in writers}
+    assert "@a" in writer_bases
+    assert "@b" not in writer_bases
+
+
+def test_potential_writers_includes_rmws():
+    src = "global x; fn f() { local a = fadd(&x, 1); local r = x; }"
+    func, pt = _analyze(src)
+    ld = [l for l in _loads(func) if str(l.addr) == "@x"][0]
+    writers = pt.potential_writers(ld)
+    assert any(w.is_atomic_rmw() for w in writers)
+
+
+def test_escaped_alloca_via_call():
+    src = """
+    fn sink(p) { }
+    fn f() {
+      local leaked;
+      local kept;
+      sink(&leaked);
+      kept = 1;
+    }
+    """
+    func, pt = _analyze(src)
+    names = set()
+    for obj in pt.escaped_allocas:
+        names.add(obj.inst.var_name)
+    assert "leaked" in names
+    assert "kept" not in names
+
+
+def test_escaped_alloca_via_global_store():
+    src = """
+    global p;
+    fn f() {
+      local shared;
+      p = &shared;
+    }
+    """
+    func, pt = _analyze(src)
+    assert any(o.inst.var_name == "shared" for o in pt.escaped_allocas)
+
+
+def test_escaped_alloca_transitive():
+    # &inner stored into outer; &outer escapes through a call.
+    src = """
+    fn sink(p) { }
+    fn f() {
+      local inner;
+      local outer;
+      outer = &inner;
+      sink(&outer);
+    }
+    """
+    func, pt = _analyze(src)
+    names = {o.inst.var_name for o in pt.escaped_allocas}
+    assert {"inner", "outer"} <= names
+
+
+def test_is_local_address():
+    src = "global g; fn f() { local a; a = 1; g = 2; }"
+    func, pt = _analyze(src)
+    stores = _stores(func)
+    local_store = [s for s in stores if not str(s.addr).startswith("@")][0]
+    global_store = [s for s in stores if str(s.addr) == "@g"][0]
+    assert pt.is_local_address(local_store.addr)
+    assert not pt.is_local_address(global_store.addr)

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+MP = """
+global int flag;
+global int data;
+
+fn producer(tid) { data = 1; flag = 1; }
+fn consumer(tid) {
+  local r = 0;
+  while (flag == 0) { }
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+SB = """
+global int x;
+global int y;
+
+fn p1(tid) { local r1 = 0; x = 1; r1 = y; observe("r1", r1); }
+fn p2(tid) { local r2 = 0; y = 1; r2 = x; observe("r2", r2); }
+
+thread p1(0);
+thread p2(1);
+"""
+
+
+@pytest.fixture
+def mp_file(tmp_path):
+    path = tmp_path / "mp.c"
+    path.write_text(MP)
+    return str(path)
+
+
+@pytest.fixture
+def sb_file(tmp_path):
+    path = tmp_path / "sb.c"
+    path.write_text(SB)
+    return str(path)
+
+
+def test_analyze_default(mp_file, capsys):
+    assert main(["analyze", mp_file]) == 0
+    out = capsys.readouterr().out
+    assert "consumer" in out
+    assert "reads marked acquire" in out
+
+
+def test_analyze_all_variants(mp_file, capsys):
+    for variant in ("control", "address+control", "pensieve"):
+        assert main(["analyze", mp_file, "--variant", variant]) == 0
+    assert "mfences" in capsys.readouterr().out
+
+
+def test_analyze_annotations(mp_file, capsys):
+    assert main(["analyze", mp_file, "--annotations"]) == 0
+    out = capsys.readouterr().out
+    assert "memory_order" in out
+    assert "acquire" in out
+
+
+def test_analyze_emit_ir(mp_file, capsys):
+    assert main(["analyze", mp_file, "--emit-ir"]) == 0
+    out = capsys.readouterr().out
+    assert "fenced IR" in out
+    assert "func @consumer" in out
+
+
+def test_analyze_model_choice(mp_file, capsys):
+    assert main(["analyze", mp_file, "--model", "rmo"]) == 0
+    assert main(["analyze", mp_file, "--model", "sc"]) == 0
+
+
+def test_check_mp_all_restored(mp_file, capsys):
+    assert main(["check", mp_file]) == 0
+    out = capsys.readouterr().out
+    assert "SC restored: True" in out
+
+
+def test_check_sb_reports_breakage(sb_file, capsys):
+    # SB is racy: Control does not (and must not) repair it -> exit 1.
+    assert main(["check", sb_file]) == 1
+    out = capsys.readouterr().out
+    assert "NON-SC BEHAVIOUR" in out
+    assert "SC restored: False" in out  # control leaves it unfenced
+    assert "SC restored: True" in out  # pensieve repairs it
+
+
+def test_check_state_bound(mp_file, capsys):
+    assert main(["check", mp_file, "--max-states", "3"]) == 2
+    assert "incomplete" in capsys.readouterr().out
+
+
+def test_simulate_variants(mp_file, capsys):
+    for variant in ("manual", "control", "pensieve"):
+        assert main(["simulate", mp_file, "--variant", variant]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "observations T1: r=1" in out
+
+
+def test_simulate_globals_filter(mp_file, capsys):
+    assert main(["simulate", mp_file, "--globals", "flag", "data"]) == 0
+    out = capsys.readouterr().out
+    assert "flag = 1" in out
+    assert "data = 1" in out
+
+
+def test_experiments_quick(capsys):
+    assert main(["experiments", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "Fig. 7" in out
+    assert "Fig. 10" in out
+    assert "matches paper: True" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

@@ -1,0 +1,124 @@
+"""Unit tests for exact Shasha-Snir delay-set analysis."""
+
+from repro.core.delay_set import DelaySetAnalysis
+from repro.core.machine_models import OrderKind
+from repro.frontend import compile_source
+from repro.memmodel.litmus import LITMUS_TESTS
+
+
+def _delays(program):
+    return DelaySetAnalysis(program).compute()
+
+
+def test_mp_delays():
+    result = _delays(LITMUS_TESTS["mp"].compile())
+    kinds = sorted(
+        o.kind.value for delays in result.delays.values() for o in delays
+    )
+    # producer w->w (data before flag), consumer r->r (flag before data)
+    assert kinds == ["r->r", "w->w"]
+
+
+def test_sb_delays_are_wr():
+    result = _delays(LITMUS_TESTS["sb"].compile())
+    kinds = [o.kind for delays in result.delays.values() for o in delays]
+    assert kinds == [OrderKind.WR, OrderKind.WR]
+
+
+def test_dekker_delays_are_wr():
+    result = _delays(LITMUS_TESTS["dekker"].compile())
+    assert result.total_delays >= 2
+    assert all(
+        o.kind is OrderKind.WR
+        for delays in result.delays.values()
+        for o in delays
+    )
+
+
+def test_single_thread_no_delays():
+    src = "global a; global b; fn f(t) { a = 1; b = 2; local r = a; } thread f(0);"
+    result = _delays(compile_source(src, "t"))
+    assert result.total_delays == 0
+
+
+def test_disjoint_variables_no_delays():
+    src = """
+    global a; global b;
+    fn f(t) { a = 1; local r = a; }
+    fn g(t) { b = 1; local r = b; }
+    thread f(0);
+    thread g(1);
+    """
+    result = _delays(compile_source(src, "t"))
+    assert result.total_delays == 0
+
+
+def test_coherence_cycles_excluded_by_default():
+    # CoRR: two reads of x in one thread vs a remote write of x. The
+    # r->r delay is coherence-enforced and excluded by default.
+    src = """
+    global x;
+    fn reader(t) { local r1 = x; local r2 = x; observe("a", r1); observe("b", r2); }
+    fn writer(t) { x = 1; }
+    thread reader(0);
+    thread writer(1);
+    """
+    program = compile_source(src, "t")
+    default = DelaySetAnalysis(program).compute()
+    assert default.total_delays == 0
+    raw = DelaySetAnalysis(program, exclude_coherence_cycles=False).compute()
+    assert raw.total_delays > 0
+
+
+def test_cycles_report_conflict_edges():
+    result = _delays(LITMUS_TESTS["sb"].compile())
+    assert result.cycles
+    for cycle in result.cycles:
+        assert cycle.conflicts  # every critical cycle has conflict edges
+        assert len({n.thread for n in cycle.nodes}) >= 2
+
+
+def test_delays_deduplicated_across_thread_instances():
+    # The writer function is instantiated twice; its delay pair is
+    # reported once per static function, not once per thread.
+    src = """
+    global x; global y;
+    fn w(t) { x = 1; local r = y; observe("r", r); }
+    fn v(t) { y = 1; local r = x; observe("r", r); }
+    thread w(0);
+    thread w(1);
+    thread v(2);
+    """
+    result = _delays(compile_source(src, "t"))
+    assert {o.kind for o in result.delays["w"]} == {OrderKind.WR}
+    assert {o.kind for o in result.delays["v"]} == {OrderKind.WR}
+    assert len(result.delays["w"]) == 1
+    assert len(result.delays["v"]) == 1
+
+
+def test_ordering_set_conversion(mp_program):
+    result = _delays(mp_program)
+    oset = result.ordering_set("producer")
+    assert len(oset) == len(result.delays.get("producer", []))
+    assert oset.function is mp_program.functions["producer"]
+
+
+def test_rmw_halves_in_cycles():
+    # A CAS-based protocol still yields delays around the RMW.
+    src = """
+    global l; global d;
+    fn p(t) {
+      d = 1;
+      local o = xchg(&l, 1);
+    }
+    fn q(t) {
+      local o = 0;
+      while (o == 0) { o = l; }
+      local r = d;
+      observe("r", r);
+    }
+    thread p(0);
+    thread q(1);
+    """
+    result = _delays(compile_source(src, "t"))
+    assert result.total_delays >= 2

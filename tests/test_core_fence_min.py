@@ -1,0 +1,174 @@
+"""Unit tests for locally-optimized fence minimization."""
+
+from repro.analysis.escape import EscapeInfo
+from repro.core.fence_min import apply_plan, plan_fences
+from repro.core.machine_models import RMO, SC, X86_TSO
+from repro.core.orderings import generate_orderings
+from repro.frontend import compile_source
+from repro.ir import CFG, Fence, FenceKind
+
+
+def _plan(src: str, model=X86_TSO, fn: str = "f", entry_fence: bool = False):
+    func = compile_source(src, "t").functions[fn]
+    esc = EscapeInfo(func)
+    orderings = generate_orderings(func, esc)
+    return func, orderings, plan_fences(func, orderings, model, entry_fence)
+
+
+def test_single_wr_ordering_gets_one_full_fence():
+    func, _, plan = _plan("global a; global b; fn f() { a = 1; local r = b; }")
+    assert len(plan.full_fences) == 1
+    assert plan.compiler_count >= 0
+
+
+def test_shared_fence_covers_overlapping_intervals():
+    # a=1; b=2; r=c : both w->r intervals can share one fence before the load.
+    func, _, plan = _plan(
+        "global a; global b; global c; fn f() { a = 1; b = 2; local r = c; }"
+    )
+    assert len(plan.full_fences) == 1
+
+
+def test_disjoint_intervals_need_two_fences():
+    src = """
+    global a; global b; global c; global d;
+    fn f() {
+      a = 1;
+      local r1 = b;
+      c = 2;
+      local r2 = d;
+    }
+    """
+    func, _, plan = _plan(src)
+    assert len(plan.full_fences) == 2
+
+
+def test_tso_only_wr_needs_full_fence():
+    # pure w->w orderings: compiler directives only on TSO
+    func, _, plan = _plan("global a; global b; fn f() { a = 1; b = 2; }")
+    assert len(plan.full_fences) == 0
+    assert len(plan.compiler_fences) == 1
+
+
+def test_sc_model_needs_no_full_fences():
+    # SC hardware enforces everything, but compiler directives are still
+    # required to stop the compiler reordering (paper Section 2.1).
+    func, _, plan = _plan(
+        "global a; global b; fn f() { a = 1; local r = b; }", model=SC
+    )
+    assert len(plan.full_fences) == 0
+    assert len(plan.compiler_fences) >= 1
+
+
+def test_rmo_fences_everything():
+    func, _, plan = _plan(
+        "global a; global b; fn f() { a = 1; b = 2; }", model=RMO
+    )
+    assert len(plan.full_fences) == 1
+    assert len(plan.compiler_fences) == 0
+
+
+def test_existing_manual_fence_satisfies_interval():
+    src = "global a; global b; fn f() { a = 1; fence; local r = b; }"
+    func = compile_source(src, "t", include_manual_fences=True).functions["f"]
+    esc = EscapeInfo(func)
+    orderings = generate_orderings(func, esc)
+    plan = plan_fences(func, orderings, X86_TSO)
+    assert len(plan.full_fences) == 0
+
+
+def test_rmw_acts_as_fence_on_tso():
+    src = "global a; global b; global l; fn f() { a = 1; local o = xchg(&l, 1); local r = b; }"
+    func, orderings, plan = _plan(src)
+    # a=1 -> r=b spans the xchg, which is a locked instruction: no mfence needed
+    assert len(plan.full_fences) == 0
+
+
+def test_rmw_not_a_fence_on_rmo():
+    src = "global a; global b; global l; fn f() { a = 1; local o = xchg(&l, 1); local r = b; }"
+    func, orderings, plan = _plan(src, model=RMO)
+    assert len(plan.full_fences) >= 1
+
+
+def test_cross_block_uses_source_side_projection():
+    src = """
+    global a; global b; global c;
+    fn f() {
+      a = 1;
+      if (c) { local r = b; }
+    }
+    """
+    func, orderings, plan = _plan(src)
+    # fence must sit in the entry block (between a=1 and the branch)
+    assert all(f.block_label == "entry" for f in plan.full_fences)
+
+
+def test_entry_fence_counted():
+    func, _, plan = _plan(
+        "global a; fn f() { local r = a; }", entry_fence=True
+    )
+    assert plan.entry_fence
+    assert plan.full_count == len(plan.full_fences) + 1
+
+
+def test_apply_plan_inserts_fences():
+    func, orderings, plan = _plan(
+        "global a; global b; fn f() { a = 1; local r = b; }"
+    )
+    inserted = apply_plan(func, plan)
+    fences = [i for i in func.instructions() if isinstance(i, Fence)]
+    assert inserted == len(fences)
+    assert any(f.kind is FenceKind.FULL for f in fences)
+
+
+def test_apply_plan_positions_are_between_endpoints():
+    src = "global a; global b; fn f() { a = 1; local r = b; }"
+    func, orderings, plan = _plan(src)
+    apply_plan(func, plan)
+    entry = func.entry
+    kinds = [type(i).__name__ for i in entry.instructions]
+    store_idx = kinds.index("Store")
+    fence_idx = next(i for i, k in enumerate(kinds) if k == "Fence")
+    load_idx = max(i for i, k in enumerate(kinds) if k == "Load")
+    assert store_idx < fence_idx < load_idx
+
+
+def _every_ordering_enforced(func, orderings, model) -> bool:
+    """Check: every full-fence-needing ordering has an enforcement
+    instruction between its endpoints (same block) or after the source
+    (cross-block)."""
+    for ordering in orderings:
+        if not model.needs_full_fence(ordering.kind):
+            continue
+        if model.rmw_is_full_fence and (
+            ordering.src.inst.is_atomic_rmw() or ordering.dst.inst.is_atomic_rmw()
+        ):
+            continue  # enforced by the endpoint's own barrier
+        ub, ui = func.position(ordering.src.inst)
+        vb, vi = func.position(ordering.dst.inst)
+        block = func.blocks[ub]
+        span_end = vi if (ub == vb and ui < vi) else len(block.instructions) - 1
+        window = block.instructions[ui + 1 : span_end + 1]
+        ok = any(
+            (isinstance(i, Fence) and i.kind is FenceKind.FULL)
+            or (i.is_atomic_rmw() and model.rmw_is_full_fence)
+            for i in window
+        )
+        if not ok:
+            return False
+    return True
+
+
+def test_all_orderings_enforced_after_apply():
+    sources = [
+        "global a; global b; fn f() { a = 1; local r = b; }",
+        "global a; global b; global c; fn f() { a = 1; local r = b; c = 2; local s = a; }",
+        "global g; fn f() { local i = 0; while (i < 3) { g = g + 1; i = i + 1; } }",
+    ]
+    for src in sources:
+        func = compile_source(src, "t").functions["f"]
+        esc = EscapeInfo(func)
+        orderings = generate_orderings(func, esc)
+        plan = plan_fences(func, orderings, X86_TSO)
+        apply_plan(func, plan)
+        assert _every_ordering_enforced(func, orderings, X86_TSO), src

@@ -1,0 +1,164 @@
+"""Unit tests for machine models, the pipeline, and annotations."""
+
+import pytest
+
+from repro.core.annotations import render_annotations, suggest_annotations
+from repro.core.machine_models import MODELS, PSO, RMO, SC, X86_TSO, OrderKind
+from repro.core.pipeline import (
+    FencePlacer,
+    PipelineVariant,
+    analyze_program,
+    place_fences,
+)
+from repro.frontend import compile_source
+from repro.ir import Fence, FenceKind
+
+
+# --- machine models --------------------------------------------------------
+
+
+def test_orderkind_of():
+    assert OrderKind.of(False, False) is OrderKind.RR
+    assert OrderKind.of(False, True) is OrderKind.RW
+    assert OrderKind.of(True, False) is OrderKind.WR
+    assert OrderKind.of(True, True) is OrderKind.WW
+
+
+def test_tso_enforcement_matrix():
+    assert X86_TSO.needs_full_fence(OrderKind.WR)
+    assert not X86_TSO.needs_full_fence(OrderKind.RR)
+    assert not X86_TSO.needs_full_fence(OrderKind.WW)
+
+
+def test_model_strength_ordering():
+    # SC ⊇ TSO ⊇ PSO ⊇ RMO in enforced orderings
+    assert RMO.enforced < PSO.enforced < X86_TSO.enforced < SC.enforced
+
+
+def test_models_registry():
+    assert set(MODELS) == {"sc", "x86-tso", "pso", "rmo"}
+
+
+def test_needs_any_full_fence():
+    assert X86_TSO.needs_any_full_fence({OrderKind.WR, OrderKind.RR})
+    assert not X86_TSO.needs_any_full_fence({OrderKind.RR, OrderKind.WW})
+
+
+# --- pipeline ----------------------------------------------------------------
+
+
+def test_pensieve_marks_all_escaping_reads(mp_program):
+    analysis = analyze_program(mp_program, PipelineVariant.PENSIEVE)
+    assert analysis.total_sync_reads == analysis.total_escaping_reads
+
+
+def test_control_marks_fewer(mp_program):
+    pensieve = analyze_program(mp_program, PipelineVariant.PENSIEVE)
+    control = analyze_program(mp_program, PipelineVariant.CONTROL)
+    assert control.total_sync_reads < pensieve.total_sync_reads
+
+
+def test_variant_monotonicity(mp_program):
+    control = analyze_program(mp_program, PipelineVariant.CONTROL)
+    ac = analyze_program(mp_program, PipelineVariant.ADDRESS_CONTROL)
+    pen = analyze_program(mp_program, PipelineVariant.PENSIEVE)
+    assert control.total_sync_reads <= ac.total_sync_reads <= pen.total_sync_reads
+    assert control.total_orderings <= ac.total_orderings <= pen.total_orderings
+    assert control.full_fence_count <= pen.full_fence_count
+
+
+def test_analyze_does_not_mutate(mp_program):
+    before = sum(1 for f in mp_program.functions.values() for _ in f.instructions())
+    analyze_program(mp_program, PipelineVariant.CONTROL)
+    after = sum(1 for f in mp_program.functions.values() for _ in f.instructions())
+    assert before == after
+    assert not mp_program.fences()
+
+
+def test_place_mutates_and_counts_match(sb_program):
+    analysis = place_fences(sb_program, PipelineVariant.PENSIEVE)
+    fences = sb_program.fences()
+    full = [f for f in fences if f.kind is FenceKind.FULL]
+    assert len(full) == analysis.full_fence_count
+    assert len(fences) - len(full) == analysis.compiler_fence_count
+
+
+def test_entry_fence_policy_tso_only(mp_program):
+    tso = analyze_program(mp_program, PipelineVariant.CONTROL, X86_TSO)
+    consumer_plan = tso.functions["consumer"].plan
+    assert consumer_plan.entry_fence  # has sync reads on TSO
+    sc_analysis = analyze_program(mp_program, PipelineVariant.CONTROL, SC)
+    assert not sc_analysis.functions["consumer"].plan.entry_fence
+
+
+def test_entry_fence_requires_sync_reads(mp_program):
+    analysis = analyze_program(mp_program, PipelineVariant.CONTROL)
+    producer_plan = analysis.functions["producer"].plan
+    assert not producer_plan.entry_fence  # producer has no reads at all
+
+
+def test_ordering_counts_by_kind(mp_program):
+    analysis = analyze_program(mp_program, PipelineVariant.PENSIEVE)
+    counts = analysis.ordering_counts(pruned=False)
+    assert counts[OrderKind.WW] >= 1  # producer: data before flag
+    assert counts[OrderKind.RR] >= 1  # consumer: flag before data
+
+
+def test_acquire_fraction_bounds(mp_program):
+    analysis = analyze_program(mp_program, PipelineVariant.CONTROL)
+    assert 0.0 <= analysis.acquire_fraction <= 1.0
+
+
+def test_empty_function_program():
+    prog = compile_source("fn f() { }", "t")
+    analysis = analyze_program(prog, PipelineVariant.CONTROL)
+    assert analysis.total_escaping_reads == 0
+    assert analysis.acquire_fraction == 0.0
+    assert analysis.full_fence_count == 0
+
+
+def test_placer_is_reusable(mp_source):
+    placer = FencePlacer(PipelineVariant.CONTROL)
+    a1 = placer.analyze(compile_source(mp_source, "a"))
+    a2 = placer.analyze(compile_source(mp_source, "b"))
+    assert a1.total_sync_reads == a2.total_sync_reads
+
+
+def test_pso_places_more_full_fences_than_tso(mp_program):
+    tso = analyze_program(mp_program, PipelineVariant.PENSIEVE, X86_TSO)
+    import copy
+
+    pso = analyze_program(
+        compile_source(
+            __import__("tests.conftest", fromlist=["MP_SOURCE"]).MP_SOURCE, "mp2"
+        ),
+        PipelineVariant.PENSIEVE,
+        PSO,
+    )
+    assert pso.full_fence_count >= tso.full_fence_count
+
+
+# --- annotations -----------------------------------------------------------------
+
+
+def test_annotations_for_mp(mp_program):
+    analysis = analyze_program(mp_program, PipelineVariant.CONTROL)
+    annotations = suggest_annotations(analysis)
+    orders = {(a.function, a.order) for a in annotations}
+    assert ("consumer", "acquire") in orders
+    assert ("producer", "release") in orders
+
+
+def test_annotations_rmw_is_acq_rel():
+    src = "global l; fn f(t) { local o = cas(&l, 0, 1); while (o != 0) { o = cas(&l, 0, 1); } } thread f(0);"
+    prog = compile_source(src, "t")
+    analysis = analyze_program(prog, PipelineVariant.CONTROL)
+    annotations = suggest_annotations(analysis)
+    assert any(a.order == "acq_rel" for a in annotations)
+
+
+def test_annotations_render(mp_program):
+    analysis = analyze_program(mp_program, PipelineVariant.CONTROL)
+    text = render_annotations(suggest_annotations(analysis))
+    assert "memory_order" in text
+    assert "acquire" in text

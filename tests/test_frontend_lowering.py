@@ -1,0 +1,171 @@
+"""Unit tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.frontend import LoweringError, compile_source
+from repro.ir import (
+    Alloca,
+    AtomicAdd,
+    Br,
+    CmpXchg,
+    Fence,
+    FenceKind,
+    Gep,
+    Load,
+    Store,
+    verify_program,
+)
+
+
+def _func(src: str, name: str = "f"):
+    return compile_source(src, "t").functions[name]
+
+
+def test_locals_become_allocas():
+    f = _func("fn f() { local a; local b[4]; }")
+    allocas = [i for i in f.instructions() if isinstance(i, Alloca)]
+    assert [a.size for a in allocas] == [1, 4]
+
+
+def test_params_are_spilled_to_allocas():
+    f = _func("fn f(p, q) { }")
+    allocas = [i for i in f.instructions() if isinstance(i, Alloca)]
+    assert {a.var_name for a in allocas} == {"p", "q"}
+
+
+def test_global_scalar_read_is_load():
+    f = _func("global g; fn f() { local r = g; }")
+    loads = [i for i in f.instructions() if isinstance(i, Load)]
+    assert any(str(ld.addr) == "@g" for ld in loads)
+
+
+def test_global_array_index_is_gep():
+    f = _func("global a[4]; fn f() { local r = a[2]; }")
+    geps = [i for i in f.instructions() if isinstance(i, Gep)]
+    assert len(geps) == 1
+    assert str(geps[0].base) == "@a"
+
+
+def test_pointer_deref_assignment():
+    f = _func("global x; fn f() { local p = &x; *p = 7; }")
+    stores = [i for i in f.instructions() if isinstance(i, Store)]
+    # one store to p's slot, one through the loaded pointer
+    assert len(stores) == 2
+
+
+def test_address_of_local_array_element():
+    f = _func("fn f() { local a[4]; local p = &a[1]; }")
+    geps = [i for i in f.instructions() if isinstance(i, Gep)]
+    assert len(geps) == 1
+
+
+def test_scalar_holding_pointer_indexing():
+    # p[i] where p is a scalar local: load pointer then gep.
+    f = _func("global buf[8]; fn f() { local p = &buf[0]; local r = p[3]; }")
+    geps = [i for i in f.instructions() if isinstance(i, Gep)]
+    assert len(geps) == 2  # &buf[0] and p[3]
+
+
+def test_manual_fences_stripped_by_default(mp_source):
+    src = "global x; fn f() { x = 1; fence; cfence; x = 2; }"
+    stripped = compile_source(src, "s")
+    kept = compile_source(src, "k", include_manual_fences=True)
+    assert not [i for i in stripped.functions["f"].instructions() if isinstance(i, Fence)]
+    fences = [i for i in kept.functions["f"].instructions() if isinstance(i, Fence)]
+    assert [f.kind for f in fences] == [FenceKind.FULL, FenceKind.COMPILER]
+
+
+def test_if_else_creates_diamond():
+    f = _func("global x; fn f() { if (x) { x = 1; } else { x = 2; } x = 3; }")
+    labels = [b.label for b in f.blocks]
+    assert any(l.startswith("then") for l in labels)
+    assert any(l.startswith("else") for l in labels)
+    assert any(l.startswith("endif") for l in labels)
+
+
+def test_while_loop_structure():
+    f = _func("global x; fn f() { while (x) { x = x - 1; } }")
+    labels = [b.label for b in f.blocks]
+    assert any(l.startswith("while.head") for l in labels)
+    assert any(l.startswith("while.body") for l in labels)
+    assert any(l.startswith("while.end") for l in labels)
+    # condition load sits in the header (re-evaluated per iteration)
+    head = next(b for b in f.blocks if b.label.startswith("while.head"))
+    assert any(isinstance(i, Load) for i in head.instructions)
+    assert isinstance(head.terminator, Br)
+
+
+def test_for_desugars_with_step_block():
+    f = _func("fn f() { local i; for (i = 0; i < 3; i = i + 1) { } }")
+    labels = [b.label for b in f.blocks]
+    assert any(l.startswith("for.step") for l in labels)
+
+
+def test_break_continue_targets():
+    src = """
+    global x;
+    fn f() {
+      local i = 0;
+      while (i < 10) {
+        i = i + 1;
+        if (x == 1) { break; }
+        if (x == 2) { continue; }
+        x = x + 1;
+      }
+    }
+    """
+    prog = compile_source(src, "t")
+    verify_program(prog)  # all jump targets resolve
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(LoweringError, match="break outside loop"):
+        compile_source("fn f() { break; }", "t")
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(LoweringError, match="duplicate local"):
+        compile_source("fn f() { local a; local a; }", "t")
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(LoweringError, match="undefined variable"):
+        compile_source("fn f() { local r = nope; }", "t")
+
+
+def test_assignment_to_undefined_rejected():
+    with pytest.raises(LoweringError, match="undefined variable"):
+        compile_source("fn f() { nope = 1; }", "t")
+
+
+def test_atomics_lowering():
+    f = _func("global x; fn f() { local a = cas(&x, 0, 1); local b = fadd(&x, 2); }")
+    assert any(isinstance(i, CmpXchg) for i in f.instructions())
+    assert any(isinstance(i, AtomicAdd) for i in f.instructions())
+
+
+def test_call_statement_and_expression():
+    src = """
+    global x;
+    fn helper(v) { x = v; return v + 1; }
+    fn f() { helper(1); local r = helper(2); }
+    """
+    prog = compile_source(src, "t")
+    verify_program(prog)
+
+
+def test_return_mid_function_keeps_ir_wellformed():
+    src = "global x; fn f() { if (x) { return; } x = 1; }"
+    verify_program(compile_source(src, "t"))
+
+
+def test_logical_and_is_nonshortcircuit():
+    # both operands evaluated: two loads of globals
+    f = _func("global a; global b; fn f() { if (a && b) { } }")
+    loads = [i for i in f.instructions() if isinstance(i, Load) and str(i.addr).startswith("@")]
+    assert len(loads) == 2
+
+
+def test_whole_program_verifies(mp_source, sb_source):
+    verify_program(compile_source(mp_source, "mp"))
+    verify_program(compile_source(sb_source, "sb"))

@@ -1,0 +1,136 @@
+"""Unit tests for the IR builder and CFG utilities."""
+
+import pytest
+
+from repro.ir import CFG, Constant, GlobalRef, IRBuilder
+from repro.ir.verifier import verify_function
+
+
+def _diamond():
+    """entry -> (then | else) -> merge."""
+    b = IRBuilder("diamond", ["c"])
+    b.new_block("entry")
+    cond = b.load(GlobalRef("x"))
+    b.br(cond, "then", "else")
+    b.set_block(b.block("then"))
+    b.store(GlobalRef("y"), Constant(1))
+    b.jump("merge")
+    b.set_block(b.block("else"))
+    b.store(GlobalRef("y"), Constant(2))
+    b.jump("merge")
+    b.set_block(b.block("merge"))
+    b.ret()
+    return b.build()
+
+
+def _loop():
+    """entry -> head <-> body, head -> exit."""
+    b = IRBuilder("loop")
+    b.new_block("entry")
+    b.jump("head")
+    b.set_block(b.block("head"))
+    cond = b.load(GlobalRef("flag"))
+    b.br(cond, "body", "exit")
+    b.set_block(b.block("body"))
+    b.store(GlobalRef("x"), Constant(1))
+    b.jump("head")
+    b.set_block(b.block("exit"))
+    b.ret()
+    return b.build()
+
+
+def test_builder_fresh_registers_unique():
+    b = IRBuilder("f")
+    b.new_block()
+    r1 = b.load(GlobalRef("x"))
+    r2 = b.load(GlobalRef("x"))
+    assert r1.name != r2.name
+
+
+def test_builder_auto_terminates_blocks():
+    b = IRBuilder("f")
+    b.new_block("entry")
+    b.store(GlobalRef("x"), Constant(1))
+    func = b.build()
+    assert func.entry.is_terminated()
+
+
+def test_builder_requires_current_block():
+    b = IRBuilder("f")
+    with pytest.raises(ValueError):
+        b.store(GlobalRef("x"), Constant(1))
+
+
+def test_builder_output_verifies():
+    verify_function(_diamond())
+    verify_function(_loop())
+
+
+def test_cfg_successors_predecessors():
+    cfg = CFG(_diamond())
+    assert set(cfg.succ["entry"]) == {"then", "else"}
+    assert set(cfg.pred["merge"]) == {"then", "else"}
+    assert cfg.pred["entry"] == ()
+
+
+def test_cfg_reachability_diamond():
+    cfg = CFG(_diamond())
+    assert cfg.reaches("entry", "merge")
+    assert cfg.reaches("then", "merge")
+    assert not cfg.reaches("merge", "entry")
+    assert not cfg.reaches("then", "else")
+    # No cycle: entry does not reach itself.
+    assert not cfg.reaches("entry", "entry")
+
+
+def test_cfg_reachability_loop():
+    cfg = CFG(_loop())
+    assert cfg.reaches("head", "head")  # via the loop body
+    assert cfg.reaches("body", "body")
+    assert cfg.reaches("head", "exit")
+    assert not cfg.reaches("exit", "head")
+
+
+def test_cfg_dominators_diamond():
+    dom = CFG(_diamond()).dominators()
+    assert dom["merge"] == {"entry", "merge"}
+    assert dom["then"] == {"entry", "then"}
+
+
+def test_cfg_back_edges_loop():
+    cfg = CFG(_loop())
+    assert cfg.back_edges() == [("body", "head")]
+    assert cfg.natural_loop(("body", "head")) == {"head", "body"}
+
+
+def test_cfg_blocks_in_cycles():
+    assert CFG(_loop()).blocks_in_cycles() == {"head", "body"}
+    assert CFG(_diamond()).blocks_in_cycles() == frozenset()
+
+
+def test_cfg_reverse_postorder_starts_at_entry():
+    order = CFG(_diamond()).reverse_postorder()
+    assert order[0] == "entry"
+    assert order.index("merge") > order.index("then")
+    assert order.index("merge") > order.index("else")
+
+
+def test_cfg_branch_to_unknown_label_raises():
+    b = IRBuilder("bad")
+    b.new_block("entry")
+    b.jump("nowhere")
+    # add_block never created "nowhere"
+    func = b.function
+    func.finalize()
+    with pytest.raises(ValueError):
+        CFG(func)
+
+
+def test_cfg_unreachable_blocks():
+    b = IRBuilder("f")
+    b.new_block("entry")
+    b.ret()
+    b.new_block("orphan")
+    b.ret()
+    func = b.build()
+    assert CFG(func).unreachable_blocks() == {"orphan"}

@@ -1,0 +1,221 @@
+"""Unit tests for IR values, instructions, blocks, and functions."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    AtomicAdd,
+    AtomicXchg,
+    BinOp,
+    Br,
+    Cmp,
+    CmpXchg,
+    Constant,
+    Fence,
+    FenceKind,
+    Function,
+    Gep,
+    GlobalRef,
+    GlobalVar,
+    Jump,
+    Load,
+    Program,
+    Register,
+    Ret,
+    Store,
+    get_def,
+)
+
+
+def test_constant_requires_int():
+    with pytest.raises(TypeError):
+        Constant("x")  # type: ignore[arg-type]
+    assert Constant(3).value == 3
+
+
+def test_constant_equality_and_hash():
+    assert Constant(1) == Constant(1)
+    assert Constant(1) != Constant(2)
+    assert hash(Constant(1)) == hash(Constant(1))
+
+
+def test_globalref_equality():
+    assert GlobalRef("x") == GlobalRef("x")
+    assert GlobalRef("x") != GlobalRef("y")
+
+
+def test_register_single_assignment():
+    r = Register("a")
+    Load(r, GlobalRef("x"))
+    with pytest.raises(ValueError):
+        Load(r, GlobalRef("y"))
+
+
+def test_get_def():
+    r = Register("a")
+    inst = Load(r, GlobalRef("x"))
+    assert get_def(r) is inst
+    assert get_def(Constant(1)) is None
+    assert get_def(GlobalRef("x")) is None
+
+
+def test_instruction_classification_flags():
+    load = Load(Register("l"), GlobalRef("x"))
+    store = Store(GlobalRef("x"), Constant(1))
+    rmw = CmpXchg(Register("c"), GlobalRef("x"), Constant(0), Constant(1))
+    br = Br(Constant(1), "a", "b")
+    gep = Gep(Register("g"), GlobalRef("buf"), Constant(2))
+
+    assert load.is_load() and load.reads_memory() and not load.writes_memory()
+    assert store.is_store() and store.writes_memory() and not store.reads_memory()
+    assert rmw.is_atomic_rmw() and rmw.reads_memory() and rmw.writes_memory()
+    assert br.is_cond_branch() and br.is_terminator()
+    assert gep.is_address_calculation()
+    assert not gep.is_memory_access()
+
+
+def test_dereference_detection():
+    # Direct global access is not a dereference; computed address is.
+    direct = Load(Register("a"), GlobalRef("x"))
+    gep = Gep(Register("g"), GlobalRef("buf"), Constant(1))
+    indirect = Load(Register("b"), gep.dest)
+    assert not direct.is_dereference()
+    assert indirect.is_dereference()
+
+
+def test_rmw_variants_are_memory_accesses():
+    for inst in (
+        AtomicXchg(Register("x1"), GlobalRef("g"), Constant(1)),
+        AtomicAdd(Register("x2"), GlobalRef("g"), Constant(1)),
+    ):
+        assert inst.is_atomic_rmw()
+        assert inst.is_memory_access()
+        assert inst.address_operand() == GlobalRef("g")
+
+
+def test_binop_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        BinOp(Register("r"), "**", Constant(1), Constant(2))
+
+
+def test_cmp_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        Cmp(Register("r"), "<>", Constant(1), Constant(2))
+
+
+def test_alloca_size_validation():
+    with pytest.raises(ValueError):
+        Alloca(Register("a"), 0)
+
+
+def test_block_termination_rules():
+    f = Function("f")
+    b = f.add_block("entry")
+    b.append(Store(GlobalRef("x"), Constant(1)))
+    b.append(Ret())
+    assert b.is_terminated()
+    with pytest.raises(ValueError):
+        b.append(Ret())
+
+
+def test_block_successor_labels():
+    f = Function("f")
+    b = f.add_block("entry")
+    b.append(Br(Constant(1), "t", "e"))
+    assert b.successor_labels() == ("t", "e")
+
+    b2 = f.add_block("t")
+    b2.append(Jump("e"))
+    assert b2.successor_labels() == ("e",)
+
+    b3 = f.add_block("e")
+    b3.append(Ret())
+    assert b3.successor_labels() == ()
+
+
+def test_br_same_target_collapses():
+    b = Br(Constant(1), "x", "x")
+    f = Function("f")
+    blk = f.add_block("entry")
+    blk.append(b)
+    assert blk.successor_labels() == ("x",)
+
+
+def test_function_duplicate_block_label():
+    f = Function("f")
+    f.add_block("a")
+    with pytest.raises(ValueError):
+        f.add_block("a")
+
+
+def test_finalize_assigns_positions_and_uids():
+    f = Function("f")
+    b = f.add_block("entry")
+    s1 = b.append(Store(GlobalRef("x"), Constant(1)))
+    s2 = b.append(Store(GlobalRef("y"), Constant(2)))
+    b.append(Ret())
+    f.finalize()
+    assert f.position(s1) == (0, 0)
+    assert f.position(s2) == (0, 1)
+    assert s1.uid == 0 and s2.uid == 1
+
+
+def test_position_unfinalized_instruction_raises():
+    f = Function("f")
+    b = f.add_block("entry")
+    b.append(Ret())
+    f.finalize()
+    other = Store(GlobalRef("x"), Constant(1))
+    with pytest.raises(KeyError):
+        f.position(other)
+
+
+def test_globalvar_init_validation():
+    assert GlobalVar("x", 2, 5).init == (5, 5)
+    assert GlobalVar("y", 2, [1, 2]).init == (1, 2)
+    with pytest.raises(ValueError):
+        GlobalVar("z", 2, [1])
+    with pytest.raises(ValueError):
+        GlobalVar("w", 0)
+    with pytest.raises(ValueError):
+        GlobalVar("v", 1, ["bad"])  # type: ignore[list-item]
+
+
+def test_globalvar_symbolic_init():
+    var = GlobalVar("p", 1, [("&", "x")])
+    assert var.init == (("&", "x"),)
+
+
+def test_program_duplicate_names():
+    p = Program("p")
+    p.add_global(GlobalVar("g"))
+    with pytest.raises(ValueError):
+        p.add_global(GlobalVar("g"))
+    f = Function("f")
+    p.add_function(f)
+    with pytest.raises(ValueError):
+        p.add_function(Function("f"))
+
+
+def test_program_fences_enumeration():
+    p = Program("p")
+    f = Function("f")
+    b = f.add_block("entry")
+    b.append(Fence(FenceKind.FULL))
+    b.append(Fence(FenceKind.COMPILER))
+    b.append(Ret())
+    p.add_function(f)
+    p.finalize()
+    fences = p.fences()
+    assert len(fences) == 2
+    assert {x.kind for x in fences} == {FenceKind.FULL, FenceKind.COMPILER}
+
+
+def test_memory_accesses_in_order():
+    f = Function("f")
+    b = f.add_block("entry")
+    s = b.append(Store(GlobalRef("x"), Constant(1)))
+    ld = b.append(Load(Register("r"), GlobalRef("x")))
+    b.append(Ret())
+    f.finalize()
+    assert f.memory_accesses() == [s, ld]

@@ -1,0 +1,139 @@
+"""Unit tests for happens-before, race detection, and DRF checking."""
+
+from repro.analysis.escape import EscapeInfo
+from repro.core.signatures import Variant, detect_acquires
+from repro.frontend import compile_source
+from repro.memmodel.drf import check_drf, check_drf_with_detected_acquires
+from repro.memmodel.hb import HappensBefore, all_sync, sync_from_instructions
+from repro.memmodel.litmus import LITMUS_TESTS, sync_marking_for
+from repro.memmodel.sc import enumerate_sc_traces
+
+
+def _traces(name: str, **kw):
+    return enumerate_sc_traces(LITMUS_TESTS[name].compile(), **kw)
+
+
+def test_program_order_is_hb():
+    trace = _traces("sb")[0]
+    hb = HappensBefore(trace, all_sync)
+    same_thread = [
+        (i, j)
+        for i, a in enumerate(trace.actions)
+        for j, b in enumerate(trace.actions)
+        if i < j and a.tid == b.tid
+    ]
+    for i, j in same_thread:
+        assert hb.happens_before(i, j)
+
+
+def test_hb_is_forward_only():
+    trace = _traces("sb")[0]
+    hb = HappensBefore(trace, all_sync)
+    for i in range(len(trace.actions)):
+        for j in range(i):
+            assert not hb.happens_before(i, j)
+        assert not hb.happens_before(i, i)
+
+
+def test_sync_write_read_edge():
+    # With everything sync, a cross-thread write->read same-loc pair is hb.
+    for trace in _traces("mp", max_traces=20):
+        hb = HappensBefore(trace, all_sync)
+        for i, w in enumerate(trace.actions):
+            if not w.is_write:
+                continue
+            for j in range(i + 1, len(trace.actions)):
+                r = trace.actions[j]
+                if not r.is_write and r.addr == w.addr and r.tid != w.tid:
+                    assert hb.happens_before(i, j)
+
+
+def test_mp_race_free_under_intended_marking():
+    test = LITMUS_TESTS["mp"]
+    program = test.compile()
+    report = check_drf(program, sync_marking_for(test, program), max_traces=300)
+    assert report.is_race_free
+
+
+def test_sb_races_under_intended_marking():
+    test = LITMUS_TESTS["sb"]
+    program = test.compile()
+    report = check_drf(program, sync_marking_for(test, program))
+    assert not report.is_race_free
+    addrs = {r.first.addr for r in report.races}
+    assert len(addrs) >= 1
+
+
+def test_mp_stale_has_data_race():
+    test = LITMUS_TESTS["mp-stale"]
+    program = test.compile()
+    report = check_drf(program, sync_marking_for(test, program))
+    assert not report.is_race_free
+
+
+def test_all_litmus_wellsync_flags_match():
+    for name, test in LITMUS_TESTS.items():
+        program = test.compile()
+        report = check_drf(
+            program, sync_marking_for(test, program), max_traces=300
+        )
+        assert report.is_race_free == test.well_synchronized, name
+
+
+def test_everything_sync_is_race_free():
+    program = LITMUS_TESTS["sb"].compile()
+    report = check_drf(program, all_sync)
+    assert report.is_race_free
+
+
+def test_detected_acquires_make_mp_drf():
+    # The paper's marking (detected acquires + all escaping writes)
+    # must be sufficient for well-synchronized programs.
+    program = LITMUS_TESTS["mp"].compile()
+    sync_reads = []
+    for func in program.functions.values():
+        sync_reads.extend(detect_acquires(func, Variant.CONTROL).sync_reads)
+    report = check_drf_with_detected_acquires(program, sync_reads, max_traces=300)
+    assert report.is_race_free
+
+
+def test_detected_acquires_make_dekker_drf():
+    program = LITMUS_TESTS["dekker"].compile()
+    sync_reads = []
+    for func in program.functions.values():
+        sync_reads.extend(detect_acquires(func, Variant.CONTROL).sync_reads)
+    report = check_drf_with_detected_acquires(program, sync_reads)
+    assert report.is_race_free
+
+
+def test_pensieve_marking_trivially_drf():
+    # Every escaping access sync => no data accesses left to race.
+    program = LITMUS_TESTS["sb"].compile()
+    sync = []
+    for func in program.functions.values():
+        esc = EscapeInfo(func)
+        sync.extend(esc.escaping)
+    report = check_drf(program, sync_from_instructions(sync))
+    assert report.is_race_free
+
+
+def test_race_dedup_is_static():
+    # the same static pair racing in many traces is reported once
+    test = LITMUS_TESTS["sb"]
+    program = test.compile()
+    report = check_drf(program, sync_marking_for(test, program))
+    keys = {
+        (id(r.first.inst), id(r.second.inst), r.first.addr) for r in report.races
+    }
+    assert len(keys) == len(report.races)
+
+
+def test_report_completeness_flag():
+    test = LITMUS_TESTS["mp"]
+    program = test.compile()
+    # the spin loop admits unboundedly many traces: bound must trip
+    report = check_drf(
+        program, sync_marking_for(test, program), max_traces=10
+    )
+    assert report.traces_checked == 10
+    assert not report.complete

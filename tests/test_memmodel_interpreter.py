@@ -1,0 +1,215 @@
+"""Unit tests for the IR interpreter machinery."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.memmodel.interpreter import (
+    ExecutionError,
+    GlobalLayout,
+    ThreadExecutor,
+    _cdiv,
+    _cmod,
+    stack_range,
+)
+
+
+def _run_single(src: str, max_steps: int = 100_000):
+    """Run a single-threaded program to completion under trivial memory."""
+    program = compile_source(src, "t")
+    executor = ThreadExecutor(program)
+    memory = executor.layout.initial_memory()
+    threads = executor.start_all()
+    assert len(threads) == 1
+    ts = threads[0]
+    while True:
+        pending = executor.next_action(ts, max_steps)
+        if pending is None:
+            break
+        if pending.kind == "load":
+            executor.commit(ts, pending, memory.get(pending.addr, 0))
+        elif pending.kind == "store":
+            memory[pending.addr] = pending.value
+            executor.commit(ts, pending)
+        elif pending.kind == "rmw":
+            old = memory.get(pending.addr, 0)
+            result, new = pending.rmw_result(old)
+            if new is not None:
+                memory[pending.addr] = new
+            executor.commit(ts, pending, result)
+        else:
+            executor.commit(ts, pending)
+    return executor.layout, memory, ts
+
+
+def test_cdiv_cmod_c_semantics():
+    assert _cdiv(7, 2) == 3
+    assert _cdiv(-7, 2) == -3  # truncation toward zero, not floor
+    assert _cmod(-7, 2) == -1
+    assert _cdiv(7, -2) == -3
+    with pytest.raises(ExecutionError):
+        _cdiv(1, 0)
+    with pytest.raises(ExecutionError):
+        _cmod(1, 0)
+
+
+def test_global_layout_addresses_disjoint():
+    program = compile_source("global a[4]; global b; fn f(t) { } thread f(0);", "t")
+    layout = GlobalLayout(program)
+    a, b = layout.base["a"], layout.base["b"]
+    assert b == a + 4
+    assert layout.is_global(a) and layout.is_global(b)
+    assert not layout.is_global(stack_range(0)[0])
+
+
+def test_layout_symbolic_init():
+    program = compile_source("global z; global p = &z; fn f(t) { } thread f(0);", "t")
+    layout = GlobalLayout(program)
+    memory = layout.initial_memory()
+    assert memory[layout.base["p"]] == layout.base["z"]
+
+
+def test_layout_name_of():
+    program = compile_source("global a[2]; global b; fn f(t) { } thread f(0);", "t")
+    layout = GlobalLayout(program)
+    assert layout.name_of(layout.base["a"] + 1) == "a[1]"
+    assert layout.name_of(layout.base["b"]) == "b"
+    assert layout.name_of(12345) is None
+
+
+def test_arithmetic_program():
+    src = """
+    global out[6];
+    fn f(t) {
+      out[0] = 7 / 2;
+      out[1] = 7 % 3;
+      out[2] = 1 << 4;
+      out[3] = (5 ^ 3) & 6;
+      out[4] = -4 + 2;
+      out[5] = !0 + !5;
+    }
+    thread f(0);
+    """
+    layout, memory, _ = _run_single(src)
+    values = [memory[layout.base["out"] + i] for i in range(6)]
+    assert values == [3, 1, 16, 6, -2, 1]
+
+
+def test_comparisons_produce_01():
+    src = """
+    global out[4];
+    fn f(t) {
+      out[0] = 3 < 4;
+      out[1] = 3 >= 4;
+      out[2] = 3 == 3;
+      out[3] = 3 != 3;
+    }
+    thread f(0);
+    """
+    layout, memory, _ = _run_single(src)
+    assert [memory[layout.base["out"] + i] for i in range(4)] == [1, 0, 1, 0]
+
+
+def test_call_and_return_value():
+    src = """
+    global out;
+    fn add(a, b) { return a + b; }
+    fn f(t) { out = add(3, 4); }
+    thread f(0);
+    """
+    layout, memory, _ = _run_single(src)
+    assert memory[layout.base["out"]] == 7
+
+
+def test_recursion_with_stack_reclaim():
+    src = """
+    global out;
+    fn fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn f(t) { out = fib(10); }
+    thread f(0);
+    """
+    layout, memory, ts = _run_single(src)
+    assert memory[layout.base["out"]] == 55
+    # All frames popped; local memory fully reclaimed.
+    assert not ts.frames
+    assert not ts.local_mem
+
+
+def test_observations_recorded_in_order():
+    src = """
+    fn f(t) { observe("a", 1); observe("b", 2); }
+    thread f(0);
+    """
+    _, _, ts = _run_single(src)
+    assert ts.observations == (("a", 1), ("b", 2))
+
+
+def test_local_accesses_are_invisible():
+    src = "fn f(t) { local a = 1; local b = a + 1; } thread f(0);"
+    program = compile_source(src, "t")
+    executor = ThreadExecutor(program)
+    ts = executor.start_all()[0]
+    assert executor.next_action(ts) is None  # no visible action at all
+    assert ts.done
+
+
+def test_max_steps_guard():
+    src = "global g; fn f(t) { while (1) { local a = 1; } } thread f(0);"
+    program = compile_source(src, "t")
+    executor = ThreadExecutor(program)
+    ts = executor.start_all()[0]
+    with pytest.raises(ExecutionError, match="exceeded"):
+        executor.next_action(ts, max_steps=500)
+
+
+def test_rmw_semantics():
+    src = """
+    global x = 5;
+    global out[4];
+    fn f(t) {
+      out[0] = cas(&x, 5, 9);   // succeeds: returns old 5
+      out[1] = cas(&x, 5, 7);   // fails: x is 9, returns 9
+      out[2] = xchg(&x, 1);     // returns 9
+      out[3] = fadd(&x, 10);    // returns 1, x becomes 11
+    }
+    thread f(0);
+    """
+    layout, memory, _ = _run_single(src)
+    assert [memory[layout.base["out"] + i] for i in range(4)] == [5, 9, 9, 1]
+    assert memory[layout.base["x"]] == 11
+
+
+def test_thread_state_clone_independent():
+    program = compile_source("global g; fn f(t) { g = 1; g = 2; } thread f(0);", "t")
+    executor = ThreadExecutor(program)
+    ts = executor.start_all()[0]
+    pending = executor.next_action(ts)
+    clone = ts.clone()
+    executor.commit(ts, pending)
+    # clone still points at the first store
+    assert clone.key() != ts.key()
+
+
+def test_state_key_stable_under_clone():
+    program = compile_source("global g; fn f(t) { g = 1; } thread f(0);", "t")
+    executor = ThreadExecutor(program)
+    ts = executor.start_all()[0]
+    assert ts.key() == ts.clone().key()
+
+
+def test_unknown_call_raises():
+    from repro.ir import IRBuilder, Program
+
+    p = Program("p")
+    b = IRBuilder("f", ["t"])
+    b.new_block("entry")
+    b.call("ghost", [])
+    p.add_function(b.build())
+    p.add_thread("f", [0])
+    p.finalize()
+    executor = ThreadExecutor(p)
+    ts = executor.start_all()[0]
+    with pytest.raises(ExecutionError, match="unknown function"):
+        executor.next_action(ts)

@@ -1,0 +1,207 @@
+"""Tests for the workload suite: kernels, models, and the generator."""
+
+import pytest
+
+from repro.core.signatures import signature_breakdown
+from repro.frontend import compile_source
+from repro.ir import verify_program
+from repro.programs import SYNC_KERNELS, all_programs, get_program
+from repro.programs.datagen import (
+    compute_section,
+    gather_kernel,
+    guarded_kernel,
+    stream_kernel,
+)
+from repro.simulator import simulate
+
+
+# --- Table II kernels -----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(SYNC_KERNELS))
+def test_kernel_compiles_and_verifies(name):
+    kernel = SYNC_KERNELS[name]
+    verify_program(kernel.compile())
+    verify_program(kernel.compile(include_manual_fences=True))
+
+
+@pytest.mark.parametrize("name", sorted(SYNC_KERNELS))
+def test_kernel_signature_matches_paper(name):
+    kernel = SYNC_KERNELS[name]
+    program = kernel.compile()
+    has_addr = has_ctrl = has_pure = False
+    for fn in kernel.kernel_functions:
+        bd = signature_breakdown(program.functions[fn])
+        has_addr |= bd.has_address
+        has_ctrl |= bd.has_control
+        has_pure |= bd.has_pure_address
+    assert has_addr == kernel.paper_addr, f"{name}: addr"
+    assert has_ctrl == kernel.paper_ctrl, f"{name}: ctrl"
+    assert has_pure == kernel.paper_pure_addr, f"{name}: pure addr"
+
+
+def test_no_kernel_has_pure_address_acquires():
+    # The paper's headline Table II observation.
+    for kernel in SYNC_KERNELS.values():
+        assert not kernel.paper_pure_addr
+
+
+@pytest.mark.parametrize(
+    "name,counter,expected",
+    [
+        ("dekker", "d_counter", 6),
+        ("peterson", "p_counter", 6),
+        ("lamport", "l_counter", 4),
+        ("szymanski", "s_counter", 4),
+        ("clh-lock", "clh_counter", 4),
+        ("mcs-lock", "mcs_counter", 4),
+        ("michael-scott-q", "msq_popped", 6),
+    ],
+)
+def test_kernel_executes_correctly_under_manual_fences(name, counter, expected):
+    stats = simulate(SYNC_KERNELS[name].compile(include_manual_fences=True))
+    assert stats.final_globals[counter] == expected
+
+
+def test_chase_lev_conserves_tasks():
+    stats = simulate(SYNC_KERNELS["chase-lev-wsq"].compile(include_manual_fences=True))
+    total = stats.final_globals["cl_taken"] + stats.final_globals["cl_stolen"]
+    assert total == 1 + 2 + 3
+
+
+def test_cilk5_conserves_tasks():
+    stats = simulate(SYNC_KERNELS["cilk5-wsq"].compile(include_manual_fences=True))
+    total = stats.final_globals["c_done_work"] + stats.final_globals["c_stolen"]
+    assert total == 3
+
+
+# --- benchmark models ------------------------------------------------------------
+
+
+def test_registry_has_17_programs():
+    programs = all_programs()
+    assert len(programs) == 17
+    assert sum(1 for p in programs.values() if p.suite == "splash2") == 14
+    assert sum(1 for p in programs.values() if p.suite == "lockfree") == 3
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError, match="unknown program"):
+        get_program("nonexistent")
+
+
+@pytest.mark.parametrize("name", sorted(all_programs()))
+def test_model_compiles_both_variants(name):
+    program = get_program(name)
+    verify_program(program.compile())
+    verify_program(program.compile(manual_fences=True))
+
+
+@pytest.mark.parametrize("name", sorted(all_programs()))
+def test_model_runs_to_completion(name):
+    stats = simulate(get_program(name).compile(manual_fences=True))
+    assert stats.cycles > 0
+
+
+def test_manual_fence_counts_match_paper():
+    from repro.experiments.expected import MANUAL_FENCES
+
+    for name, expected in MANUAL_FENCES.items():
+        assert get_program(name).manual_fence_count == expected, name
+
+
+def test_library_synced_programs_have_no_manual_fences():
+    for name, program in all_programs().items():
+        if name not in ("canneal", "fmm", "volrend", "matrix", "spanningtree"):
+            assert program.manual_fence_count == 0, name
+
+
+def test_matrix_computes_product():
+    stats = simulate(get_program("matrix").compile(manual_fences=True))
+    a = [stats.final_globals[f"mx_a[{i}]"] for i in range(64)]
+    b = [stats.final_globals[f"mx_b[{i}]"] for i in range(64)]
+    c = [stats.final_globals[f"mx_c[{i}]"] for i in range(64)]
+    for r in range(8):
+        for col in range(8):
+            assert c[r * 8 + col] == sum(a[r * 8 + k] * b[k * 8 + col] for k in range(8))
+
+
+def test_spanningtree_reaches_all_nodes():
+    stats = simulate(get_program("spanningtree").compile(manual_fences=True))
+    assert stats.final_globals["st_claimed"] == 16
+    assert all(stats.final_globals[f"st_parent[{i}]"] != 0 for i in range(16))
+
+
+def test_radix_produces_permutation():
+    stats = simulate(get_program("radix").compile(manual_fences=True))
+    keys = sorted(stats.final_globals[f"rx_keys[{i}]"] for i in range(32))
+    out = sorted(stats.final_globals[f"rx_out[{i}]"] for i in range(32))
+    assert keys == out
+
+
+def test_fmm_handshakes_complete():
+    stats = simulate(get_program("fmm").compile(manual_fences=True))
+    for t in range(4):
+        assert stats.final_globals[f"fmm_ack[{t}]"] == 3
+
+
+# --- workload generator -----------------------------------------------------------
+
+
+def _marking_counts(decls: str, fns: str, call: str):
+    from repro.analysis.escape import EscapeInfo
+
+    src = decls + "\n" + fns + f"\nfn w(tid) {{ {call}(tid); }}\nthread w(0);\n"
+    prog = compile_source(src, "gen")
+    func = prog.functions[call]
+    esc = EscapeInfo(func)
+    bd = signature_breakdown(func)
+    return len(esc.escaping_reads), len(bd.control), len(bd.all_acquires)
+
+
+def test_stream_kernel_reads_unmarked():
+    decls, fns = stream_kernel("k_stream", "k", reads=12)
+    total, ctrl, ac = _marking_counts(decls, fns, "k_stream")
+    assert total == 12
+    assert ctrl == 0
+    assert ac == 0
+
+
+def test_gather_kernel_marks_index_reads_only():
+    decls, fns = gather_kernel("k_gather", "k", index_reads=6)
+    total, ctrl, ac = _marking_counts(decls, fns, "k_gather")
+    assert ctrl == 0
+    assert ac == 6
+    assert total == 12  # each gather adds one unmarked table read
+
+
+def test_scatter_reads_marked_without_companions():
+    decls, fns = gather_kernel("k_sc", "k", index_reads=1, scatter_reads=5)
+    total, ctrl, ac = _marking_counts(decls, fns, "k_sc")
+    assert ac == 6
+    assert total == 7
+
+
+def test_guarded_kernel_marks_control():
+    decls, fns = guarded_kernel("k_guard", "k", guard_reads=5)
+    total, ctrl, ac = _marking_counts(decls, fns, "k_guard")
+    assert total == 5
+    assert ctrl == 5
+    assert ac == 5
+
+
+def test_compute_section_composition():
+    decls, fns, calls = compute_section(
+        "zz", stream_reads=4, gather_reads=2, scatter_reads=2, guard_reads=1
+    )
+    assert set(calls) == {"zz_stream", "zz_gather", "zz_guard"}
+    assert "zz_init" in fns
+
+
+def test_generator_validates_inputs():
+    with pytest.raises(ValueError):
+        stream_kernel("f", "p", reads=0)
+    with pytest.raises(ValueError):
+        gather_kernel("f", "p", index_reads=0, scatter_reads=0)
+    with pytest.raises(ValueError):
+        guarded_kernel("f", "p", guard_reads=0)

@@ -1,0 +1,155 @@
+"""Unit tests for the timed TSO performance simulator."""
+
+import pytest
+
+from repro.core.pipeline import PipelineVariant, place_fences
+from repro.frontend import compile_source
+from repro.memmodel.litmus import LITMUS_TESTS
+from repro.simulator.costmodel import DEFAULT_COSTS, FREE_FENCES, CostModel
+from repro.simulator.machine import TSOSimulator, simulate
+
+
+def test_mp_correct_result():
+    stats = simulate(LITMUS_TESTS["mp"].compile())
+    assert stats.observations[1] == (("r", 1),)
+    assert stats.cycles > 0
+    assert stats.per_thread_cycles.keys() == {0, 1}
+
+
+def test_determinism():
+    a = simulate(LITMUS_TESTS["dekker"].compile())
+    b = simulate(LITMUS_TESTS["dekker"].compile())
+    assert a.cycles == b.cycles
+    assert a.final_globals == b.final_globals
+
+
+def test_fences_add_cycles():
+    base = simulate(LITMUS_TESTS["mp"].compile())
+    fenced_prog = LITMUS_TESTS["mp"].compile()
+    place_fences(fenced_prog, PipelineVariant.PENSIEVE)
+    fenced = simulate(fenced_prog)
+    assert fenced.cycles > base.cycles
+    assert fenced.full_fences_executed > 0
+
+
+def test_free_fence_model_shrinks_gap():
+    prog1 = LITMUS_TESTS["mp"].compile()
+    place_fences(prog1, PipelineVariant.PENSIEVE)
+    expensive = TSOSimulator(prog1, DEFAULT_COSTS).run()
+    prog2 = LITMUS_TESTS["mp"].compile()
+    place_fences(prog2, PipelineVariant.PENSIEVE)
+    free = TSOSimulator(prog2, FREE_FENCES).run()
+    assert free.cycles < expensive.cycles
+
+
+def test_compiler_fences_are_free():
+    src = "global a; global b; fn f(t) { a = 1; b = 2; } thread f(0);"
+    prog = compile_source(src, "t")
+    place_fences(prog, PipelineVariant.PENSIEVE)  # only w->w: compiler directive
+    stats = simulate(prog)
+    assert stats.compiler_fences_executed >= 1
+    assert stats.full_fences_executed == 0
+
+
+def test_store_buffer_forwarding():
+    # A thread must see its own buffered stores immediately.
+    src = """
+    global x;
+    fn f(t) {
+      x = 41;
+      local r = x;
+      observe("r", r + 1);
+    }
+    thread f(0);
+    """
+    stats = simulate(compile_source(src, "t"))
+    assert stats.observations[0] == (("r", 42),)
+
+
+def test_spinlock_mutual_exclusion():
+    src = """
+    global lock;
+    global counter;
+    fn worker(tid) {
+      local i = 0;
+      local old = 0;
+      while (i < 10) {
+        old = cas(&lock, 0, 1);
+        while (old != 0) { old = cas(&lock, 0, 1); }
+        counter = counter + 1;
+        lock = 0;
+        i = i + 1;
+      }
+    }
+    thread worker(0);
+    thread worker(1);
+    thread worker(2);
+    """
+    stats = simulate(compile_source(src, "t"))
+    assert stats.final_globals["counter"] == 30
+    assert stats.rmws >= 30
+
+
+def test_barrier_separates_phases():
+    src = """
+    global _bar_count;
+    global _bar_sense;
+    global a[4];
+    global sum[4];
+
+    fn barrier_wait(n) {
+      local my = 0;
+      local arrived = 0;
+      my = _bar_sense;
+      arrived = fadd(&_bar_count, 1);
+      if (arrived == n - 1) {
+        _bar_count = 0;
+        _bar_sense = 1 - my;
+      } else {
+        while (_bar_sense == my) { }
+      }
+    }
+
+    fn worker(tid) {
+      a[tid] = tid + 1;
+      barrier_wait(4);
+      sum[tid] = a[0] + a[1] + a[2] + a[3];
+    }
+    thread worker(0);
+    thread worker(1);
+    thread worker(2);
+    thread worker(3);
+    """
+    stats = simulate(compile_source(src, "t"))
+    # every thread sees all writes from before the barrier
+    assert all(stats.final_globals[f"sum[{i}]"] == 10 for i in range(4))
+
+
+def test_stats_counters_consistency():
+    stats = simulate(LITMUS_TESTS["dekker"].compile())
+    assert stats.instructions > 0
+    assert stats.shared_loads > 0
+    assert stats.shared_stores > 0
+    assert stats.cycles == max(stats.per_thread_cycles.values())
+
+
+def test_runaway_guard():
+    from repro.memmodel.interpreter import ExecutionError
+
+    src = "global g; fn f(t) { while (1) { g = g + 1; } } thread f(0);"
+    sim = TSOSimulator(compile_source(src, "t"), max_instructions_per_thread=2000)
+    with pytest.raises(ExecutionError):
+        sim.run()
+
+
+def test_custom_cost_model_scales_loads():
+    src = "global a[16]; fn f(t) { local i = 0; while (i < 16) { local r = a[i]; i = i + 1; } } thread f(0);"
+    cheap = TSOSimulator(compile_source(src, "t"), CostModel(load=1)).run()
+    costly = TSOSimulator(compile_source(src, "t"), CostModel(load=50)).run()
+    assert costly.cycles > cheap.cycles + 16 * 40
+
+
+def test_final_globals_include_buffered_stores():
+    src = "global x; fn f(t) { x = 9; } thread f(0);"
+    stats = simulate(compile_source(src, "t"))
+    assert stats.final_globals["x"] == 9

@@ -1,0 +1,115 @@
+"""Unit tests for the deterministic ordered set."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.orderedset import OrderedSet
+
+
+def test_insertion_order_preserved():
+    s = OrderedSet([3, 1, 2])
+    assert list(s) == [3, 1, 2]
+
+
+def test_duplicates_keep_first_position():
+    s = OrderedSet([1, 2, 1, 3, 2])
+    assert list(s) == [1, 2, 3]
+
+
+def test_add_and_contains():
+    s = OrderedSet()
+    assert 5 not in s
+    s.add(5)
+    assert 5 in s
+    assert len(s) == 1
+
+
+def test_discard_missing_is_noop():
+    s = OrderedSet([1])
+    s.discard(2)
+    assert list(s) == [1]
+
+
+def test_remove_missing_raises():
+    with pytest.raises(KeyError):
+        OrderedSet([1]).remove(2)
+
+
+def test_pop_first_is_fifo():
+    s = OrderedSet([4, 5, 6])
+    assert s.pop_first() == 4
+    assert s.pop_first() == 5
+    assert list(s) == [6]
+
+
+def test_pop_first_empty_raises():
+    with pytest.raises(StopIteration):
+        OrderedSet().pop_first()
+
+
+def test_update_extends_in_order():
+    s = OrderedSet([1])
+    s.update([2, 1, 3])
+    assert list(s) == [1, 2, 3]
+
+
+def test_union_does_not_mutate():
+    a = OrderedSet([1, 2])
+    b = a.union([3])
+    assert list(a) == [1, 2]
+    assert list(b) == [1, 2, 3]
+
+
+def test_intersection_preserves_left_order():
+    a = OrderedSet([3, 1, 2])
+    assert list(a.intersection([2, 3])) == [3, 2]
+
+
+def test_difference():
+    a = OrderedSet([1, 2, 3])
+    assert list(a.difference([2])) == [1, 3]
+
+
+def test_operators():
+    a = OrderedSet([1, 2])
+    b = OrderedSet([2, 3])
+    assert set(a | b) == {1, 2, 3}
+    assert set(a & b) == {2}
+    assert set(a - b) == {1}
+
+
+def test_equality_with_set():
+    assert OrderedSet([1, 2]) == {2, 1}
+    assert OrderedSet([1]) != {1, 2}
+
+
+def test_issubset():
+    assert OrderedSet([1, 2]).issubset([1, 2, 3])
+    assert not OrderedSet([4]).issubset([1, 2])
+
+
+def test_bool():
+    assert not OrderedSet()
+    assert OrderedSet([0])
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(OrderedSet())
+
+
+@given(st.lists(st.integers()))
+def test_matches_dict_fromkeys_semantics(items):
+    s = OrderedSet(items)
+    assert list(s) == list(dict.fromkeys(items))
+
+
+@given(st.lists(st.integers()), st.lists(st.integers()))
+def test_union_matches_set_union(a, b):
+    assert set(OrderedSet(a).union(b)) == set(a) | set(b)
+
+
+@given(st.lists(st.integers()), st.lists(st.integers()))
+def test_difference_matches_set_difference(a, b):
+    assert set(OrderedSet(a).difference(b)) == set(a) - set(b)

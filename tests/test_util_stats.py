@@ -1,0 +1,74 @@
+"""Unit tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import geomean, mean, normalize, percentile
+
+
+def test_geomean_basic():
+    assert geomean([2, 8]) == pytest.approx(4.0)
+
+
+def test_geomean_single():
+    assert geomean([7.0]) == pytest.approx(7.0)
+
+
+def test_geomean_empty_raises():
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_geomean_nonpositive_raises():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([-1.0])
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_normalize():
+    result = normalize({"a": 4.0, "b": 9.0}, {"a": 2.0, "b": 3.0})
+    assert result == {"a": 2.0, "b": 3.0}
+
+
+def test_normalize_missing_baseline_key():
+    with pytest.raises(KeyError):
+        normalize({"a": 1.0}, {})
+
+
+def test_percentile_endpoints():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+
+
+def test_percentile_bounds():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=50))
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=0.001, max_value=1e3), min_size=1, max_size=20),
+    st.floats(min_value=0.01, max_value=100.0),
+)
+def test_geomean_scales_linearly(values, k):
+    scaled = geomean([v * k for v in values])
+    assert scaled == pytest.approx(geomean(values) * k, rel=1e-6)

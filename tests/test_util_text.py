@@ -1,0 +1,47 @@
+"""Unit tests for text table / bar-chart rendering."""
+
+import pytest
+
+from repro.util.text import ascii_bar_chart, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert "alpha" in lines[2]
+    # Columns align: 'n' header column starts at same offset as values.
+    assert lines[0].index("n", 4) == lines[2].index("1")
+
+
+def test_format_table_title():
+    out = format_table(["a"], [["x"]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+    assert out.splitlines()[1] == "=" * len("My Table")
+
+
+def test_format_table_bad_row_width():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_bar_chart_scales_to_max():
+    out = ascii_bar_chart({"g": {"a": 1.0, "b": 0.5}}, width=10)
+    lines = out.splitlines()
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+
+
+def test_bar_chart_zero_value_has_no_bar():
+    out = ascii_bar_chart({"g": {"a": 1.0, "z": 0.0}}, width=10)
+    assert out.splitlines()[2].count("#") == 0
+
+
+def test_bar_chart_empty():
+    assert ascii_bar_chart({}) == ""
+    assert ascii_bar_chart({}, title="t") == "t"
+
+
+def test_bar_chart_value_format():
+    out = ascii_bar_chart({"g": {"a": 0.5}}, value_format="{:.0%}")
+    assert "50%" in out

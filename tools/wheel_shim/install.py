@@ -1,0 +1,58 @@
+"""Install the minimal wheel shim into the active site-packages.
+
+Needed once on offline machines that have setuptools but not ``wheel``,
+so that ``pip install -e .`` (PEP 660 editable install) works. Safe to
+skip when the real ``wheel`` package is available — the script refuses
+to overwrite it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+
+def main() -> int:
+    # sys.path[0] is this script's directory, which contains the shim
+    # itself — drop it so we only detect a *real* installed wheel.
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    sys.path = [p for p in sys.path if os.path.abspath(p or os.getcwd()) != script_dir]
+    try:
+        import wheel  # noqa: F401
+
+        print(f"a 'wheel' package is already importable ({wheel.__file__}); nothing to do")
+        return 0
+    except ImportError:
+        pass
+
+    site_dir = site.getsitepackages()[0]
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "wheel")
+    dst = os.path.join(site_dir, "wheel")
+    if os.path.exists(dst):
+        print(f"refusing to overwrite existing {dst}")
+        return 1
+    shutil.copytree(src, dst)
+
+    # A dist-info with the distutils.commands entry point is what lets
+    # setuptools discover the bdist_wheel command by name.
+    dist_info = os.path.join(site_dir, "wheel-0.38.0.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w", encoding="utf-8") as f:
+        f.write(
+            "Metadata-Version: 2.1\n"
+            "Name: wheel\n"
+            "Version: 0.38.0+repro.shim\n"
+            "Summary: Minimal wheel shim for offline editable installs\n"
+        )
+    with open(os.path.join(dist_info, "entry_points.txt"), "w", encoding="utf-8") as f:
+        f.write("[distutils.commands]\nbdist_wheel = wheel.bdist_wheel:bdist_wheel\n")
+    with open(os.path.join(dist_info, "RECORD"), "w", encoding="utf-8") as f:
+        f.write("")
+    print(f"installed wheel shim into {site_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Minimal ``wheel`` shim for offline environments.
+
+This offline machine has setuptools but not the ``wheel`` package, and
+setuptools < 70 delegates ``bdist_wheel`` / PEP 660 editable wheel
+creation to it. The shim provides exactly the two pieces setuptools'
+``editable_wheel`` command uses: :class:`wheel.wheelfile.WheelFile` and
+the ``bdist_wheel`` command's ``get_tag`` / ``write_wheelfile``.
+
+Install it with ``python tools/wheel_shim/install.py`` (the repo README
+documents this); after that ``pip install -e .`` works normally.
+"""
+
+__version__ = "0.38.0+repro.shim"

@@ -1,0 +1,112 @@
+"""A minimal ``bdist_wheel`` command.
+
+setuptools' ``editable_wheel`` only calls ``get_tag()`` and
+``write_wheelfile()`` on this command; this project is pure Python, so
+the tag is always ``py3-none-any``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from setuptools import Command
+
+from wheel import __version__
+
+
+def _requires_to_requires_dist(requires_path: str) -> list[str]:
+    """Convert egg-info requires.txt sections into core-metadata lines."""
+    lines: list[str] = []
+    extra = ""
+    marker = ""
+    with open(requires_path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                section = line[1:-1]
+                extra, _, marker = section.partition(":")
+                if extra:
+                    lines.append(f"Provides-Extra: {extra}")
+                continue
+            conditions = []
+            if extra:
+                conditions.append(f'extra == "{extra}"')
+            if marker:
+                conditions.append(f"({marker})")
+            suffix = f"; {' and '.join(conditions)}" if conditions else ""
+            lines.append(f"Requires-Dist: {line}{suffix}")
+    return lines
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (minimal shim)"
+    user_options = []
+
+    def initialize_options(self):
+        self.dist_dir = None
+        self.bdist_dir = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    def get_tag(self):
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base, generator=None):
+        if generator is None:
+            generator = f"wheel-shim ({__version__})"
+        tag = "-".join(self.get_tag())
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {tag}\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an .egg-info directory into a .dist-info directory."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        metadata_lines: list[str] = []
+        if os.path.exists(pkg_info):
+            with open(pkg_info, encoding="utf-8") as f:
+                metadata_lines = f.read().rstrip("\n").split("\n")
+        else:  # pragma: no cover - egg_info always writes PKG-INFO
+            metadata_lines = ["Metadata-Version: 2.1", "Name: unknown", "Version: 0"]
+
+        requires = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires):
+            # Insert dependency metadata before any body/description text.
+            try:
+                split = metadata_lines.index("")
+            except ValueError:
+                split = len(metadata_lines)
+            extra_lines = _requires_to_requires_dist(requires)
+            metadata_lines = (
+                metadata_lines[:split] + extra_lines + metadata_lines[split:]
+            )
+
+        with open(
+            os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+        ) as f:
+            f.write("\n".join(metadata_lines) + "\n")
+
+        entry_points = os.path.join(egginfo_path, "entry_points.txt")
+        if os.path.exists(entry_points):
+            shutil.copy(entry_points, os.path.join(distinfo_path, "entry_points.txt"))
+
+    def run(self):  # pragma: no cover - editable installs never call run()
+        raise NotImplementedError(
+            "the wheel shim only supports editable installs; install the real "
+            "'wheel' package to build distributions"
+        )

@@ -1,0 +1,90 @@
+"""A minimal WheelFile: a ZipFile that maintains a PEP 376 RECORD."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import stat
+import zipfile
+
+_WHEEL_NAME_RE = re.compile(
+    r"^(?P<name>[^\s-]+?)-(?P<ver>[^\s-]+?)"
+    r"(-(?P<build>\d[^\s-]*))?-(?P<pyver>[^\s-]+?)"
+    r"-(?P<abi>[^\s-]+?)-(?P<plat>[^\s-]+?)\.whl$"
+)
+
+
+def _urlsafe_b64_nopad(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Supports the subset of wheel.wheelfile.WheelFile that setuptools'
+    ``editable_wheel`` command uses: write/writestr/write_files plus
+    RECORD generation on close."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(str(file))
+        match = _WHEEL_NAME_RE.match(basename)
+        if match is None:
+            raise ValueError(f"bad wheel filename: {basename!r}")
+        self.parsed_filename = match
+        self.dist_info_path = f"{match.group('name')}-{match.group('ver')}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._file_hashes: dict[str, tuple[str, int]] = {}
+        zipfile.ZipFile.__init__(
+            self, file, mode, compression=compression, allowZip64=True
+        )
+
+    def write_files(self, base_dir):
+        deferred = []
+        for root, _dirs, filenames in os.walk(base_dir):
+            for name in sorted(filenames):
+                path = os.path.join(root, name)
+                if os.path.isfile(path):
+                    arcname = os.path.relpath(path, base_dir).replace(os.path.sep, "/")
+                    if arcname == self.record_path:
+                        continue
+                    if arcname.startswith(self.dist_info_path):
+                        deferred.append((path, arcname))
+                    else:
+                        self.write(path, arcname)
+        for path, arcname in sorted(deferred):
+            self.write(path, arcname)
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as f:
+            data = f.read()
+        if arcname is None:
+            arcname = filename
+        zinfo = zipfile.ZipInfo(arcname)
+        zinfo.external_attr = (stat.S_IMODE(os.stat(filename).st_mode) | stat.S_IFREG) << 16
+        zinfo.compress_type = compress_type if compress_type is not None else self.compression
+        self.writestr(zinfo, data)
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        zipfile.ZipFile.writestr(self, zinfo_or_arcname, data, compress_type)
+        if isinstance(zinfo_or_arcname, zipfile.ZipInfo):
+            arcname = zinfo_or_arcname.filename
+        else:
+            arcname = zinfo_or_arcname
+        if arcname != self.record_path:
+            digest = hashlib.sha256(data).digest()
+            self._file_hashes[arcname] = (
+                f"sha256={_urlsafe_b64_nopad(digest)}",
+                len(data),
+            )
+
+    def close(self):
+        if self.fp is not None and self.mode == "w":
+            lines = [
+                f"{name},{hash_},{size}"
+                for name, (hash_, size) in self._file_hashes.items()
+            ]
+            lines.append(f"{self.record_path},,")
+            zipfile.ZipFile.writestr(self, self.record_path, "\n".join(lines) + "\n")
+        zipfile.ZipFile.close(self)
