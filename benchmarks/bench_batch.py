@@ -1,0 +1,73 @@
+"""Whole-corpus batch-engine benchmarks.
+
+Tracks the wall-clock of analyzing the full 17-program registry through
+the batch engine — the number the paper's "practical compiler pass"
+pitch lives or dies on — plus the marginal value of the process pool
+and the content-keyed result cache.
+"""
+
+import pytest
+
+from repro.core.pipeline import PipelineVariant
+from repro.engine.batch import BatchRunner, ResultCache
+
+
+def _fence_totals(results):
+    return {(r.program, r.variant): r.full_fences for r in results}
+
+
+def test_batch_corpus_serial(benchmark, report_sink):
+    """All 17 programs × Control, deterministic serial path."""
+
+    def run():
+        return BatchRunner(parallel=False).run_matrix(
+            variants=[PipelineVariant.CONTROL]
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 17
+    report_sink.setdefault("batch-corpus", "Batch engine, 17-program corpus:")
+    report_sink["batch-corpus"] += (
+        f"\n  serial   : {sum(r.elapsed for r in results):.2f}s analysis time"
+    )
+
+
+def test_batch_corpus_parallel(benchmark, report_sink):
+    """Same matrix through the process pool; results must match serial."""
+    serial = BatchRunner(parallel=False).run_matrix(
+        variants=[PipelineVariant.CONTROL]
+    )
+
+    def run():
+        return BatchRunner(parallel=True).run_matrix(
+            variants=[PipelineVariant.CONTROL]
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _fence_totals(results) == _fence_totals(serial)
+
+
+def test_batch_full_matrix(benchmark):
+    """17 programs × 3 variants — the whole-corpus experiment sweep."""
+
+    def run():
+        return BatchRunner().run_matrix(variants=list(PipelineVariant))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 51
+
+
+def test_batch_cache_hit(benchmark, tmp_path):
+    """A warm disk cache turns the corpus sweep into pure lookups."""
+    cache = ResultCache(tmp_path)
+    BatchRunner(parallel=False, cache=cache).run_matrix(
+        variants=[PipelineVariant.CONTROL]
+    )
+
+    def rerun():
+        return BatchRunner(parallel=False, cache=cache).run_matrix(
+            variants=[PipelineVariant.CONTROL]
+        )
+
+    results = benchmark(rerun)
+    assert all(r.cached for r in results)

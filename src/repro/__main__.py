@@ -4,4 +4,8 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# The guard matters: spawn-start-method process pools (macOS/Windows)
+# re-import this module in every worker; an unguarded sys.exit(main())
+# would recursively re-run the CLI command there.
+if __name__ == "__main__":
+    sys.exit(main())

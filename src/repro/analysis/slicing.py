@@ -39,14 +39,19 @@ class Slicer:
         points_to: PointsTo,
         escape_info: EscapeInfo,
         chase_load_addresses: bool = False,
+        writers_cache: dict[int, list[Instruction]] | None = None,
     ) -> None:
         self.function = func
         self.points_to = points_to
         self.escape_info = escape_info
         self.chase_load_addresses = chase_load_addresses
         # Cache: potential_writers is O(|accesses|) per query and hit
-        # repeatedly for the same load across overlapping slices.
-        self._writers_cache: dict[int, list[Instruction]] = {}
+        # repeatedly for the same load across overlapping slices. An
+        # AnalysisContext passes one shared dict so every slicer over
+        # the same function reuses each other's answers.
+        self._writers_cache: dict[int, list[Instruction]] = (
+            writers_cache if writers_cache is not None else {}
+        )
 
     def _potential_writers(self, inst: Instruction) -> list[Instruction]:
         cached = self._writers_cache.get(id(inst))

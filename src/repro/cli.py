@@ -7,6 +7,8 @@ Commands:
   and with each variant's fences
 * ``simulate FILE``    — run the timed TSO simulator and report cycles
 * ``experiments``      — regenerate the paper's tables and figures
+* ``batch``            — analyze a {program × variant × model} matrix in
+  parallel on the batch engine
 """
 
 from __future__ import annotations
@@ -17,15 +19,17 @@ from pathlib import Path
 
 from repro.core.annotations import render_annotations, suggest_annotations
 from repro.core.machine_models import MODELS, X86_TSO
-from repro.core.pipeline import FencePlacer, PipelineVariant
+from repro.core.pipeline import (
+    VARIANTS_BY_VALUE as _VARIANTS,
+    FencePlacer,
+    PipelineVariant,
+)
 from repro.frontend import compile_source
 from repro.ir.printer import format_program
 from repro.memmodel.sc import SCExplorer
 from repro.memmodel.tso import TSOExplorer
 from repro.simulator.machine import TSOSimulator
 from repro.util.text import format_table
-
-_VARIANTS = {v.value: v for v in PipelineVariant}
 
 
 def _load(path: str, manual_fences: bool = False):
@@ -74,9 +78,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    base = _load(args.file)
-    sc = SCExplorer(base, max_states=args.max_states).explore()
-    tso = TSOExplorer(_load(args.file), max_states=args.max_states).explore()
+    # Read the source once; each explorer needs its own IR copy (the
+    # explorers and fence insertion mutate state), so compile the
+    # in-memory string repeatedly instead of re-reading the file.
+    source = Path(args.file).read_text(encoding="utf-8")
+    name = Path(args.file).stem
+    sc = SCExplorer(compile_source(source, name), max_states=args.max_states).explore()
+    tso = TSOExplorer(compile_source(source, name), max_states=args.max_states).explore()
     if not (sc.complete and tso.complete):
         print("state space exceeded --max-states; results incomplete")
         return 2
@@ -88,7 +96,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
     failures = 0
     for variant in PipelineVariant:
-        fenced = _load(args.file)
+        fenced = compile_source(source, name)
         analysis = FencePlacer(variant, X86_TSO).place(fenced)
         fenced_tso = TSOExplorer(fenced, max_states=args.max_states).explore()
         restored = fenced_tso.observation_sets() == sc.observation_sets()
@@ -135,7 +143,80 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     if args.quick:
         keep = ("fft", "water-nsquared", "raytrace", "matrix")
         programs = {k: programs[k] for k in keep}
-    print(run_all(programs).render())
+    print(
+        run_all(
+            programs, max_workers=args.jobs, parallel=not args.serial
+        ).render()
+    )
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+    import time
+
+    from repro.engine.batch import BatchRunner, ResultCache
+    from repro.programs import all_programs
+
+    known = list(all_programs())
+    programs = known if args.programs == ["all"] else args.programs
+    for p in programs:
+        if p not in known:
+            print(f"unknown program {p!r}; known: {', '.join(known)}")
+            return 2
+    variants = sorted(_VARIANTS) if args.variants == ["all"] else args.variants
+    models = sorted(MODELS) if args.models == ["all"] else args.models
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = BatchRunner(
+        max_workers=args.jobs, parallel=not args.serial, cache=cache
+    )
+    start = time.perf_counter()
+    try:
+        results = runner.run_matrix(programs, variants, models)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    wall = time.perf_counter() - start
+
+    if args.json:
+        print(_json.dumps(
+            [r.to_payload() for r in results], indent=2, sort_keys=True
+        ))
+        return 0
+
+    rows = [
+        [
+            r.program,
+            r.variant,
+            r.model,
+            len(r.functions),
+            r.escaping_reads,
+            r.sync_reads,
+            f"{r.orderings}->{r.pruned_orderings}",
+            f"{r.surviving_fraction:.1%}",
+            r.full_fences,
+            r.compiler_fences,
+            f"{r.elapsed * 1000:.0f}ms",
+            "hit" if r.cached else "",
+        ]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["program", "variant", "model", "fns", "esc reads", "acquires",
+             "orderings", "surv", "mfences", "directives", "time", "cache"],
+            rows,
+            title=f"batch: {len(results)} analyses "
+            f"({'pool' if runner.used_pool else 'serial'}, {wall:.2f}s wall)",
+        )
+    )
+    total_full = sum(r.full_fences for r in results)
+    hits = sum(1 for r in results if r.cached)
+    print(
+        f"\ntotal: {total_full} full fences across {len(results)} cells, "
+        f"{hits} cache hits"
+    )
     return 0
 
 
@@ -175,7 +256,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate the paper's evaluation")
     p.add_argument("--quick", action="store_true",
                    help="4-program subset instead of all 17")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count)")
+    p.add_argument("--serial", action="store_true",
+                   help="run the sweep serially (deterministic fallback)")
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "batch", help="analyze a program × variant × model matrix in parallel"
+    )
+    p.add_argument("--programs", nargs="+", default=["all"],
+                   help="registry program names, or 'all' (default)")
+    p.add_argument("--variants", nargs="+", default=["all"],
+                   help=f"pipeline variants ({', '.join(sorted(_VARIANTS))}), "
+                        "or 'all' (default)")
+    p.add_argument("--models", nargs="+", default=["x86-tso"],
+                   help=f"memory models ({', '.join(sorted(MODELS))}), or 'all'")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count)")
+    p.add_argument("--serial", action="store_true",
+                   help="run serially (deterministic fallback)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of a table")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the content-keyed result cache")
+    p.set_defaults(func=cmd_batch)
 
     return parser
 

@@ -31,7 +31,12 @@ from repro.core.pipeline import (
     analyze_program,
     place_fences,
 )
-from repro.core.pruning import PruneStats, keep_ordering, prune_orderings
+from repro.core.pruning import (
+    PruneStats,
+    aggregate_surviving_fraction,
+    keep_ordering,
+    prune_orderings,
+)
 from repro.core.signatures import (
     AcquireResult,
     SignatureBreakdown,
@@ -68,6 +73,7 @@ __all__ = [
     "SignatureBreakdown",
     "Variant",
     "X86_TSO",
+    "aggregate_surviving_fraction",
     "analyze_program",
     "apply_plan",
     "detect_acquires",

@@ -21,13 +21,11 @@ with every practical tool built on this analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.analysis.aliasing import UNKNOWN, AllocaObj, GlobalObj, PointsTo
-from repro.analysis.escape import EscapeInfo
-from repro.analysis.reachability import ReachabilityTable
 from repro.core.orderings import Access, Ordering, OrderingSet, logical_accesses
-from repro.ir.function import Function, Program
+from repro.engine.context import AnalysisContext
+from repro.ir.function import Program
 
 
 @dataclass(frozen=True)
@@ -82,23 +80,22 @@ class DelaySetAnalysis:
         program: Program,
         max_cycle_nodes: int = 8,
         exclude_coherence_cycles: bool = True,
+        context: AnalysisContext | None = None,
     ) -> None:
         self.program = program
         self.max_cycle_nodes = max_cycle_nodes
         self.exclude_coherence_cycles = exclude_coherence_cycles
-        self._points_to: dict[str, PointsTo] = {}
-        self._escape: dict[str, EscapeInfo] = {}
-        self._reach: dict[str, ReachabilityTable] = {}
-        for name, func in program.functions.items():
-            pt = PointsTo(func)
-            self._points_to[name] = pt
-            self._escape[name] = EscapeInfo(func, pt)
-            self._reach[name] = ReachabilityTable(func)
+        # All per-function facts come from the shared context (lazily),
+        # so a pipeline run over the same IR reuses them and vice versa.
+        self.context = context if context is not None else AnalysisContext(program)
+
+    def _points_to_of(self, func_name: str) -> PointsTo:
+        return self.context.points_to(self.program.functions[func_name])
 
     # --- cross-thread conflict oracle ---------------------------------------
     def _shared_objects(self, thread_func: str, access: Access) -> frozenset:
         """Thread-visible abstract objects an access may touch."""
-        pt = self._points_to[thread_func]
+        pt = self._points_to_of(thread_func)
         addr = access.inst.address_operand()
         objs = pt.pointees(addr)
         shared = set()
@@ -132,7 +129,7 @@ class DelaySetAnalysis:
         for t_index, spec in enumerate(threads):
             func = self.program.functions[spec.func_name]
             func_of_thread[t_index] = spec.func_name
-            escaping = self._escape[spec.func_name].escaping
+            escaping = self.context.escape_info(func).escaping
             for access in logical_accesses(escaping):
                 nodes.append(ThreadAccess(t_index, access))
 
@@ -152,7 +149,9 @@ class DelaySetAnalysis:
                         if a.access.part == "r" and b.access.part == "w":
                             po_edges.add((i, j))
                         continue
-                    reach = self._reach[func_of_thread[a.thread]]
+                    reach = self.context.reachability(
+                        self.program.functions[func_of_thread[a.thread]]
+                    )
                     if reach.exists_path(a.access.inst, b.access.inst):
                         po_edges.add((i, j))
                 else:

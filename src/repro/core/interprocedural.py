@@ -25,9 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.aliasing import PointsTo
-from repro.analysis.escape import EscapeInfo
 from repro.core.signatures import Variant
+from repro.engine.context import AnalysisContext
 from repro.ir.function import Function, Program
 from repro.ir.instructions import Call, Instruction, Ret
 from repro.ir.values import Register, Value, get_def
@@ -46,14 +45,15 @@ class _SliceResult:
 class _FunctionContext:
     """Per-function analysis state shared across slices."""
 
-    def __init__(self, func: Function) -> None:
+    def __init__(self, func: Function, analysis_context: AnalysisContext) -> None:
         self.function = func
-        self.points_to = PointsTo(func)
-        self.escape_info = EscapeInfo(func, self.points_to)
+        self.points_to = analysis_context.points_to(func)
+        self.escape_info = analysis_context.escape_info(func)
         self.param_names = {p.name for p in func.params}
         self.seen: set[Instruction] = set()
         self.seen_params: set[str] = set()
-        self._writers_cache: dict[int, list[Instruction]] = {}
+        # Shared with every other slicer over this function.
+        self._writers_cache = analysis_context.writers_cache(func)
 
     def potential_writers(self, inst: Instruction) -> list[Instruction]:
         cached = self._writers_cache.get(id(inst))
@@ -144,10 +144,19 @@ class InterproceduralResult:
 
 
 def detect_acquires_interprocedural(
-    program: Program, variant: Variant = Variant.CONTROL
+    program: Program,
+    variant: Variant = Variant.CONTROL,
+    context: AnalysisContext | None = None,
 ) -> InterproceduralResult:
-    """Whole-program acquire detection with cross-function propagation."""
-    contexts = {name: _FunctionContext(f) for name, f in program.functions.items()}
+    """Whole-program acquire detection with cross-function propagation.
+
+    With a ``context``, per-function facts are drawn from the shared
+    :class:`~repro.engine.context.AnalysisContext` instead of rebuilt.
+    """
+    actx = context if context is not None else AnalysisContext(program)
+    contexts = {
+        name: _FunctionContext(f, actx) for name, f in program.functions.items()
+    }
     call_sites: dict[str, list[tuple[str, Call]]] = {}
     for name, func in program.functions.items():
         for inst in func.instructions():

@@ -24,12 +24,12 @@ from dataclasses import dataclass, field
 
 from repro.analysis.aliasing import PointsTo
 from repro.analysis.escape import EscapeInfo
-from repro.analysis.reachability import ReachabilityTable
 from repro.core.fence_min import FencePlan, apply_plan, plan_fences
 from repro.core.machine_models import X86_TSO, MemoryModel, OrderKind
 from repro.core.orderings import OrderingSet, generate_orderings
-from repro.core.pruning import PruneStats, prune_orderings
-from repro.core.signatures import Variant, detect_acquires
+from repro.core.pruning import PruneStats, aggregate_surviving_fraction, prune_orderings
+from repro.core.signatures import Variant
+from repro.engine.context import AnalysisContext
 from repro.ir.function import Function, Program
 from repro.ir.instructions import Instruction
 from repro.util.orderedset import OrderedSet
@@ -41,6 +41,10 @@ class PipelineVariant(enum.Enum):
     PENSIEVE = "pensieve"
     CONTROL = "control"
     ADDRESS_CONTROL = "address+control"
+
+
+#: CLI-facing name -> variant, shared by every surface that parses one.
+VARIANTS_BY_VALUE = {v.value: v for v in PipelineVariant}
 
 
 @dataclass
@@ -104,6 +108,19 @@ class ProgramAnalysis:
     def compiler_fence_count(self) -> int:
         return sum(fa.plan.compiler_count for fa in self.functions.values())
 
+    @property
+    def surviving_fraction(self) -> float:
+        """Ordering-count-weighted surviving fraction over the program.
+
+        Weighting by each function's pre-prune ordering count (rather
+        than averaging per-function fractions) keeps functions with
+        zero orderings — whose per-function fraction is a vacuous
+        1.0 — from inflating the aggregate.
+        """
+        return aggregate_surviving_fraction(
+            fa.prune_stats for fa in self.functions.values()
+        )
+
 
 class FencePlacer:
     """Configurable pipeline runner.
@@ -137,10 +154,14 @@ class FencePlacer:
         self,
         func: Function,
         sync_reads_override: OrderedSet[Instruction] | None = None,
+        context: AnalysisContext | None = None,
     ) -> FunctionAnalysis:
-        points_to = PointsTo(func)
-        escape_info = EscapeInfo(func, points_to)
-        reach = ReachabilityTable(func)
+        """Analyze one function; facts come from ``context`` (a private
+        one is created when none is supplied)."""
+        ctx = context if context is not None else AnalysisContext()
+        points_to = ctx.points_to(func)
+        escape_info = ctx.escape_info(func)
+        reach = ctx.reachability(func)
 
         if sync_reads_override is not None:
             sync_reads = sync_reads_override
@@ -148,9 +169,7 @@ class FencePlacer:
             # No acquire knowledge: every escaping read could be one.
             sync_reads = escape_info.escaping_reads
         else:
-            sync_reads = detect_acquires(
-                func, self._detector_variant(), points_to, escape_info
-            ).sync_reads
+            sync_reads = ctx.acquires(func, self._detector_variant()).sync_reads
 
         orderings = generate_orderings(func, escape_info, reach)
         pruned, stats = prune_orderings(orderings, sync_reads)
@@ -171,24 +190,46 @@ class FencePlacer:
         )
 
     # --- whole program ------------------------------------------------------
-    def analyze(self, program: Program) -> ProgramAnalysis:
-        """Run the pipeline; no IR mutation."""
+    def analyze(
+        self, program: Program, context: AnalysisContext | None = None
+    ) -> ProgramAnalysis:
+        """Run the pipeline; no IR mutation.
+
+        A supplied ``context`` shares its memoized facts across
+        pipeline variants and with other consumers (delay-set analysis,
+        signature studies) of the same IR.
+        """
+        ctx = context if context is not None else AnalysisContext(program)
+        if ctx.program is None:
+            ctx.program = program
+        elif ctx.program is not program:
+            # A context is per-program: its function-keyed facts would
+            # simply miss, but the interprocedural memo is keyed by
+            # variant only and would hand back the *other* program's
+            # acquire overrides.
+            raise ValueError(
+                "AnalysisContext is bound to a different program "
+                f"({ctx.program.name!r}); create one per compiled program"
+            )
         overrides: dict[str, OrderedSet[Instruction]] = {}
         if self.interprocedural and self.variant is not PipelineVariant.PENSIEVE:
-            from repro.core.interprocedural import detect_acquires_interprocedural
-
-            ipa = detect_acquires_interprocedural(program, self._detector_variant())
-            overrides = ipa.acquires
+            overrides = ctx.interprocedural(self._detector_variant()).acquires
         result = ProgramAnalysis(program, self.variant, self.model)
         for name in program.functions:
             result.functions[name] = self.analyze_function(
-                program.functions[name], overrides.get(name)
+                program.functions[name], overrides.get(name), context=ctx
             )
         return result
 
-    def place(self, program: Program) -> ProgramAnalysis:
-        """Run the pipeline and insert the planned fences into ``program``."""
-        result = self.analyze(program)
+    def place(
+        self, program: Program, context: AnalysisContext | None = None
+    ) -> ProgramAnalysis:
+        """Run the pipeline and insert the planned fences into ``program``.
+
+        Insertion mutates the IR, so any ``context`` holding facts for
+        this program is stale afterwards — don't reuse it.
+        """
+        result = self.analyze(program, context=context)
         for fa in result.functions.values():
             apply_plan(fa.function, fa.plan)
         return result
@@ -198,15 +239,17 @@ def analyze_program(
     program: Program,
     variant: PipelineVariant = PipelineVariant.CONTROL,
     model: MemoryModel = X86_TSO,
+    context: AnalysisContext | None = None,
 ) -> ProgramAnalysis:
     """One-call analysis without mutation (the common entry point)."""
-    return FencePlacer(variant, model).analyze(program)
+    return FencePlacer(variant, model).analyze(program, context=context)
 
 
 def place_fences(
     program: Program,
     variant: PipelineVariant = PipelineVariant.CONTROL,
     model: MemoryModel = X86_TSO,
+    context: AnalysisContext | None = None,
 ) -> ProgramAnalysis:
     """One-call analysis + fence insertion (mutates ``program``)."""
-    return FencePlacer(variant, model).place(program)
+    return FencePlacer(variant, model).place(program, context=context)

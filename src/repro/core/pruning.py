@@ -18,10 +18,10 @@ half of an RMW is an acquire iff the RMW instruction was detected.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.machine_models import OrderKind
 from repro.core.orderings import Ordering, OrderingSet
-from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.util.orderedset import OrderedSet
 
@@ -42,10 +42,44 @@ class PruneStats:
         return sum(self.after.values())
 
     @property
+    def is_vacuous(self) -> bool:
+        """True when the function had no orderings to prune at all."""
+        return self.total_before == 0
+
+    @property
     def surviving_fraction(self) -> float:
+        """Per-function fraction of orderings surviving Table-I pruning.
+
+        A function with zero orderings survives "vacuously" and reports
+        1.0 here; when averaging across functions or programs, use
+        :func:`aggregate_surviving_fraction` instead, which weights by
+        ordering count so vacuous functions carry no weight and cannot
+        inflate the aggregate.
+        """
         if self.total_before == 0:
             return 1.0
         return self.total_after / self.total_before
+
+
+def aggregate_surviving_fraction(stats: Iterable[PruneStats]) -> float:
+    """Ordering-count-weighted surviving fraction across functions.
+
+    Computed as ``sum(after) / sum(before)`` — equivalent to weighting
+    each function's :attr:`PruneStats.surviving_fraction` by its
+    pre-prune ordering count. Chosen over skipping empty functions plus
+    an unweighted mean because it also keeps tiny functions (one or two
+    orderings) from dominating the average of a program whose orderings
+    live in a few large functions. Returns 1.0 when nothing anywhere
+    needed pruning (vacuously all survived).
+    """
+    before = 0
+    after = 0
+    for s in stats:
+        before += s.total_before
+        after += s.total_after
+    if before == 0:
+        return 1.0
+    return after / before
 
 
 def keep_ordering(

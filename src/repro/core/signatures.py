@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.aliasing import PointsTo
 from repro.analysis.escape import EscapeInfo
@@ -30,6 +31,9 @@ from repro.analysis.slicing import Slicer
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.util.orderedset import OrderedSet
+
+if TYPE_CHECKING:
+    from repro.engine.context import AnalysisContext
 
 
 class Variant(enum.Enum):
@@ -58,10 +62,11 @@ def detect_control_acquires(
     escape_info: EscapeInfo,
     seen: set[Instruction] | None = None,
     sync_reads: OrderedSet[Instruction] | None = None,
+    slicer: Slicer | None = None,
 ) -> OrderedSet[Instruction]:
     """Listing 1: escaping reads with a conditional branch in their
     forward slice, found by slicing backwards from each branch."""
-    slicer = Slicer(func, points_to, escape_info)
+    slicer = slicer if slicer is not None else Slicer(func, points_to, escape_info)
     seen = seen if seen is not None else set()
     sync_reads = sync_reads if sync_reads is not None else OrderedSet()
     for inst in func.instructions():
@@ -76,10 +81,11 @@ def detect_address_acquires(
     escape_info: EscapeInfo,
     seen: set[Instruction] | None = None,
     sync_reads: OrderedSet[Instruction] | None = None,
+    slicer: Slicer | None = None,
 ) -> OrderedSet[Instruction]:
     """The address-signature half of Listing 3: slice from every
     address calculation's offset and every dereference's address."""
-    slicer = Slicer(func, points_to, escape_info)
+    slicer = slicer if slicer is not None else Slicer(func, points_to, escape_info)
     seen = seen if seen is not None else set()
     sync_reads = sync_reads if sync_reads is not None else OrderedSet()
     for inst in func.instructions():
@@ -90,27 +96,54 @@ def detect_address_acquires(
     return sync_reads
 
 
+def _resolve_facts(
+    func: Function,
+    points_to: PointsTo | None,
+    escape_info: EscapeInfo | None,
+    context: "AnalysisContext | None",
+) -> tuple[PointsTo, EscapeInfo, "dict | None"]:
+    """Fill in missing per-function facts — from the shared context
+    when one is supplied, built fresh otherwise."""
+    writers_cache = None
+    if context is not None:
+        points_to = points_to if points_to is not None else context.points_to(func)
+        escape_info = (
+            escape_info if escape_info is not None else context.escape_info(func)
+        )
+        writers_cache = context.writers_cache(func)
+    points_to = points_to if points_to is not None else PointsTo(func)
+    escape_info = (
+        escape_info if escape_info is not None else EscapeInfo(func, points_to)
+    )
+    return points_to, escape_info, writers_cache
+
+
 def detect_acquires(
     func: Function,
     variant: Variant,
     points_to: PointsTo | None = None,
     escape_info: EscapeInfo | None = None,
+    context: "AnalysisContext | None" = None,
 ) -> AcquireResult:
     """Run the requested detection algorithm on one function.
 
     For ``ADDRESS_CONTROL`` (Listing 3), control and address anchors
     share one ``seen`` set — slices overlap heavily and the paper notes
     the shared set "prevents reiteration".
+
+    With a ``context``, the per-function facts come from (and are
+    memoized in) the shared :class:`~repro.engine.context.AnalysisContext`
+    instead of being rebuilt here.
     """
-    points_to = points_to if points_to is not None else PointsTo(func)
-    escape_info = (
-        escape_info if escape_info is not None else EscapeInfo(func, points_to)
+    points_to, escape_info, writers_cache = _resolve_facts(
+        func, points_to, escape_info, context
     )
+    slicer = Slicer(func, points_to, escape_info, writers_cache=writers_cache)
     seen: set[Instruction] = set()
     sync_reads: OrderedSet[Instruction] = OrderedSet()
-    detect_control_acquires(func, points_to, escape_info, seen, sync_reads)
+    detect_control_acquires(func, points_to, escape_info, seen, sync_reads, slicer)
     if variant is Variant.ADDRESS_CONTROL:
-        detect_address_acquires(func, points_to, escape_info, seen, sync_reads)
+        detect_address_acquires(func, points_to, escape_info, seen, sync_reads, slicer)
     return AcquireResult(func, variant, sync_reads, seen)
 
 
@@ -154,12 +187,20 @@ def signature_breakdown(
     func: Function,
     points_to: PointsTo | None = None,
     escape_info: EscapeInfo | None = None,
+    context: "AnalysisContext | None" = None,
 ) -> SignatureBreakdown:
     """Classify every acquire by the signature(s) it matches."""
-    points_to = points_to if points_to is not None else PointsTo(func)
-    escape_info = (
-        escape_info if escape_info is not None else EscapeInfo(func, points_to)
+    points_to, escape_info, writers_cache = _resolve_facts(
+        func, points_to, escape_info, context
     )
-    control = detect_control_acquires(func, points_to, escape_info)
-    address = detect_address_acquires(func, points_to, escape_info)
+    # Separate seen sets per signature (see the class docstring), but
+    # the potential-writers memo is safely shared across both slicers.
+    control = detect_control_acquires(
+        func, points_to, escape_info,
+        slicer=Slicer(func, points_to, escape_info, writers_cache=writers_cache),
+    )
+    address = detect_address_acquires(
+        func, points_to, escape_info,
+        slicer=Slicer(func, points_to, escape_info, writers_cache=writers_cache),
+    )
     return SignatureBreakdown(func, control, address)

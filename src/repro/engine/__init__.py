@@ -1,0 +1,30 @@
+"""Shared analysis engine: memoized per-program facts + parallel batch runs.
+
+``repro.engine.batch`` is exported lazily (PEP 562): it imports the
+pipeline, while the pipeline imports :mod:`repro.engine.context` — an
+eager import here would close that cycle.
+"""
+
+from repro.engine.context import AnalysisContext, ContextStats
+
+_BATCH_EXPORTS = (
+    "BatchJob",
+    "BatchResult",
+    "BatchRunner",
+    "ENGINE_VERSION",
+    "FunctionResult",
+    "ResultCache",
+    "execute_job",
+    "execute_job_group",
+    "parallel_map",
+)
+
+__all__ = ["AnalysisContext", "ContextStats", *_BATCH_EXPORTS]
+
+
+def __getattr__(name: str):
+    if name in _BATCH_EXPORTS:
+        from repro.engine import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,396 @@
+"""Parallel batch analysis over a {program × variant × model} matrix.
+
+The paper pitches synchronization-read detection as a *practical*
+compiler pass; practicality at corpus scale means not re-analyzing 17
+workloads serially from scratch on every experiment run. This module
+provides:
+
+* :func:`execute_job` — one picklable unit of work: compile a program
+  from source, run the fence-placement pipeline with a shared
+  :class:`~repro.engine.context.AnalysisContext`, and reduce the result
+  to a plain-data :class:`BatchResult`;
+* :class:`ResultCache` — a content-keyed cache (in memory, optionally
+  backed by a directory of JSON files) so repeated runs over unchanged
+  sources reuse prior analyses;
+* :class:`BatchRunner` — fans a job matrix out over a
+  ``concurrent.futures`` process pool with a deterministic serial
+  fallback; results always come back in job-submission order.
+
+Workers return compact summaries rather than IR-bearing analyses so
+results cross the process boundary (and the JSON cache) cheaply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.core.machine_models import MODELS
+from repro.core.pipeline import (
+    VARIANTS_BY_VALUE as _VARIANTS,
+    PipelineVariant,
+    analyze_program,
+)
+from repro.frontend import compile_source
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Bump when analysis semantics change so stale cache entries miss.
+ENGINE_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One cell of the analysis matrix.
+
+    ``program`` names a registry workload unless ``source`` carries
+    explicit mini-C text (then ``program`` is just a display name).
+    """
+
+    program: str
+    variant: str = PipelineVariant.CONTROL.value
+    model: str = "x86-tso"
+    source: str | None = None
+
+    def resolve_source(self) -> str:
+        if self.source is not None:
+            return self.source
+        from repro.programs.registry import get_program
+
+        return get_program(self.program).source
+
+    def content_key(self) -> str:
+        """Digest of everything that determines the analysis result."""
+        payload = "\x00".join(
+            (ENGINE_VERSION, self.program, self.variant, self.model,
+             self.resolve_source())
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class FunctionResult:
+    """Per-function analysis summary (plain data, JSON/pickle friendly)."""
+
+    name: str
+    escaping_reads: int
+    sync_reads: int
+    orderings: int
+    pruned: int
+    full_fences: int
+    compiler_fences: int
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One analyzed matrix cell, reduced to aggregate counts."""
+
+    program: str
+    variant: str
+    model: str
+    key: str
+    functions: tuple[FunctionResult, ...]
+    ordering_kinds: dict[str, int]  # pruned counts by OrderKind value
+    elapsed: float
+    cached: bool = False
+
+    # --- aggregates -------------------------------------------------------
+    @property
+    def escaping_reads(self) -> int:
+        return sum(f.escaping_reads for f in self.functions)
+
+    @property
+    def sync_reads(self) -> int:
+        return sum(f.sync_reads for f in self.functions)
+
+    @property
+    def orderings(self) -> int:
+        return sum(f.orderings for f in self.functions)
+
+    @property
+    def pruned_orderings(self) -> int:
+        return sum(f.pruned for f in self.functions)
+
+    @property
+    def surviving_fraction(self) -> float:
+        """Ordering-count-weighted (vacuous functions carry no weight)."""
+        if self.orderings == 0:
+            return 1.0
+        return self.pruned_orderings / self.orderings
+
+    @property
+    def full_fences(self) -> int:
+        return sum(f.full_fences for f in self.functions)
+
+    @property
+    def compiler_fences(self) -> int:
+        return sum(f.compiler_fences for f in self.functions)
+
+    # --- (de)serialization for the on-disk cache --------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    def to_payload(self) -> dict:
+        """Fields plus every aggregate — the machine-readable surface
+        (``batch --json``). New aggregates belong here, not in the CLI."""
+        return {
+            **asdict(self),
+            "escaping_reads": self.escaping_reads,
+            "sync_reads": self.sync_reads,
+            "orderings": self.orderings,
+            "pruned_orderings": self.pruned_orderings,
+            "surviving_fraction": self.surviving_fraction,
+            "full_fences": self.full_fences,
+            "compiler_fences": self.compiler_fences,
+        }
+
+    @staticmethod
+    def from_json(text: str) -> "BatchResult":
+        data = json.loads(text)
+        data["functions"] = tuple(
+            FunctionResult(**f) for f in data["functions"]
+        )
+        return BatchResult(**data)
+
+
+def execute_job(job: BatchJob) -> BatchResult:
+    """Run one matrix cell; top-level so process pools can pickle it."""
+    return _execute_cell(
+        job, compile_source(job.resolve_source(), job.program), None
+    )
+
+
+def execute_job_group(jobs: "tuple[BatchJob, ...]") -> list[BatchResult]:
+    """Run several cells of the *same program source* in one worker.
+
+    Compiles once and shares one :class:`AnalysisContext`, so the
+    variant/model cells of a program reuse the variant-independent
+    facts instead of rebuilding them per cell.
+    """
+    from repro.engine.context import AnalysisContext
+
+    ir = compile_source(jobs[0].resolve_source(), jobs[0].program)
+    ctx = AnalysisContext(ir)
+    return [_execute_cell(job, ir, ctx) for job in jobs]
+
+
+def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
+    start = time.perf_counter()
+    analysis = analyze_program(
+        ir, _VARIANTS[job.variant], MODELS[job.model], context=context
+    )
+    functions = tuple(
+        FunctionResult(
+            name=name,
+            escaping_reads=len(fa.escape_info.escaping_reads),
+            sync_reads=len(fa.sync_reads),
+            orderings=len(fa.orderings),
+            pruned=len(fa.pruned),
+            full_fences=fa.plan.full_count,
+            compiler_fences=fa.plan.compiler_count,
+        )
+        for name, fa in analysis.functions.items()
+    )
+    kinds = {
+        kind.value: count
+        for kind, count in analysis.ordering_counts(pruned=True).items()
+    }
+    return BatchResult(
+        program=job.program,
+        variant=job.variant,
+        model=job.model,
+        key=job.content_key(),
+        functions=functions,
+        ordering_kinds=kinds,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+class ResultCache:
+    """Content-keyed result cache: in-memory, optionally disk-backed.
+
+    Disk entries are one JSON file per content key under ``directory``;
+    corrupt or unreadable files are treated as misses.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, BatchResult] = {}
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> BatchResult | None:
+        result = self._memory.get(key)
+        if result is not None:
+            return result
+        if self.directory is not None:
+            path = self._path(key)
+            if path.is_file():
+                try:
+                    result = BatchResult.from_json(
+                        path.read_text(encoding="utf-8")
+                    )
+                except (ValueError, TypeError, KeyError, OSError):
+                    return None
+                self._memory[key] = result
+                return result
+        return None
+
+    def put(self, result: BatchResult) -> None:
+        self._memory[result.key] = result
+        if self.directory is not None:
+            # The disk layer is an optimization: a full disk or
+            # unwritable directory must not abort a finished run.
+            # (get() likewise tolerates torn/corrupt entries.)
+            try:
+                self._path(result.key).write_text(
+                    result.to_json(), encoding="utf-8"
+                )
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+def _map_with_report(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    max_workers: int | None = None,
+    parallel: bool = True,
+) -> tuple[list[_R], bool]:
+    """Order-preserving map; second element reports pool usage.
+
+    Uses a process pool when ``parallel`` and there is more than one
+    item; falls back to a deterministic serial loop when parallelism is
+    disabled, pointless (0-1 items, one worker), or unavailable in the
+    host environment (sandboxes without fork/semaphore support).
+    """
+    items = list(items)
+    workers = max_workers if max_workers is not None else os.cpu_count() or 1
+    workers = min(workers, len(items)) if items else 0
+    if not parallel or workers < 1 or len(items) <= 1:
+        return [fn(item) for item in items], False
+    # Fallback covers both environments where pools can't start (no
+    # fork/semaphores: OSError) and pools whose workers die mid-run
+    # (BrokenProcessPool). Completed futures are discarded on
+    # fallback — jobs must be idempotent, which analysis jobs are.
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [f.result() for f in futures], True
+    except (OSError, BrokenProcessPool):
+        return [fn(item) for item in items], False
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    max_workers: int | None = None,
+    parallel: bool = True,
+) -> list[_R]:
+    """Map ``fn`` over ``items`` on the process pool, preserving order."""
+    return _map_with_report(fn, items, max_workers, parallel)[0]
+
+
+class BatchRunner:
+    """Analyze a job matrix in parallel with result caching.
+
+    ``max_workers=None`` uses the host CPU count. ``parallel=False``
+    forces the deterministic serial path. Either way the returned list
+    matches job-submission order. ``used_pool`` reports whether the
+    most recent :meth:`run` actually dispatched to a process pool.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        parallel: bool = True,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.max_workers = max_workers
+        self.parallel = parallel
+        self.cache = cache if cache is not None else ResultCache()
+        self.used_pool = False
+
+    def run(self, jobs: Sequence[BatchJob]) -> list[BatchResult]:
+        jobs = list(jobs)
+        results: list[BatchResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, BatchJob]] = []
+        for i, job in enumerate(jobs):
+            hit = self.cache.get(job.content_key())
+            if hit is not None:
+                results[i] = replace(hit, cached=True)
+            else:
+                pending.append((i, job))
+
+        # One worker invocation per program source, not per cell: the
+        # variant/model cells of a program share one compile and one
+        # AnalysisContext inside the worker.
+        groups: dict[tuple[str, str | None], list[tuple[int, BatchJob]]] = {}
+        for i, job in pending:
+            groups.setdefault((job.program, job.source), []).append((i, job))
+        group_list = list(groups.values())
+        computed, self.used_pool = _map_with_report(
+            execute_job_group,
+            [tuple(job for _, job in group) for group in group_list],
+            max_workers=self.max_workers,
+            parallel=self.parallel,
+        )
+        for group, group_results in zip(group_list, computed):
+            for (i, _), result in zip(group, group_results):
+                self.cache.put(result)
+                results[i] = result
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def run_matrix(
+        self,
+        programs: Iterable[str] | None = None,
+        variants: Iterable[str | PipelineVariant] | None = None,
+        models: Iterable[str] | None = None,
+    ) -> list[BatchResult]:
+        """Cross product in stable (program, variant, model) order.
+
+        Defaults: all 17 registry programs × all three variants ×
+        x86-TSO.
+        """
+        from repro.programs.registry import all_programs
+
+        program_names = (
+            list(programs) if programs is not None else list(all_programs())
+        )
+        variant_values = [
+            v.value if isinstance(v, PipelineVariant) else v
+            for v in (variants if variants is not None else list(_VARIANTS))
+        ]
+        model_names = list(models) if models is not None else ["x86-tso"]
+        for value in variant_values:
+            if value not in _VARIANTS:
+                raise KeyError(
+                    f"unknown variant {value!r}; known: {', '.join(_VARIANTS)}"
+                )
+        for name in model_names:
+            if name not in MODELS:
+                raise KeyError(
+                    f"unknown model {name!r}; known: {', '.join(MODELS)}"
+                )
+        jobs = [
+            BatchJob(program=p, variant=v, model=m)
+            for p in program_names
+            for v in variant_values
+            for m in model_names
+        ]
+        return self.run(jobs)

@@ -1,0 +1,128 @@
+"""Shared per-program analysis context.
+
+Before this module existed, every pipeline stage built its own
+``PointsTo``/``EscapeInfo``/``ReachabilityTable``: the pipeline, the
+exact delay-set analysis, the interprocedural fixpoint, and the
+signature detectors each recomputed identical per-function facts. An
+:class:`AnalysisContext` is the single construction site for those
+facts: consumers ask the context, the context computes each fact at
+most once per function and memoizes it.
+
+The context is keyed by :class:`~repro.ir.function.Function` identity,
+so one context serves exactly one compiled IR program (plus any helper
+functions handed to it directly). Facts are variant-independent except
+acquire detection, which is memoized per ``(function, Variant)``.
+
+The context also owns the ``potential_writers`` memo shared by every
+slicer over a function — previously each ``Slicer`` instance kept a
+private cache, so the control and address detectors re-ran the alias
+queries the other had already answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.aliasing import PointsTo
+from repro.analysis.escape import EscapeInfo
+from repro.analysis.reachability import ReachabilityTable
+from repro.ir.function import Function, Program
+from repro.ir.instructions import Instruction
+
+if TYPE_CHECKING:  # avoid import cycles; these are runtime-lazy below
+    from repro.core.interprocedural import InterproceduralResult
+    from repro.core.signatures import AcquireResult, Variant
+
+
+@dataclass
+class ContextStats:
+    """Memoization counters (observable in tests and benchmarks)."""
+
+    hits: int = 0
+    misses: int = 0
+    by_fact: dict[str, int] = field(default_factory=dict)
+
+    def record(self, fact: str, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self.by_fact[fact] = self.by_fact.get(fact, 0) + 1
+
+
+class AnalysisContext:
+    """Lazily computed, memoized per-function analysis facts.
+
+    ``program`` is optional: a context can serve loose functions (unit
+    tests, Table-II kernels), but whole-program facts — the
+    interprocedural acquire fixpoint — require one.
+    """
+
+    def __init__(self, program: Program | None = None) -> None:
+        self.program = program
+        self.stats = ContextStats()
+        self._points_to: dict[Function, PointsTo] = {}
+        self._escape: dict[Function, EscapeInfo] = {}
+        self._reach: dict[Function, ReachabilityTable] = {}
+        self._writers: dict[Function, dict[int, list[Instruction]]] = {}
+        self._acquires: dict[tuple[Function, "Variant"], "AcquireResult"] = {}
+        self._interprocedural: dict["Variant", "InterproceduralResult"] = {}
+
+    # --- per-function facts ----------------------------------------------
+    def points_to(self, func: Function) -> PointsTo:
+        fact = self._points_to.get(func)
+        self.stats.record("points_to", fact is not None)
+        if fact is None:
+            fact = PointsTo(func)
+            self._points_to[func] = fact
+        return fact
+
+    def escape_info(self, func: Function) -> EscapeInfo:
+        fact = self._escape.get(func)
+        self.stats.record("escape_info", fact is not None)
+        if fact is None:
+            fact = EscapeInfo(func, self.points_to(func))
+            self._escape[func] = fact
+        return fact
+
+    def reachability(self, func: Function) -> ReachabilityTable:
+        fact = self._reach.get(func)
+        self.stats.record("reachability", fact is not None)
+        if fact is None:
+            fact = ReachabilityTable(func)
+            self._reach[func] = fact
+        return fact
+
+    def writers_cache(self, func: Function) -> dict[int, list[Instruction]]:
+        """The shared ``potential_writers`` memo for slicers over ``func``."""
+        return self._writers.setdefault(func, {})
+
+    def acquires(self, func: Function, variant: "Variant") -> "AcquireResult":
+        from repro.core.signatures import detect_acquires
+
+        key = (func, variant)
+        result = self._acquires.get(key)
+        self.stats.record("acquires", result is not None)
+        if result is None:
+            result = detect_acquires(func, variant, context=self)
+            self._acquires[key] = result
+        return result
+
+    # --- whole-program facts ---------------------------------------------
+    def interprocedural(self, variant: "Variant") -> "InterproceduralResult":
+        from repro.core.interprocedural import detect_acquires_interprocedural
+
+        if self.program is None:
+            raise ValueError(
+                "interprocedural acquire detection needs a whole program; "
+                "construct the context with AnalysisContext(program)"
+            )
+        result = self._interprocedural.get(variant)
+        self.stats.record("interprocedural", result is not None)
+        if result is None:
+            result = detect_acquires_interprocedural(
+                self.program, variant, context=self
+            )
+            self._interprocedural[variant] = result
+        return result

@@ -21,7 +21,8 @@ from repro.core.delay_set import DelaySetAnalysis
 from repro.core.fence_min import plan_fences
 from repro.core.machine_models import RMO
 from repro.core.pruning import prune_orderings
-from repro.core.signatures import Variant, detect_acquires
+from repro.core.signatures import Variant
+from repro.engine.context import AnalysisContext
 from repro.experiments import expected
 from repro.frontend import compile_source
 from repro.ir.function import Program
@@ -77,7 +78,10 @@ class Fig2Result:
 
 def run() -> Fig2Result:
     program = compile_source(FIG2_SOURCE, "fig2-example")
-    delays = DelaySetAnalysis(program).compute()
+    # Delay-set analysis and acquire detection share one context, so
+    # the per-function facts are computed exactly once.
+    ctx = AnalysisContext(program)
+    delays = DelaySetAnalysis(program, context=ctx).compute()
 
     total_unpruned = 0
     total_pruned = 0
@@ -87,7 +91,7 @@ def run() -> Fig2Result:
         orderings = delays.ordering_set(fn_name)
         plan = plan_fences(func, orderings, RMO, entry_fence=False)
         total_unpruned += len(plan.fences)
-        sync_reads = detect_acquires(func, Variant.CONTROL).sync_reads
+        sync_reads = ctx.acquires(func, Variant.CONTROL).sync_reads
         acquires[fn_name] = len(sync_reads)
         pruned, _ = prune_orderings(orderings, sync_reads)
         pruned_plan = plan_fences(func, pruned, RMO, entry_fence=False)

@@ -1,12 +1,31 @@
-"""Run every experiment and render the full paper-shaped report."""
+"""Run every experiment and render the full paper-shaped report.
+
+The per-program work for Figs. 7-10 — compile, analyze under every
+variant, simulate four fence placements — is independent across
+programs, so ``run_all`` fans it out over the batch engine's process
+pool (one job per program) and reassembles the figure rows in registry
+order. Table II and the Fig. 2 worked example are litmus-sized and run
+inline.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.engine.batch import parallel_map
 from repro.experiments import fig2_example, fig7, fig8, fig9, fig10, table2
-from repro.programs.registry import BenchProgram, all_programs
+from repro.programs.registry import BenchProgram, all_programs, get_program
+
+
+@dataclass(frozen=True)
+class ProgramCell:
+    """Everything Figs. 7-10 need for one program (picklable)."""
+
+    fig7_row: fig7.Fig7Row
+    fig8_row: fig8.Fig8Row
+    fig9_row: fig9.Fig9Row
+    fig10_row: fig10.Fig10Row
 
 
 @dataclass
@@ -30,15 +49,57 @@ class FullReport:
         return ("\n\n" + "=" * 72 + "\n\n").join(sections)
 
 
-def run_all(programs: Optional[dict[str, BenchProgram]] = None) -> FullReport:
-    """Run Table II, Figs 7-10, and the Fig. 2 example in one pass."""
+def compute_cell(program: BenchProgram) -> ProgramCell:
+    """All figure rows for one program (runs inside a pool worker)."""
+    from repro.engine.context import AnalysisContext
+
+    # Figs 7-9 only analyze: one compile and one shared context cover
+    # all of them. Fig 10 mutates the IR (fence insertion), so it keeps
+    # its own per-series compiles.
+    ir = program.compile()
+    ctx = AnalysisContext(ir)
+    return ProgramCell(
+        fig7_row=fig7.run_program(program, ir, ctx),
+        fig8_row=fig8.run_program(program, ir, ctx),
+        fig9_row=fig9.run_program(program, ir, ctx),
+        fig10_row=fig10.run_program(program),
+    )
+
+
+def _compute_cell_by_name(name: str) -> ProgramCell:
+    """Registry-name wrapper so jobs pickle as strings."""
+    return compute_cell(get_program(name))
+
+
+def run_all(
+    programs: Optional[dict[str, BenchProgram]] = None,
+    max_workers: int | None = None,
+    parallel: bool = True,
+) -> FullReport:
+    """Run Table II, Figs 7-10, and the Fig. 2 example in one sweep.
+
+    Per-program cells run on the process pool (serial fallback via
+    ``parallel=False``); row order always matches ``programs``.
+    """
     programs = programs if programs is not None else all_programs()
+    registry = all_programs()
+    names = list(programs)
+    # Workers rebuild programs by registry name, so the pool path is
+    # only valid when each entry *is* the registry program — a custom
+    # BenchProgram under a colliding name must not be swapped out.
+    if all(programs[name] == registry.get(name) for name in names):
+        cells = parallel_map(
+            _compute_cell_by_name, names,
+            max_workers=max_workers, parallel=parallel,
+        )
+    else:  # non-registry BenchPrograms can't be rebuilt by name in a worker
+        cells = [compute_cell(programs[name]) for name in names]
     return FullReport(
         table2_rows=table2.run(),
-        fig7_result=fig7.run(programs),
-        fig8_result=fig8.run(programs),
-        fig9_result=fig9.run(programs),
-        fig10_result=fig10.run(programs),
+        fig7_result=fig7.Fig7Result([c.fig7_row for c in cells]),
+        fig8_result=fig8.Fig8Result([c.fig8_row for c in cells]),
+        fig9_result=fig9.Fig9Result([c.fig9_row for c in cells]),
+        fig10_result=fig10.Fig10Result([c.fig10_row for c in cells]),
         fig2_result=fig2_example.run(),
     )
 

@@ -8,7 +8,7 @@ its suite, and the paper's manual-fence count where one was reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import cached_property, lru_cache
 
 from repro.frontend import compile_source
 from repro.ir.function import Program
@@ -31,9 +31,16 @@ class BenchProgram:
             self.source, self.name, include_manual_fences=manual_fences
         )
 
-    @property
+    @cached_property
     def manual_fence_count(self) -> int:
-        """Static full fences in this model's expert placement."""
+        """Static full fences in this model's expert placement.
+
+        Counting requires a full compile, so the result is memoized —
+        ``cached_property`` writes straight into ``__dict__``, which
+        works on a frozen dataclass (it bypasses the frozen
+        ``__setattr__``), and the count is immutable like every other
+        field.
+        """
         return sum(
             1 for f in self.compile(manual_fences=True).fences()
             if f.kind.value == "full"

@@ -196,3 +196,118 @@ def test_pruned_is_subset():
     base = {(id(x.src.inst), x.src.part, id(x.dst.inst), x.dst.part) for x in orderings}
     sub = {(id(x.src.inst), x.src.part, id(x.dst.inst), x.dst.part) for x in pruned}
     assert sub <= base
+
+
+# --- RMW and self-pair branches of generate_orderings ----------------------
+
+
+LOOPED_RMW = """
+global g;
+fn f() {
+  local i = 0;
+  while (i < 4) {
+    local r = fadd(&g, 1);
+    i = i + 1;
+  }
+}
+"""
+
+
+def test_self_pairs_in_loop_generate_loop_carried_orderings():
+    src = "global g; fn f() { local i = 0; while (i < 2) { g = g + 1; i = i + 1; } }"
+    func = compile_source(src, "t").functions["f"]
+    esc = EscapeInfo(func)
+    with_self = generate_orderings(func, esc, include_self_pairs=True)
+    self_pairs = [
+        x for x in with_self
+        if x.src.inst is x.dst.inst and x.src.part == x.dst.part
+    ]
+    # The loop body reads and writes g: both accesses reach their own
+    # next dynamic instance around the back edge.
+    assert {x.kind for x in self_pairs} == {OrderKind.RR, OrderKind.WW}
+
+
+def test_self_pairs_require_a_cycle():
+    func = compile_source(
+        "global g; fn f() { g = 1; local r = g; }", "t"
+    ).functions["f"]
+    esc = EscapeInfo(func)
+    with_self = generate_orderings(func, esc, include_self_pairs=True)
+    without = generate_orderings(func, esc, include_self_pairs=False)
+    # Straight-line code: no access reaches itself, so self-pair mode
+    # adds nothing.
+    assert len(with_self) == len(without)
+
+
+def test_rmw_halves_excluded_even_with_self_pairs():
+    func = compile_source(LOOPED_RMW, "t").functions["f"]
+    esc = EscapeInfo(func)
+    with_self = generate_orderings(func, esc, include_self_pairs=True)
+    # The two halves of one RMW are never ordered against each other —
+    # hardware atomicity orders them — not even as a loop-carried
+    # r-half -> w-half pair.
+    assert not any(
+        x.src.inst is x.dst.inst and x.src.part != x.dst.part for x in with_self
+    )
+
+
+def test_rmw_self_pairs_per_half_in_loop():
+    func = compile_source(LOOPED_RMW, "t").functions["f"]
+    esc = EscapeInfo(func)
+    with_self = generate_orderings(func, esc, include_self_pairs=True)
+    rmw_self = [
+        x for x in with_self
+        if x.src.inst is x.dst.inst and x.src.inst.is_atomic_rmw()
+    ]
+    # Each half self-pairs with its own next-iteration instance only.
+    assert {(x.src.part, x.dst.part) for x in rmw_self} == {("r", "r"), ("w", "w")}
+
+
+# --- weighted surviving-fraction aggregation --------------------------------
+
+
+def test_surviving_fraction_vacuous_function():
+    from repro.core.pruning import PruneStats
+
+    empty = PruneStats(
+        before={k: 0 for k in OrderKind}, after={k: 0 for k in OrderKind}
+    )
+    assert empty.is_vacuous
+    assert empty.surviving_fraction == 1.0
+
+
+def test_aggregate_surviving_fraction_ignores_vacuous_functions():
+    from repro.core.pruning import PruneStats, aggregate_surviving_fraction
+
+    def stats(before_rr, after_rr):
+        before = {k: 0 for k in OrderKind}
+        after = {k: 0 for k in OrderKind}
+        before[OrderKind.RR] = before_rr
+        after[OrderKind.RR] = after_rr
+        return PruneStats(before=before, after=after)
+
+    empty = stats(0, 0)
+    half = stats(10, 5)
+    # An unweighted mean of per-function fractions would give 0.75;
+    # the empty function must carry no weight.
+    assert aggregate_surviving_fraction([empty, half]) == 0.5
+    # Weighted by ordering count, not averaged per function.
+    assert aggregate_surviving_fraction([stats(90, 90), stats(10, 0)]) == 0.9
+    # Nothing anywhere to prune: vacuously all survived.
+    assert aggregate_surviving_fraction([empty, empty]) == 1.0
+    assert aggregate_surviving_fraction([]) == 1.0
+
+
+def test_program_analysis_surviving_fraction_weighted():
+    from repro.core.pipeline import PipelineVariant, analyze_program
+    from repro.core.pruning import aggregate_surviving_fraction
+    from repro.programs import get_program
+
+    analysis = analyze_program(
+        get_program("fft").compile(), PipelineVariant.CONTROL
+    )
+    expected = aggregate_surviving_fraction(
+        fa.prune_stats for fa in analysis.functions.values()
+    )
+    assert analysis.surviving_fraction == expected
+    assert 0.0 < analysis.surviving_fraction < 1.0

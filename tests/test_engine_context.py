@@ -1,0 +1,146 @@
+"""Tests for the shared AnalysisContext (repro.engine.context)."""
+
+import pytest
+
+from repro.core.delay_set import DelaySetAnalysis
+from repro.core.interprocedural import detect_acquires_interprocedural
+from repro.core.pipeline import FencePlacer, PipelineVariant, analyze_program
+from repro.core.signatures import Variant, detect_acquires
+from repro.engine.context import AnalysisContext
+from repro.frontend import compile_source
+
+SRC = """
+global int flag;
+global int data;
+
+fn producer(tid) { data = 1; flag = 1; }
+fn consumer(tid) {
+  local r = 0;
+  while (flag == 0) { }
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+
+@pytest.fixture
+def program():
+    return compile_source(SRC, "ctx")
+
+
+def test_facts_memoized_per_function(program):
+    ctx = AnalysisContext(program)
+    func = program.functions["consumer"]
+    assert ctx.points_to(func) is ctx.points_to(func)
+    assert ctx.escape_info(func) is ctx.escape_info(func)
+    assert ctx.reachability(func) is ctx.reachability(func)
+    assert ctx.writers_cache(func) is ctx.writers_cache(func)
+    assert ctx.stats.hits > 0 and ctx.stats.misses > 0
+
+
+def test_facts_distinct_across_functions(program):
+    ctx = AnalysisContext(program)
+    p = program.functions["producer"]
+    c = program.functions["consumer"]
+    assert ctx.points_to(p) is not ctx.points_to(c)
+
+
+def test_escape_info_shares_points_to(program):
+    ctx = AnalysisContext(program)
+    func = program.functions["consumer"]
+    assert ctx.escape_info(func).points_to is ctx.points_to(func)
+
+
+def test_acquires_memoized_per_variant(program):
+    ctx = AnalysisContext(program)
+    func = program.functions["consumer"]
+    a = ctx.acquires(func, Variant.CONTROL)
+    assert ctx.acquires(func, Variant.CONTROL) is a
+    b = ctx.acquires(func, Variant.ADDRESS_CONTROL)
+    assert b is not a
+
+
+def test_context_acquires_match_standalone(program):
+    ctx = AnalysisContext(program)
+    func = program.functions["consumer"]
+    via_ctx = ctx.acquires(func, Variant.CONTROL).sync_reads
+    standalone = detect_acquires(func, Variant.CONTROL).sync_reads
+    assert list(via_ctx) == list(standalone)
+
+
+def test_pipeline_uses_supplied_context(program):
+    ctx = AnalysisContext(program)
+    analysis = FencePlacer(PipelineVariant.CONTROL).analyze(program, context=ctx)
+    for name, fa in analysis.functions.items():
+        func = program.functions[name]
+        # The analysis result holds exactly the context's memoized facts.
+        assert fa.points_to is ctx.points_to(func)
+        assert fa.escape_info is ctx.escape_info(func)
+
+
+def test_shared_context_across_variants_same_results(program):
+    ctx = AnalysisContext(program)
+    shared = [
+        analyze_program(program, v, context=ctx).full_fence_count
+        for v in PipelineVariant
+    ]
+    fresh = [
+        analyze_program(compile_source(SRC, "ctx"), v).full_fence_count
+        for v in PipelineVariant
+    ]
+    assert shared == fresh
+
+
+def test_delay_set_with_shared_context(program):
+    ctx = AnalysisContext(program)
+    shared = DelaySetAnalysis(program, context=ctx).compute()
+    fresh = DelaySetAnalysis(program).compute()
+    assert shared.total_delays == fresh.total_delays
+    # The pipeline afterwards reuses the delay-set run's facts.
+    misses_before = ctx.stats.by_fact.get("points_to", 0)
+    analyze_program(program, PipelineVariant.CONTROL, context=ctx)
+    assert ctx.stats.by_fact.get("points_to", 0) == misses_before
+
+
+def test_interprocedural_with_shared_context(program):
+    ctx = AnalysisContext(program)
+    shared = detect_acquires_interprocedural(
+        program, Variant.CONTROL, context=ctx
+    )
+    fresh = detect_acquires_interprocedural(program, Variant.CONTROL)
+    assert {k: len(v) for k, v in shared.acquires.items()} == {
+        k: len(v) for k, v in fresh.acquires.items()
+    }
+
+
+def test_context_interprocedural_memoized(program):
+    ctx = AnalysisContext(program)
+    first = ctx.interprocedural(Variant.CONTROL)
+    assert ctx.interprocedural(Variant.CONTROL) is first
+
+
+def test_interprocedural_requires_program():
+    ctx = AnalysisContext()
+    with pytest.raises(ValueError):
+        ctx.interprocedural(Variant.CONTROL)
+
+
+def test_interprocedural_pipeline_shares_context(program):
+    ctx = AnalysisContext(program)
+    placer = FencePlacer(PipelineVariant.CONTROL, interprocedural=True)
+    analysis = placer.analyze(program, context=ctx)
+    assert analysis.total_sync_reads >= 0
+    # The fixpoint result was cached on the context.
+    assert ctx.interprocedural(Variant.CONTROL) is ctx.interprocedural(
+        Variant.CONTROL
+    )
+
+
+def test_context_rejects_foreign_program(program):
+    other = compile_source(SRC, "other")
+    ctx = AnalysisContext(other)
+    with pytest.raises(ValueError):
+        analyze_program(program, PipelineVariant.CONTROL, context=ctx)

@@ -205,3 +205,28 @@ def test_generator_validates_inputs():
         gather_kernel("f", "p", index_reads=0, scatter_reads=0)
     with pytest.raises(ValueError):
         guarded_kernel("f", "p", guard_reads=0)
+
+
+def test_manual_fence_count_compiles_at_most_once(monkeypatch):
+    """Accessing the cached count twice triggers at most one compile."""
+    import repro.programs.registry as registry_mod
+    from repro.programs.registry import BenchProgram
+
+    program = BenchProgram(
+        name="cache-probe",
+        suite="lockfree",
+        description="compile-count probe",
+        source="global g; fn f(tid) { fence; g = 1; } thread f(0);",
+    )
+    compiles = []
+    original = registry_mod.compile_source
+
+    def counting(*args, **kwargs):
+        compiles.append(1)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(registry_mod, "compile_source", counting)
+    first = program.manual_fence_count
+    second = program.manual_fence_count
+    assert first == second == 1
+    assert len(compiles) == 1
