@@ -1,10 +1,41 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Package metadata and entry point for the reproduction.
 
-``pip install -e .`` on offline machines lacking ``wheel`` falls back
-to the legacy ``setup.py develop`` path through this file. Metadata
-lives in pyproject.toml.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) deliberately:
+without a ``pyproject.toml``, pip uses the legacy non-isolated build
+path, which works on the offline development machines this repo
+targets — those have setuptools but may lack ``wheel`` (see
+``tools/wheel_shim`` for the one-time shim if a PEP 660 editable
+install is ever forced). CI installs with ``pip install -e .`` and
+gets the ``repro`` console script.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-fence-placement",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Fence placement for legacy data-race-free "
+        "programs via synchronization read detection' (PPoPP 2015): "
+        "mini-C frontend, escape/slicing analyses, acquire-signature "
+        "detection, fence minimization, SC/TSO/PSO model checkers, "
+        "and a differential fence-validation fuzzer"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Software Development :: Compilers",
+    ],
+)

@@ -9,6 +9,9 @@ Commands:
 * ``experiments``      — regenerate the paper's tables and figures
 * ``batch``            — analyze a {program × variant × model} matrix in
   parallel on the batch engine
+* ``fuzz``             — differential fence-validation fuzzing: generate
+  seeded programs, model-check every detection variant's placement
+  against SC, and shrink any soundness counterexample
 """
 
 from __future__ import annotations
@@ -220,6 +223,98 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.validate.generator import SHAPES
+    from repro.validate.oracle import DETECTION_VARIANTS, TRUSTED_VARIANTS
+    from repro.validate.runner import run_fuzz
+
+    shapes = SHAPES if args.shapes == ["all"] else tuple(args.shapes)
+    variants = (
+        TRUSTED_VARIANTS if args.variants == ["trusted"] else tuple(args.variants)
+    )
+    if args.variants == ["all"]:
+        variants = DETECTION_VARIANTS
+    models = tuple(args.models)
+    try:
+        report = run_fuzz(
+            seeds=args.seeds,
+            shapes=shapes,
+            variants=variants,
+            models=models,
+            budget=args.budget,
+            jobs=args.jobs,
+            parallel=not args.serial,
+            shrink=not args.no_shrink,
+            max_states=args.max_states,
+        )
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+
+    if args.json:
+        print(_json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                variant,
+                row["checked"],
+                row["restored_sc"],
+                row["violations"],
+                row["full_fences"],
+                f"{row['mean_fences_saved']:.1f}",
+            ]
+            for variant, row in report.variant_summary().items()
+        ]
+        print(
+            format_table(
+                ["variant", "checked", "SC restored", "violations",
+                 "mfences", "saved vs full"],
+                rows,
+                title=f"fuzz: {len(report.cases)} cases "
+                f"({report.seeds} seeds x {len(report.shapes)} shapes x "
+                f"{len(report.models)} models; "
+                f"{'pool' if report.used_pool else 'serial'}, "
+                f"{report.wall:.1f}s wall"
+                + (", budget exhausted" if report.budget_exhausted else "")
+                + f", {report.cases_skipped} skipped)",
+            )
+        )
+        for case in report.errors:
+            print(f"\nERROR {case.shape} seed {case.seed}: {case.error}")
+        for case in report.incomplete:
+            print(
+                f"\nINCOMPLETE {case.shape} seed {case.seed}: "
+                f"{case.report.skipped}"
+            )
+        for violation in report.violations:
+            print(
+                f"\nSOUNDNESS VIOLATION: variant {violation.variant!r} on "
+                f"{violation.shape} seed {violation.seed} ({violation.model}), "
+                f"shrunk to {violation.source_lines} lines:"
+            )
+            print(violation.snippet)
+
+    # Broken or unfinished cases must never read as "no violations":
+    # a fuzzer whose every case errors out or blows the state bound
+    # would otherwise green-light the CI soundness gate vacuously.
+    problems = len(report.errors) + len(report.incomplete)
+    if problems:
+        print(
+            f"{problems} case(s) errored or exceeded --max-states; "
+            "soundness not established for them",
+            file=sys.stderr,
+        )
+    found = len(report.violations)
+    if args.expect_violations:
+        if found == 0:
+            print("expected at least one violation; found none", file=sys.stderr)
+            return 1
+        return 0 if problems == 0 else 1
+    return 0 if found == 0 and problems == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,6 +376,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="directory for the content-keyed result cache")
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fence-validation fuzzing (soundness oracle)",
+    )
+    p.add_argument("--seeds", type=int, default=16,
+                   help="number of seeds per shape (default 16)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock budget in seconds; stops dispatching "
+                        "new cases once exceeded")
+    p.add_argument("--shapes", nargs="+", default=["all"],
+                   help="scaffold shapes, or 'all' (default)")
+    p.add_argument("--variants", nargs="+", default=["trusted"],
+                   help="detection variants to validate: 'trusted' "
+                        "(address+control, pensieve — the default), 'all', "
+                        "or an explicit list incl. the deliberately-weak "
+                        "'vanilla' and 'control'")
+    p.add_argument("--models", nargs="+", default=["x86-tso"],
+                   help="weak machine models to explore (x86-tso, pso)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count)")
+    p.add_argument("--serial", action="store_true",
+                   help="run serially (deterministic fallback)")
+    p.add_argument("--max-states", type=int, default=1_000_000,
+                   help="per-exploration state bound")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report violations without minimizing them")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable JSON report")
+    p.add_argument("--expect-violations", action="store_true",
+                   help="invert the exit code: succeed only if at least "
+                        "one violation is found (CI oracle self-test)")
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

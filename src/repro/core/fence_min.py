@@ -214,6 +214,29 @@ def plan_fences(
     return plan
 
 
+def plan_every_delay_fences(func: Function) -> FencePlan:
+    """The maximally conservative placement: a full fence before every
+    memory access, plus a function-entry fence.
+
+    Every ordered pair of accesses then has a full fence between them on
+    every path (the fence in front of the later access), so a weak
+    machine collapses to SC regardless of which orderings actually
+    matter. This is the "every delay enforced" upper bound the
+    differential validator (:mod:`repro.validate`) compares detected
+    placements against, both for soundness (if even this placement
+    cannot restore SC, no fence placement can) and for precision
+    (fences saved = this plan's count minus the variant's).
+    """
+    plan = FencePlan(func, entry_fence=True)
+    for block in func.blocks:
+        for index, inst in enumerate(block.instructions):
+            if inst.is_memory_access():
+                plan.fences.append(
+                    PlannedFence(block.label, index, FenceKind.FULL)
+                )
+    return plan
+
+
 def apply_plan(func: Function, plan: FencePlan) -> int:
     """Insert the planned fences into ``func``; returns fences inserted.
 

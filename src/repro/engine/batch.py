@@ -305,6 +305,47 @@ def parallel_map(
     return _map_with_report(fn, items, max_workers, parallel)[0]
 
 
+def budgeted_parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    budget: float | None = None,
+    max_workers: int | None = None,
+    parallel: bool = True,
+    chunk_size: int | None = None,
+) -> tuple[list[_R], bool, bool]:
+    """Order-preserving parallel map under a wall-clock budget.
+
+    Items are dispatched in chunks (default: two pool-fulls) so a
+    budget check can run between chunks; chunks already dispatched run
+    to completion, which keeps results deterministic for a given
+    (items, budget-crossing chunk) pair. Returns ``(results,
+    budget_exhausted, used_pool)`` — ``results`` covers the completed
+    prefix of ``items`` only. ``budget=None`` processes everything.
+
+    The validator's fuzz runner uses this for its {seed x shape x
+    model} matrix; any idempotent job list works.
+    """
+    items = list(items)
+    workers = max_workers if max_workers is not None else os.cpu_count() or 1
+    chunk = chunk_size if chunk_size is not None else max(4, 2 * workers)
+    results: list[_R] = []
+    used_pool = False
+    start = time.perf_counter()
+    for offset in range(0, len(items), chunk):
+        chunk_results, chunk_pool = _map_with_report(
+            fn, items[offset : offset + chunk], max_workers, parallel
+        )
+        results.extend(chunk_results)
+        used_pool = used_pool or chunk_pool
+        if (
+            budget is not None
+            and time.perf_counter() - start >= budget
+            and offset + chunk < len(items)
+        ):
+            return results, True, used_pool
+    return results, False, used_pool
+
+
 class BatchRunner:
     """Analyze a job matrix in parallel with result caching.
 

@@ -317,13 +317,18 @@ LITMUS_TESTS: dict[str, LitmusTest] = {
 }
 
 
-def sync_marking_for(test: LitmusTest, program: Program):
-    """Trace-action predicate for the test's intended sync globals."""
+def sync_marking_for_globals(program: Program, sync_globals):
+    """Trace-action predicate marking the named globals as sync vars.
+
+    Shared by the corpus tests (via :func:`sync_marking_for`) and the
+    differential validator, whose generated programs carry their
+    intended marking as a plain set of global names.
+    """
     from repro.memmodel.interpreter import GlobalLayout
 
     layout = GlobalLayout(program)
     ranges = []
-    for name in test.sync_globals:
+    for name in sync_globals:
         base = layout.base[name]
         ranges.append((base, base + program.globals[name].size))
 
@@ -331,3 +336,8 @@ def sync_marking_for(test: LitmusTest, program: Program):
         return any(lo <= action.addr < hi for lo, hi in ranges)
 
     return predicate
+
+
+def sync_marking_for(test: LitmusTest, program: Program):
+    """Trace-action predicate for the test's intended sync globals."""
+    return sync_marking_for_globals(program, test.sync_globals)

@@ -232,3 +232,56 @@ def compute_section(
 
     fn_parts.append(init_kernel(f"{prefix}_init", prefix, init_arrays, size))
     return "\n".join(decls_parts), "\n\n".join(fn_parts), calls
+
+
+def fuzz_compute_section(
+    rng,
+    prefix: str,
+    stream_reads: int = 0,
+    gather_reads: int = 0,
+    guard_reads: int = 0,
+    size: int = 4,
+) -> tuple[str, str, list[str]]:
+    """A model-checkable compute section with an rng-chosen read mix.
+
+    The validator's fuzzer (:mod:`repro.validate.generator`) attaches
+    these to its synchronization scaffolds, so they differ from
+    :func:`compute_section` in two ways dictated by exhaustive
+    exploration: sizes stay tiny (the explorers enumerate every
+    interleaving of every access) and there is **no** init kernel —
+    thread-0 initialization would race with other workers' kernel reads
+    under the scaffold's marking, and all-zero arrays change nothing the
+    static analyses or the outcome comparison care about. Writes stay
+    per-thread disjoint (the strided loop), so kernels never add races.
+
+    ``rng`` jitters each requested read count by ±1 (never below 1), so
+    seeds vary the static composition, not just the values. Returns
+    ``(decls, functions_source, call_names)`` like
+    :func:`compute_section`.
+    """
+
+    def jitter(reads: int) -> int:
+        return max(1, reads + rng.choice((-1, 0, 1))) if reads else 0
+
+    decls_parts: list[str] = []
+    fn_parts: list[str] = []
+    calls: list[str] = []
+    stream_reads = jitter(stream_reads)
+    gather_reads = jitter(gather_reads)
+    guard_reads = jitter(guard_reads)
+    if stream_reads:
+        d, f = stream_kernel(f"{prefix}_stream", prefix, stream_reads, size)
+        decls_parts.append(d)
+        fn_parts.append(f)
+        calls.append(f"{prefix}_stream")
+    if gather_reads:
+        d, f = gather_kernel(f"{prefix}_gather", prefix, gather_reads, 0, size)
+        decls_parts.append(d)
+        fn_parts.append(f)
+        calls.append(f"{prefix}_gather")
+    if guard_reads:
+        d, f = guarded_kernel(f"{prefix}_guard", prefix, guard_reads, size)
+        decls_parts.append(d)
+        fn_parts.append(f)
+        calls.append(f"{prefix}_guard")
+    return "\n".join(decls_parts), "\n\n".join(fn_parts), calls

@@ -1,0 +1,54 @@
+"""Differential fence validation: fuzzer, oracle, shrinker, runner.
+
+The paper's end-to-end claim — synchronization-read detection places
+enough fences to make legacy DRF programs behave SC on TSO — is only
+exercised by the hand-curated litmus corpus elsewhere in this repo.
+This package closes the loop into a continuously-runnable soundness
+oracle:
+
+* :mod:`repro.validate.generator` — a seeded fuzzer producing tiny
+  well-synchronized programs from randomized synchronization scaffolds
+  (flag handoff, pointer publish, Dekker-style mutual exclusion,
+  sense-reversing barrier, work-stealing deque) mixed with
+  stream/gather/guarded compute kernels;
+* :mod:`repro.validate.oracle` — the differential check: SC outcomes of
+  the unfenced program vs weak-memory outcomes under no fences, each
+  detection variant's fences, and the every-delay full placement;
+* :mod:`repro.validate.shrink` — greedy delta-debugging of any
+  counterexample down to a paste-ready ``LitmusTest`` snippet;
+* :mod:`repro.validate.runner` — fans the {seed x shape x variant x
+  model} matrix over the batch engine's process pool with a wall-clock
+  budget; surfaced as ``python -m repro fuzz``.
+"""
+
+from __future__ import annotations
+
+from repro.validate.generator import SHAPES, GeneratedProgram, generate_program
+from repro.validate.oracle import (
+    DETECTION_VARIANTS,
+    OracleReport,
+    VariantVerdict,
+    place_detected_fences,
+    place_every_delay,
+    run_oracle,
+)
+from repro.validate.runner import FuzzCase, FuzzReport, execute_fuzz_case, run_fuzz
+from repro.validate.shrink import shrink_counterexample, to_litmus_snippet
+
+__all__ = [
+    "DETECTION_VARIANTS",
+    "FuzzCase",
+    "FuzzReport",
+    "GeneratedProgram",
+    "OracleReport",
+    "SHAPES",
+    "VariantVerdict",
+    "execute_fuzz_case",
+    "generate_program",
+    "place_detected_fences",
+    "place_every_delay",
+    "run_fuzz",
+    "run_oracle",
+    "shrink_counterexample",
+    "to_litmus_snippet",
+]

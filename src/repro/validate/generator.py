@@ -1,0 +1,427 @@
+"""Seeded randomized program generator for the differential validator.
+
+Every generated program is a *synchronization scaffold* — one of the
+five shapes below — optionally mixed with tiny stream/gather/guarded
+compute kernels from :mod:`repro.programs.datagen`. Shapes are chosen
+so the programs are well-synchronized **by construction** under their
+recorded ``sync_globals`` marking (the paper's legacy-DRF
+precondition), while still covering the delay patterns that matter:
+
+``handoff``
+    flag-guarded message passing (spin-loop or guarded-if consumer,
+    1-2 payload variables, 2-3 threads). Safe on TSO unfenced; breaks
+    on PSO unfenced (the data store can drain after the flag store).
+``publish``
+    pointer publication (paper Fig. 5): the reader's pointer load is a
+    *pure address* acquire — no branch ever depends on it.
+``dekker``
+    store-then-read-other mutual exclusion, per-side consumption either
+    a branch (control acquire) or a pointer dereference (address
+    acquire). The canonical w->r cycle: breaks on TSO unfenced, and a
+    detection variant that misses either side's acquire leaves it
+    broken — the validator's built-in unsoundness demo.
+``barrier``
+    sense-reversing barrier over ``fadd``: exercises RMW fence
+    semantics; no placement is ever needed beyond the RMW itself.
+``queue``
+    a minimal Chase-Lev deque (owner push/take, thief steal with CAS):
+    the owner's unfenced ``bottom``-store / ``top``-load pair allows
+    the classic double-take on TSO.
+
+Expected properties are recorded on the :class:`GeneratedProgram` so
+the oracle's verdicts can themselves be validated (see
+``expected_unsound_tso``): a fuzzer whose oracle never fires is
+indistinguishable from a fuzzer that works.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.frontend import compile_source
+from repro.ir.function import Program
+from repro.programs.datagen import fuzz_compute_section
+
+#: Scaffold shapes the fuzzer knows how to build.
+SHAPES = ("handoff", "publish", "dekker", "barrier", "queue")
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One fuzzed program plus its by-construction ground truth."""
+
+    name: str
+    seed: int
+    shape: str
+    source: str
+    # The intended synchronization marking (legacy-DRF ground truth).
+    sync_globals: frozenset[str]
+    threads: int
+    # Does the unfenced program show non-SC observations on the model?
+    # None = the shape does not pin this down (value-coincidence can
+    # mask weak behaviours), so the oracle just records what it finds.
+    expect_tso_break: bool | None = None
+    expect_pso_break: bool | None = None
+    # Detection variants expected to yield a soundness violation under
+    # x86-TSO (used to prove the oracle actually fires).
+    expected_unsound_tso: frozenset[str] = frozenset()
+    notes: str = ""
+
+    def compile(self) -> Program:
+        return compile_source(self.source, self.name)
+
+    @property
+    def source_lines(self) -> int:
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+
+def _maybe_kernel(
+    rng: random.Random, prefix: str, probability: float = 0.5
+) -> tuple[str, str, list[str]]:
+    """Attach a tiny compute section with an rng-chosen read mix.
+
+    Kernels are only ever called from scaffold worker functions; their
+    strided loops write thread-disjoint slots, so they add escaping
+    reads of every signature mix without adding races.
+    """
+    if rng.random() >= probability:
+        return "", "", []
+    flavor = rng.choice(("stream", "gather", "guard"))
+    return fuzz_compute_section(
+        rng, prefix, size=4, **{f"{flavor}_reads": rng.randint(1, 2)}
+    )
+
+
+def _with_kernels(lines: list[str], calls: list[str]) -> list[str]:
+    return lines + [f"  {call}(tid);" for call in calls]
+
+
+def _build_handoff(rng: random.Random, seed: int) -> GeneratedProgram:
+    payloads = rng.randint(1, 2)
+    consumers = rng.choice((1, 1, 2))
+    style = rng.choice(("spin", "guard"))
+    values = [rng.randint(1, 9) for _ in range(payloads)]
+    kernel_decls, kernel_fns, kernel_calls = _maybe_kernel(rng, "hk")
+
+    decls = ["global int h_flag;"]
+    decls += [f"global int h_data{i};" for i in range(payloads)]
+
+    producer = ["fn h_producer(tid) {"]
+    producer += [f"  h_data{i} = {v};" for i, v in enumerate(values)]
+    producer.append("  h_flag = 1;")
+    producer.append("}")
+
+    consumer = ["fn h_consumer(tid) {"]
+    consumer += [f"  local r{i} = 0;" for i in range(payloads)]
+    if style == "spin":
+        consumer.append("  while (h_flag == 0) { }")
+        for i in range(payloads):
+            consumer.append(f"  r{i} = h_data{i};")
+            consumer.append(f'  observe("r{i}", r{i});')
+    else:
+        consumer.append("  local g = 0;")
+        consumer.append("  g = h_flag;")
+        consumer.append("  if (g == 1) {")
+        for i in range(payloads):
+            consumer.append(f"    r{i} = h_data{i};")
+            consumer.append(f'    observe("r{i}", r{i});')
+        consumer.append("  }")
+    consumer = _with_kernels(consumer, kernel_calls)
+    consumer.append("}")
+
+    threads = ["thread h_producer(0);"]
+    threads += [f"thread h_consumer({i + 1});" for i in range(consumers)]
+
+    parts = ["\n".join(decls)]
+    if kernel_decls:
+        parts.append(kernel_decls)
+    parts.append("\n".join(producer))
+    parts.append("\n".join(consumer))
+    if kernel_fns:
+        parts.append(kernel_fns)
+    parts.append("\n".join(threads))
+    return GeneratedProgram(
+        name=f"fuzz-handoff-{seed:04d}",
+        seed=seed,
+        shape="handoff",
+        source="\n\n".join(parts) + "\n",
+        sync_globals=frozenset({"h_flag"}),
+        threads=1 + consumers,
+        expect_tso_break=False,  # w->w and r->r suffice; TSO keeps both
+        expect_pso_break=True,  # the data store can drain after the flag
+        notes=f"{style} consumer, {payloads} payload(s), "
+        f"{consumers} consumer(s), kernels={kernel_calls or 'none'}",
+    )
+
+
+def _build_publish(rng: random.Random, seed: int) -> GeneratedProgram:
+    value = rng.randint(1, 9)
+    # The pre-publication target holds a distinct nonzero value:
+    # a stale dereference of the *new* box (PSO draining the pointer
+    # before the payload) then reads 0, which neither legal SC outcome
+    # (old target's value, new payload) can produce — without this the
+    # weak behaviour is value-masked.
+    init_value = value + rng.randint(1, 9)
+    guarded = rng.random() < 0.4
+    kernel_decls, kernel_fns, kernel_calls = _maybe_kernel(rng, "pk", 0.4)
+
+    decls = [
+        "global int p_box;",
+        f"global int p_init = {init_value};",
+        "global int p_ptr = &p_init;",
+    ]
+    writer = [
+        "fn p_writer(tid) {",
+        f"  p_box = {value};",
+        "  p_ptr = &p_box;",
+        "}",
+    ]
+    reader = ["fn p_reader(tid) {", "  local r = 0;", "  local v = 0;"]
+    reader.append("  r = p_ptr;")
+    if guarded:
+        # Double-check shape: the pointer read feeds the branch *and*
+        # the dereference, matching both signatures.
+        reader.append("  if (r != &p_init) {")
+        reader.append("    v = *r;")
+        reader.append('    observe("v", v);')
+        reader.append("  }")
+    else:
+        # Paper Fig. 5: a pure address acquire; no branch depends on r.
+        reader.append("  v = *r;")
+        reader.append('  observe("v", v);')
+    reader = _with_kernels(reader, kernel_calls)
+    reader.append("}")
+
+    parts = ["\n".join(decls)]
+    if kernel_decls:
+        parts.append(kernel_decls)
+    parts.append("\n".join(writer))
+    parts.append("\n".join(reader))
+    if kernel_fns:
+        parts.append(kernel_fns)
+    parts.append("thread p_writer(0);\nthread p_reader(1);")
+    return GeneratedProgram(
+        name=f"fuzz-publish-{seed:04d}",
+        seed=seed,
+        shape="publish",
+        source="\n\n".join(parts) + "\n",
+        sync_globals=frozenset({"p_ptr"}),
+        threads=2,
+        expect_tso_break=False,
+        expect_pso_break=True,  # the box store can drain after the pointer
+        notes=f"{'double-check' if guarded else 'pure-address'} reader, "
+        f"kernels={kernel_calls or 'none'}",
+    )
+
+
+def _build_dekker(rng: random.Random, seed: int) -> GeneratedProgram:
+    # flavors[i] is how side i *consumes* the value it reads; the
+    # variable side i reads (written by the other side) is an int flag
+    # for a control consumer and a published pointer for an address
+    # consumer.
+    flavors = (
+        rng.choice(("control", "address")),
+        rng.choice(("control", "address")),
+    )
+    cell_value = rng.randint(1, 9)
+    any_address = "address" in flavors
+
+    decls = []
+    if any_address:
+        decls.append("global int d_c0;")
+        decls.append(f"global int d_c1 = {cell_value};")
+    # d_a is written by side 0 and read by side 1; d_b the reverse.
+    decls.append(
+        "global int d_a = &d_c0;" if flavors[1] == "address" else "global int d_a;"
+    )
+    decls.append(
+        "global int d_b = &d_c0;" if flavors[0] == "address" else "global int d_b;"
+    )
+
+    def side(index: int, fn_name: str, own: str, other: str) -> list[str]:
+        flavor = flavors[index]
+        new_value = "&d_c1" if flavors[1 - index] == "address" else "1"
+        lines = [f"fn {fn_name}(tid) {{", "  local r = 0;"]
+        if flavor == "address":
+            lines.append("  local v = 0;")
+        lines.append(f"  {own} = {new_value};")
+        lines.append(f"  r = {other};")
+        if flavor == "control":
+            lines.append("  if (r == 0) {")
+            lines.append(f'    observe("in{index}", 1);')
+            lines.append("  }")
+        else:
+            lines.append("  v = *r;")
+            lines.append(f'  observe("v{index}", v);')
+        lines.append("}")
+        return lines
+
+    parts = ["\n".join(decls)]
+    parts.append("\n".join(side(0, "d_left", "d_a", "d_b")))
+    parts.append("\n".join(side(1, "d_right", "d_b", "d_a")))
+    parts.append("thread d_left(0);\nthread d_right(1);")
+
+    unsound = {"vanilla"}
+    if any_address:
+        # The address-flavored side's read is invisible to Control, so
+        # its w->r delay goes unfenced: the built-in Control
+        # counterexample the acceptance criteria call for.
+        unsound.add("control")
+    return GeneratedProgram(
+        name=f"fuzz-dekker-{seed:04d}",
+        seed=seed,
+        shape="dekker",
+        source="\n\n".join(parts) + "\n",
+        sync_globals=frozenset({"d_a", "d_b"}),
+        threads=2,
+        expect_tso_break=True,  # the canonical w->r cycle
+        expect_pso_break=True,
+        expected_unsound_tso=frozenset(unsound),
+        notes=f"consumption flavors {flavors[0]}/{flavors[1]}",
+    )
+
+
+def _build_barrier(rng: random.Random, seed: int) -> GeneratedProgram:
+    n = rng.choice((2, 3))
+    base = rng.randint(1, 5)
+    offset = rng.randint(1, n - 1) if n > 2 else 1
+    lines = [
+        "global int bar_count;",
+        "global int bar_sense;",
+        f"global int bar_slot[{n}];",
+        "",
+        "fn bar_worker(tid) {",
+        "  local s = 0;",
+        "  local v = 0;",
+        f"  bar_slot[tid] = tid + {base};",
+        "  s = fadd(&bar_count, 1);",
+        f"  if (s == {n - 1}) {{",
+        "    bar_sense = 1;",
+        "  } else {",
+        "    while (bar_sense == 0) { }",
+        "  }",
+        f"  v = bar_slot[(tid + {offset}) % {n}];",
+        '  observe("v", v);',
+        "}",
+        "",
+    ]
+    lines += [f"thread bar_worker({tid});" for tid in range(n)]
+    return GeneratedProgram(
+        name=f"fuzz-barrier-{seed:04d}",
+        seed=seed,
+        shape="barrier",
+        source="\n".join(lines) + "\n",
+        sync_globals=frozenset({"bar_count", "bar_sense"}),
+        threads=n,
+        expect_tso_break=False,  # the locked fadd drains the buffer
+        expect_pso_break=False,
+        notes=f"{n} threads, neighbour offset {offset}",
+    )
+
+
+def _build_queue(rng: random.Random, seed: int) -> GeneratedProgram:
+    v1 = rng.randint(1, 4)
+    v2 = rng.randint(5, 9)  # distinct from v1 so outcomes distinguish
+    source = f"""
+global int q_top;
+global int q_bottom;
+global int q_buf[4];
+global int q_taken;
+global int q_stolen;
+
+fn q_push(v) {{
+  local b = 0;
+  b = q_bottom;
+  q_buf[b % 4] = v;
+  q_bottom = b + 1;
+}}
+
+fn q_take(tid) {{
+  local b = 0;
+  local t = 0;
+  local task = 0;
+  local won = 0;
+  b = q_bottom;
+  b = b - 1;
+  q_bottom = b;
+  t = q_top;
+  if (t <= b) {{
+    task = q_buf[b % 4];
+    if (t == b) {{
+      won = cas(&q_top, t, t + 1);
+      if (won != t) {{
+        task = 0;
+      }}
+      q_bottom = b + 1;
+    }}
+    q_taken = q_taken + task;
+  }} else {{
+    q_bottom = b + 1;
+  }}
+}}
+
+fn q_steal(tid) {{
+  local t = 0;
+  local b = 0;
+  local task = 0;
+  local won = 0;
+  t = q_top;
+  b = q_bottom;
+  if (t < b) {{
+    task = q_buf[t % 4];
+    won = cas(&q_top, t, t + 1);
+    if (won == t) {{
+      q_stolen = q_stolen + task;
+    }}
+  }}
+}}
+
+fn q_owner(tid) {{
+  q_push({v1});
+  q_push({v2});
+  q_take(tid);
+  observe("taken", q_taken);
+}}
+
+fn q_thief(tid) {{
+  q_steal(tid);
+  q_steal(tid);
+  observe("stolen", q_stolen);
+}}
+
+thread q_owner(0);
+thread q_thief(1);
+"""
+    return GeneratedProgram(
+        name=f"fuzz-queue-{seed:04d}",
+        seed=seed,
+        shape="queue",
+        source=source,
+        sync_globals=frozenset({"q_top", "q_bottom"}),
+        threads=2,
+        # Owner's bottom-store / top-load pair: stale top lets take and
+        # steal both consume the same element (the classic bug the
+        # take-side fence exists to prevent).
+        expect_tso_break=True,
+        expect_pso_break=None,  # extra PSO staleness can be value-masked
+        expected_unsound_tso=frozenset({"vanilla"}),
+        notes=f"push {v1},{v2}; 1 take vs 2 steals",
+    )
+
+
+_BUILDERS = {
+    "handoff": _build_handoff,
+    "publish": _build_publish,
+    "dekker": _build_dekker,
+    "barrier": _build_barrier,
+    "queue": _build_queue,
+}
+
+
+def generate_program(seed: int, shape: str) -> GeneratedProgram:
+    """Deterministically generate the program for ``(seed, shape)``."""
+    if shape not in _BUILDERS:
+        raise ValueError(f"unknown shape {shape!r}; known: {', '.join(SHAPES)}")
+    rng = random.Random(f"repro-fuzz:{shape}:{seed}")
+    return _BUILDERS[shape](rng, seed)

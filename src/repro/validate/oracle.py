@@ -1,0 +1,271 @@
+"""The differential fence-validation oracle.
+
+For one program the oracle compares, on a weak machine model:
+
+* the **unfenced** program — does the weak model show observations SC
+  cannot produce at all?
+* the **every-delay** placement (a full fence before every access, see
+  :func:`repro.core.fence_min.plan_every_delay_fences`) — the
+  conservative upper bound. If even this cannot restore SC, no
+  placement can, and the program is outside any placement's contract.
+* each requested **detection variant's** placement.
+
+The soundness criterion is the paper's own (Section 5): a placement is
+good when the weak-model observation set of the fenced program equals
+the SC observation set of the original. A *violation* is recorded when
+the program is well-synchronized under its intended marking (the
+legacy-DRF precondition), the every-delay placement restores SC, but a
+variant's placement does not.
+
+``vanilla`` is the deliberately-disabled detector — no acquires at all,
+so every ordering that is not into a write is pruned. It exists to
+prove the oracle can fire: a fuzzer whose oracle never reports is
+indistinguishable from a broken one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fence_min import apply_plan, plan_every_delay_fences
+from repro.core.machine_models import MODELS, MemoryModel
+from repro.core.pipeline import (
+    VARIANTS_BY_VALUE as _VARIANTS,
+    FencePlacer,
+    PipelineVariant,
+)
+from repro.engine.context import AnalysisContext
+from repro.frontend import compile_source
+from repro.ir.function import Program
+from repro.memmodel.drf import check_drf
+from repro.memmodel.litmus import sync_marking_for_globals
+from repro.memmodel.pso import PSOExplorer
+from repro.memmodel.sc import SCExplorer
+from repro.memmodel.tso import TSOExplorer
+from repro.util.orderedset import OrderedSet
+
+#: Fence-placement strategies the oracle can differentiate. The first
+#: is the null detector; the rest are the pipeline's variants.
+DETECTION_VARIANTS = ("vanilla", "pensieve", "control", "address+control")
+
+#: Variants whose placements the paper's theory claims sound for
+#: legacy-DRF programs (pensieve enforces everything; address+control
+#: detects every acquire by Theorem 3.1).
+TRUSTED_VARIANTS = ("address+control", "pensieve")
+
+#: Weak-memory explorers by machine-model name.
+WEAK_EXPLORERS = {"x86-tso": TSOExplorer, "pso": PSOExplorer}
+
+
+def tso_breaks_unfenced(
+    source: str, name: str, max_states: int = 1_000_000
+) -> bool | None:
+    """Does the unfenced program show non-SC observations on x86-TSO?
+
+    Used to stamp honest ``tso_breaks_unfenced`` metadata onto emitted
+    litmus snippets — a shrunk counterexample (or one found on another
+    model) need not break the same way the original did. Returns None
+    when either exploration blows the state bound.
+    """
+    sc = SCExplorer(compile_source(source, name), max_states=max_states).explore()
+    tso = TSOExplorer(compile_source(source, name), max_states=max_states).explore()
+    if not (sc.complete and tso.complete):
+        return None
+    return tso.observation_sets() != sc.observation_sets()
+
+
+def place_every_delay(program: Program) -> tuple[int, int]:
+    """Insert the every-delay placement; returns (full, compiler) counts."""
+    full = 0
+    for func in program.functions.values():
+        plan = plan_every_delay_fences(func)
+        apply_plan(func, plan)
+        full += plan.full_count
+    return full, 0
+
+
+def place_detected_fences(
+    program: Program, variant: str, model: MemoryModel
+) -> tuple[int, int]:
+    """Insert ``variant``'s placement; returns (full, compiler) counts.
+
+    ``variant`` is one of :data:`DETECTION_VARIANTS`; ``vanilla`` runs
+    the pipeline with an empty acquire override per function.
+    """
+    if variant == "vanilla":
+        placer = FencePlacer(PipelineVariant.CONTROL, model)
+        ctx = AnalysisContext(program)
+        full = compiler = 0
+        for func in program.functions.values():
+            fa = placer.analyze_function(
+                func, sync_reads_override=OrderedSet(), context=ctx
+            )
+            apply_plan(func, fa.plan)
+            full += fa.plan.full_count
+            compiler += fa.plan.compiler_count
+        return full, compiler
+    if variant not in _VARIANTS:
+        raise KeyError(
+            f"unknown variant {variant!r}; known: {', '.join(DETECTION_VARIANTS)}"
+        )
+    analysis = FencePlacer(_VARIANTS[variant], model).place(program)
+    return analysis.full_fence_count, analysis.compiler_fence_count
+
+
+@dataclass(frozen=True)
+class VariantVerdict:
+    """One variant's differential result on one program."""
+
+    variant: str
+    full_fences: int
+    compiler_fences: int
+    weak_outcomes: int
+    restores_sc: bool
+    # Fewer full fences than the every-delay upper bound (precision).
+    fences_saved: int
+    # Soundness contract applied (DRF + every-delay restored SC) and
+    # this placement failed it.
+    violation: bool
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """The full differential verdict for one program."""
+
+    name: str
+    model: str
+    sc_outcomes: int
+    weak_outcomes_unfenced: int
+    weak_breaks_unfenced: bool
+    well_synchronized: bool
+    drf_complete: bool
+    drf_races: int
+    every_delay_fences: int
+    full_restores_sc: bool
+    verdicts: tuple[VariantVerdict, ...]
+    complete: bool = True
+    skipped: str | None = None
+
+    @property
+    def violations(self) -> tuple[VariantVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.violation)
+
+    @property
+    def contract_applies(self) -> bool:
+        """Was the soundness contract in force for this program?"""
+        return self.complete and self.well_synchronized and self.full_restores_sc
+
+
+def _skipped(name: str, model: str, reason: str) -> OracleReport:
+    return OracleReport(
+        name=name,
+        model=model,
+        sc_outcomes=0,
+        weak_outcomes_unfenced=0,
+        weak_breaks_unfenced=False,
+        well_synchronized=False,
+        drf_complete=False,
+        drf_races=0,
+        every_delay_fences=0,
+        full_restores_sc=False,
+        verdicts=(),
+        complete=False,
+        skipped=reason,
+    )
+
+
+def run_oracle(
+    source: str,
+    name: str,
+    variants: tuple[str, ...] = TRUSTED_VARIANTS,
+    model: str = "x86-tso",
+    sync_globals: frozenset[str] = frozenset(),
+    max_states: int = 1_000_000,
+    drf_max_traces: int = 600,
+    explore_unfenced: bool = True,
+) -> OracleReport:
+    """Run the full differential check on one mini-C source text.
+
+    Fence insertion mutates IR, so every placement explores a freshly
+    compiled copy of ``source``; the unfenced copy is shared between
+    the SC reference exploration and the DRF trace check.
+
+    ``explore_unfenced=False`` skips the unfenced weak-model
+    exploration — it informs reporting but plays no part in the
+    soundness verdict, and the shrinker's predicate (which re-runs this
+    oracle per candidate) drops it for speed. The report then records
+    ``weak_breaks_unfenced=False`` / ``weak_outcomes_unfenced=0``.
+    """
+    if model not in WEAK_EXPLORERS:
+        raise KeyError(
+            f"no weak-memory explorer for model {model!r}; "
+            f"known: {', '.join(WEAK_EXPLORERS)}"
+        )
+    explorer_cls = WEAK_EXPLORERS[model]
+    machine = MODELS[model]
+
+    unfenced = compile_source(source, name)
+    sc = SCExplorer(unfenced, max_states=max_states).explore()
+    if not sc.complete:
+        return _skipped(name, model, "SC state space exceeded max_states")
+    sc_obs = sc.observation_sets()
+
+    if explore_unfenced:
+        weak = explorer_cls(
+            compile_source(source, name), max_states=max_states
+        ).explore()
+        if not weak.complete:
+            return _skipped(name, model, "weak state space exceeded max_states")
+        weak_obs = weak.observation_sets()
+    else:
+        weak_obs = sc_obs
+
+    marking = sync_marking_for_globals(
+        unfenced, sync_globals & set(unfenced.globals)
+    )
+    drf = check_drf(unfenced, marking, max_traces=drf_max_traces)
+
+    full_fenced = compile_source(source, name)
+    every_delay_fences, _ = place_every_delay(full_fenced)
+    full_weak = explorer_cls(full_fenced, max_states=max_states).explore()
+    if not full_weak.complete:
+        return _skipped(name, model, "fenced state space exceeded max_states")
+    full_restores = full_weak.observation_sets() == sc_obs
+
+    contract = drf.is_race_free and full_restores
+    verdicts = []
+    for variant in variants:
+        fenced = compile_source(source, name)
+        full, compiler = place_detected_fences(fenced, variant, machine)
+        fenced_weak = explorer_cls(fenced, max_states=max_states).explore()
+        if not fenced_weak.complete:
+            return _skipped(
+                name, model, f"{variant} fenced state space exceeded max_states"
+            )
+        fenced_obs = fenced_weak.observation_sets()
+        restores = fenced_obs == sc_obs
+        verdicts.append(
+            VariantVerdict(
+                variant=variant,
+                full_fences=full,
+                compiler_fences=compiler,
+                weak_outcomes=len(fenced_obs),
+                restores_sc=restores,
+                fences_saved=every_delay_fences - full,
+                violation=contract and not restores,
+            )
+        )
+
+    return OracleReport(
+        name=name,
+        model=model,
+        sc_outcomes=len(sc_obs),
+        weak_outcomes_unfenced=len(weak_obs) if explore_unfenced else 0,
+        weak_breaks_unfenced=weak_obs != sc_obs,
+        well_synchronized=drf.is_race_free,
+        drf_complete=drf.complete,
+        drf_races=len(drf.races),
+        every_delay_fences=every_delay_fences,
+        full_restores_sc=full_restores,
+        verdicts=tuple(verdicts),
+    )

@@ -1,0 +1,327 @@
+"""Budgeted fuzzing runs: the {seed x shape x variant x model} matrix.
+
+One :class:`FuzzCase` bundles everything a worker needs — the seed and
+shape select a generated program deterministically, so only plain data
+crosses the process boundary in either direction. Cases fan out over
+:func:`repro.engine.batch.budgeted_parallel_map`; the wall-clock budget
+is checked between chunks, so ``--budget`` bounds a run without
+tearing down mid-case work.
+
+Surfaced as ``python -m repro fuzz`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.engine.batch import budgeted_parallel_map
+from repro.validate.generator import SHAPES, generate_program
+from repro.validate.oracle import (
+    DETECTION_VARIANTS,
+    TRUSTED_VARIANTS,
+    WEAK_EXPLORERS,
+    OracleReport,
+    run_oracle,
+    tso_breaks_unfenced,
+)
+from repro.validate.shrink import shrink_counterexample, to_litmus_snippet
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One unit of fuzzing work: a generated program on one model."""
+
+    seed: int
+    shape: str
+    model: str = "x86-tso"
+    variants: tuple[str, ...] = TRUSTED_VARIANTS
+    max_states: int = 1_000_000
+    shrink: bool = True
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One soundness violation, shrunk and ready to promote."""
+
+    seed: int
+    shape: str
+    model: str
+    variant: str
+    source: str  # shrunk (or original, when shrinking is disabled)
+    source_lines: int
+    snippet: str
+    shrink_checks: int
+
+
+@dataclass(frozen=True)
+class FuzzCaseResult:
+    """Everything one case produced, reduced to plain data."""
+
+    seed: int
+    shape: str
+    model: str
+    name: str
+    threads: int
+    source_lines: int
+    elapsed: float
+    report: OracleReport | None = None
+    violations: tuple[ViolationRecord, ...] = ()
+    error: str | None = None
+
+    def to_payload(self) -> dict:
+        payload = {
+            "seed": self.seed,
+            "shape": self.shape,
+            "model": self.model,
+            "name": self.name,
+            "threads": self.threads,
+            "source_lines": self.source_lines,
+            "elapsed": self.elapsed,
+            "error": self.error,
+            "report": asdict(self.report) if self.report is not None else None,
+            "violations": [asdict(v) for v in self.violations],
+        }
+        return payload
+
+
+def execute_fuzz_case(case: FuzzCase) -> FuzzCaseResult:
+    """Generate, check, and (on violation) shrink one case.
+
+    Top-level and exception-tight so a bad generated program turns
+    into a recorded error instead of poisoning the whole pool run.
+    """
+    start = time.perf_counter()
+    program = None
+    try:
+        program = generate_program(case.seed, case.shape)
+        report = run_oracle(
+            program.source,
+            program.name,
+            variants=case.variants,
+            model=case.model,
+            sync_globals=program.sync_globals,
+            max_states=case.max_states,
+        )
+        violations = []
+        for verdict in report.violations:
+            if case.shrink:
+                shrunk = shrink_counterexample(
+                    program.source,
+                    program.name,
+                    verdict.variant,
+                    case.model,
+                    program.sync_globals,
+                    max_states=case.max_states,
+                )
+                source, checks = shrunk.source, shrunk.checks
+            else:
+                source, checks = program.source, 0
+            # Stamp the snippet with the *emitted* source's own TSO
+            # verdict: shrinking (or finding the violation on PSO) can
+            # leave the original report's flag wrong for this source.
+            breaks_tso = tso_breaks_unfenced(
+                source, program.name, case.max_states
+            )
+            violations.append(
+                ViolationRecord(
+                    seed=case.seed,
+                    shape=case.shape,
+                    model=case.model,
+                    variant=verdict.variant,
+                    source=source,
+                    source_lines=sum(
+                        1 for line in source.splitlines() if line.strip()
+                    ),
+                    snippet=to_litmus_snippet(
+                        f"{program.name}-{verdict.variant}",
+                        source,
+                        program.sync_globals,
+                        description=f"shrunk fuzzer counterexample: "
+                        f"{verdict.variant} placement misses a needed "
+                        f"fence on {case.model}",
+                        tso_breaks_unfenced=(
+                            breaks_tso
+                            if breaks_tso is not None
+                            else report.weak_breaks_unfenced
+                        ),
+                        notes=f"shape {case.shape}, seed {case.seed}",
+                    ),
+                    shrink_checks=checks,
+                )
+            )
+        return FuzzCaseResult(
+            seed=case.seed,
+            shape=case.shape,
+            model=case.model,
+            name=program.name,
+            threads=program.threads,
+            source_lines=program.source_lines,
+            elapsed=time.perf_counter() - start,
+            report=report,
+            violations=tuple(violations),
+        )
+    except Exception as exc:  # noqa: BLE001 - worker robustness boundary
+        return FuzzCaseResult(
+            seed=case.seed,
+            shape=case.shape,
+            model=case.model,
+            name=program.name if program is not None else "",
+            threads=program.threads if program is not None else 0,
+            source_lines=program.source_lines if program is not None else 0,
+            elapsed=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one fuzzing run."""
+
+    seeds: int
+    shapes: tuple[str, ...]
+    variants: tuple[str, ...]
+    models: tuple[str, ...]
+    budget: float | None
+    cases: list[FuzzCaseResult] = field(default_factory=list)
+    cases_skipped: int = 0  # budget ran out before these were dispatched
+    budget_exhausted: bool = False
+    used_pool: bool = False
+    wall: float = 0.0
+
+    @property
+    def violations(self) -> list[ViolationRecord]:
+        return [v for case in self.cases for v in case.violations]
+
+    @property
+    def errors(self) -> list[FuzzCaseResult]:
+        return [case for case in self.cases if case.error is not None]
+
+    @property
+    def incomplete(self) -> list[FuzzCaseResult]:
+        return [
+            case
+            for case in self.cases
+            if case.report is not None and not case.report.complete
+        ]
+
+    def variant_summary(self) -> dict[str, dict]:
+        """Per-variant soundness and precision aggregates."""
+        summary: dict[str, dict] = {
+            v: {
+                "checked": 0,
+                "violations": 0,
+                "restored_sc": 0,
+                "full_fences": 0,
+                "fences_saved": 0,
+            }
+            for v in self.variants
+        }
+        for case in self.cases:
+            if case.report is None:
+                continue
+            for verdict in case.report.verdicts:
+                row = summary[verdict.variant]
+                row["checked"] += 1
+                row["violations"] += 1 if verdict.violation else 0
+                row["restored_sc"] += 1 if verdict.restores_sc else 0
+                row["full_fences"] += verdict.full_fences
+                row["fences_saved"] += verdict.fences_saved
+        for row in summary.values():
+            row["mean_fences_saved"] = (
+                row["fences_saved"] / row["checked"] if row["checked"] else 0.0
+            )
+        return summary
+
+    def to_payload(self) -> dict:
+        """The machine-readable surface (``fuzz --json``)."""
+        return {
+            "config": {
+                "seeds": self.seeds,
+                "shapes": list(self.shapes),
+                "variants": list(self.variants),
+                "models": list(self.models),
+                "budget": self.budget,
+            },
+            "summary": {
+                "cases_run": len(self.cases),
+                "cases_skipped_for_budget": self.cases_skipped,
+                "errors": len(self.errors),
+                "incomplete": len(self.incomplete),
+                "budget_exhausted": self.budget_exhausted,
+                "used_pool": self.used_pool,
+                "wall_seconds": self.wall,
+                "violations": len(self.violations),
+                "variants": self.variant_summary(),
+            },
+            "violations": [asdict(v) for v in self.violations],
+            "cases": [case.to_payload() for case in self.cases],
+        }
+
+
+def run_fuzz(
+    seeds: int,
+    shapes: tuple[str, ...] = SHAPES,
+    variants: tuple[str, ...] = TRUSTED_VARIANTS,
+    models: tuple[str, ...] = ("x86-tso",),
+    budget: float | None = None,
+    jobs: int | None = None,
+    parallel: bool = True,
+    shrink: bool = True,
+    max_states: int = 1_000_000,
+) -> FuzzReport:
+    """Run the {seed x shape x variant x model} matrix, budget-bounded.
+
+    Case order is deterministic (seed-major), so two runs with the same
+    arguments check the same programs — the budget only decides how far
+    down the list a run gets.
+    """
+    for shape in shapes:
+        if shape not in SHAPES:
+            raise KeyError(
+                f"unknown shape {shape!r}; known: {', '.join(SHAPES)}"
+            )
+    for variant in variants:
+        if variant not in DETECTION_VARIANTS:
+            raise KeyError(
+                f"unknown variant {variant!r}; "
+                f"known: {', '.join(DETECTION_VARIANTS)}"
+            )
+    for model in models:
+        if model not in WEAK_EXPLORERS:
+            raise KeyError(
+                f"unknown model {model!r}; known: {', '.join(WEAK_EXPLORERS)}"
+            )
+    cases = [
+        FuzzCase(
+            seed=seed,
+            shape=shape,
+            model=model,
+            variants=tuple(variants),
+            max_states=max_states,
+            shrink=shrink,
+        )
+        for seed in range(seeds)
+        for shape in shapes
+        for model in models
+    ]
+    start = time.perf_counter()
+    results, exhausted, used_pool = budgeted_parallel_map(
+        execute_fuzz_case,
+        cases,
+        budget=budget,
+        max_workers=jobs,
+        parallel=parallel,
+    )
+    return FuzzReport(
+        seeds=seeds,
+        shapes=tuple(shapes),
+        variants=tuple(variants),
+        models=tuple(models),
+        budget=budget,
+        cases=results,
+        cases_skipped=len(cases) - len(results),
+        budget_exhausted=exhausted,
+        used_pool=used_pool,
+        wall=time.perf_counter() - start,
+    )

@@ -1,0 +1,234 @@
+"""Greedy counterexample minimization for oracle violations.
+
+Works on mini-C source *lines* (the generator emits one statement per
+line), trying reductions largest-first — drop a function together with
+its thread declarations, drop a thread, drop a brace-balanced block,
+drop a single statement or global declaration, shrink a loop bound —
+and keeping any edit after which the program still compiles, is still
+well-synchronized, and still exhibits the violation (the variant's
+placement fails to restore SC while the every-delay placement
+succeeds). Edits that break the parse or the property are simply
+rejected by re-checking, so the reducer needs no real understanding of
+the language beyond brace matching.
+
+The result renders as a paste-ready :class:`~repro.memmodel.litmus.LitmusTest`
+snippet via :func:`to_litmus_snippet`, which is how a fuzzer find gets
+promoted into the permanent regression corpus.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.frontend import LexError, LoweringError, ParseError, compile_source
+from repro.ir.verifier import VerificationError
+from repro.memmodel.interpreter import ExecutionError
+from repro.validate.oracle import run_oracle
+
+#: Anything a structurally-broken candidate can raise on recompile or
+#: re-exploration; such candidates are simply rejected.
+_COMPILE_ERRORS = (LexError, ParseError, LoweringError, VerificationError,
+                   ExecutionError, LookupError, ValueError)
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized counterexample and how much work finding it took."""
+
+    source: str
+    checks: int
+    passes: int
+
+    @property
+    def lines(self) -> int:
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+
+def _spans(lines: list[str]) -> dict[str, list[tuple[int, int]]]:
+    """Brace-matched line spans: whole functions and inner blocks.
+
+    Lines that open and close on the same line (``while (f == 0) { }``
+    and ``} else {`` continuations) deliberately match nothing here —
+    the former are single-line candidates, the latter keep an
+    if/else chain one span.
+    """
+    spans: dict[str, list[tuple[int, int]]] = {"fn": [], "block": []}
+    stack: list[tuple[int, str]] = []
+    for i, raw in enumerate(lines):
+        opens, closes = raw.count("{"), raw.count("}")
+        if opens > closes:
+            kind = "fn" if raw.strip().startswith("fn ") else "block"
+            stack.append((i, kind))
+        elif closes > opens and stack:
+            start, kind = stack.pop()
+            spans[kind].append((start, i))
+    return spans
+
+
+def _without(lines: list[str], drop: set[int]) -> list[str]:
+    return [line for i, line in enumerate(lines) if i not in drop]
+
+
+def _candidates(lines: list[str]) -> Iterator[list[str]]:
+    """Reduction candidates, largest-first; each is a full line list."""
+    spans = _spans(lines)
+
+    # 1. Whole functions plus the thread declarations that spawn them.
+    for start, end in spans["fn"]:
+        match = re.match(r"fn\s+(\w+)", lines[start].strip())
+        if not match:
+            continue
+        drop = set(range(start, end + 1))
+        drop |= {
+            i
+            for i, line in enumerate(lines)
+            if line.strip().startswith("thread")
+            and re.search(rf"\b{match.group(1)}\b", line)
+        }
+        yield _without(lines, drop)
+
+    # 2. Individual thread declarations.
+    for i, line in enumerate(lines):
+        if line.strip().startswith("thread"):
+            yield _without(lines, {i})
+
+    # 3. Inner blocks (if/while bodies), larger spans first.
+    for start, end in sorted(
+        spans["block"], key=lambda span: span[0] - span[1]
+    ):
+        yield _without(lines, set(range(start, end + 1)))
+
+    # 4. Single-line constructs and statements.
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("fn ", "thread")):
+            continue
+        is_one_line_block = "{" in line and line.count("{") == line.count("}")
+        is_statement = stripped.endswith(";")
+        if is_one_line_block or is_statement:
+            yield _without(lines, {i})
+
+    # 5. Loop-bound shrinking: try 1, then half.
+    for i, line in enumerate(lines):
+        match = re.search(r"<\s*(\d+)\s*\)", line)
+        if not match:
+            continue
+        bound = int(match.group(1))
+        for smaller in (1, bound // 2):
+            if 0 < smaller < bound:
+                edited = list(lines)
+                edited[i] = (
+                    line[: match.start()]
+                    + f"< {smaller})"
+                    + line[match.end():]
+                )
+                yield edited
+
+
+def _cleanup(lines: list[str]) -> str:
+    out: list[str] = []
+    for line in lines:
+        if line.strip() or (out and out[-1].strip()):
+            out.append(line.rstrip())
+    while out and not out[-1].strip():
+        out.pop()
+    return "\n".join(out) + "\n"
+
+
+def shrink_counterexample(
+    source: str,
+    name: str,
+    variant: str,
+    model: str,
+    sync_globals: frozenset[str],
+    max_states: int = 1_000_000,
+    drf_max_traces: int = 400,
+    max_checks: int = 400,
+) -> ShrinkResult:
+    """Minimize a confirmed violation; returns the smallest source kept.
+
+    The predicate re-runs the full oracle for ``variant`` on every
+    candidate, so the shrunk program is guaranteed to still be a
+    counterexample under the same contract that flagged the original.
+    If the original unexpectedly fails the predicate (e.g. tighter
+    exploration limits here), it is returned unshrunk.
+    """
+    checks = 0
+    verdicts: dict[str, bool] = {}  # same candidate text -> same verdict
+
+    def still_violates(candidate: str) -> bool:
+        nonlocal checks
+        cached = verdicts.get(candidate)
+        if cached is not None:
+            return cached
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            report = run_oracle(
+                candidate,
+                name,
+                variants=(variant,),
+                model=model,
+                sync_globals=sync_globals,
+                max_states=max_states,
+                drf_max_traces=drf_max_traces,
+                explore_unfenced=False,
+            )
+            verdict = report.complete and bool(report.violations)
+        except _COMPILE_ERRORS:
+            verdict = False
+        verdicts[candidate] = verdict
+        return verdict
+
+    lines = source.splitlines()
+    if not still_violates(source):
+        return ShrinkResult(source=_cleanup(lines), checks=checks, passes=0)
+
+    passes = 0
+    progressed = True
+    while progressed and checks < max_checks:
+        progressed = False
+        passes += 1
+        for candidate in _candidates(lines):
+            if len(candidate) >= len(lines) and candidate == lines:
+                continue
+            if still_violates("\n".join(candidate)):
+                lines = candidate
+                progressed = True
+                break
+    return ShrinkResult(source=_cleanup(lines), checks=checks, passes=passes)
+
+
+def to_litmus_snippet(
+    name: str,
+    source: str,
+    sync_globals: frozenset[str],
+    description: str = "",
+    tso_breaks_unfenced: bool = True,
+    notes: str = "",
+) -> str:
+    """Render a shrunk program as a paste-ready LitmusTest definition.
+
+    Only globals still present in the (shrunk) program are kept in the
+    marking, so the snippet is self-consistent.
+    """
+    try:
+        remaining = set(compile_source(source, name).globals)
+    except _COMPILE_ERRORS:  # pragma: no cover - shrinker output compiles
+        remaining = set(sync_globals)
+    sync = ", ".join(f'"{g}"' for g in sorted(sync_globals & remaining))
+    ident = re.sub(r"[^A-Za-z0-9]+", "_", name).upper().strip("_")
+    return (
+        f"{ident} = LitmusTest(\n"
+        f'    name="{name}",\n'
+        f'    description="{description}",\n'
+        f'    source="""\n{source.strip()}\n""",\n'
+        f"    sync_globals=frozenset({{{sync}}}),\n"
+        f"    well_synchronized=True,\n"
+        f"    tso_breaks_unfenced={tso_breaks_unfenced},\n"
+        f'    notes="{notes}",\n'
+        f")\n"
+    )

@@ -125,3 +125,66 @@ def test_experiments_quick(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_fuzz_clean_run_exits_zero(capsys):
+    assert main([
+        "fuzz", "--seeds", "1", "--shapes", "publish", "--serial",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz: 1 cases" in out
+    assert "address+control" in out
+
+
+def test_fuzz_expect_violations_mode(capsys):
+    assert main([
+        "fuzz", "--seeds", "1", "--shapes", "dekker",
+        "--variants", "vanilla", "--serial", "--expect-violations",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "SOUNDNESS VIOLATION" in out
+    assert "LitmusTest(" in out
+
+
+def test_fuzz_violations_fail_the_run_by_default(capsys):
+    assert main([
+        "fuzz", "--seeds", "1", "--shapes", "dekker",
+        "--variants", "vanilla", "--serial", "--no-shrink",
+    ]) == 1
+
+
+def test_fuzz_expect_violations_fails_without_any(capsys):
+    assert main([
+        "fuzz", "--seeds", "1", "--shapes", "publish", "--serial",
+        "--expect-violations",
+    ]) == 1
+    assert "expected at least one violation" in capsys.readouterr().err
+
+
+def test_fuzz_json_report(capsys):
+    import json
+
+    assert main([
+        "fuzz", "--seeds", "1", "--shapes", "publish", "--serial",
+        "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["cases_run"] == 1
+    assert payload["summary"]["violations"] == 0
+    assert payload["config"]["seeds"] == 1
+    assert payload["cases"][0]["report"]["well_synchronized"] is True
+
+
+def test_fuzz_unknown_shape_exits_two(capsys):
+    assert main(["fuzz", "--seeds", "1", "--shapes", "bogus"]) == 2
+    assert "unknown shape" in capsys.readouterr().out
+
+
+def test_fuzz_incomplete_cases_fail_the_gate(capsys):
+    # A state bound too small for any exploration must not read as
+    # "zero violations": the soundness gate would pass vacuously.
+    assert main([
+        "fuzz", "--seeds", "1", "--shapes", "publish", "--serial",
+        "--max-states", "10",
+    ]) == 1
+    assert "soundness not established" in capsys.readouterr().err

@@ -172,3 +172,37 @@ def test_all_orderings_enforced_after_apply():
         plan = plan_fences(func, orderings, X86_TSO)
         apply_plan(func, plan)
         assert _every_ordering_enforced(func, orderings, X86_TSO), src
+
+
+def test_every_delay_plan_fences_every_access():
+    from repro.core.fence_min import plan_every_delay_fences
+
+    src = "global a; global b; fn f() { a = 1; local r = b; b = r + a; }"
+    func = compile_source(src, "t").functions["f"]
+    plan = plan_every_delay_fences(func)
+    accesses = sum(
+        1
+        for block in func.blocks
+        for inst in block.instructions
+        if inst.is_memory_access()
+    )
+    assert plan.entry_fence
+    assert len(plan.full_fences) == accesses
+    assert plan.compiler_count == 0
+    assert plan.full_count == accesses + 1
+
+
+def test_every_delay_apply_covers_all_orderings_on_rmo():
+    """Stronger than TSO: on RMO every ordering kind needs a fence, and
+    the every-delay placement must still enforce them all."""
+    from repro.core.fence_min import plan_every_delay_fences
+
+    src = (
+        "global a; global b; global c; "
+        "fn f() { a = 1; local r = b; c = 2; local s = a; }"
+    )
+    func = compile_source(src, "t").functions["f"]
+    esc = EscapeInfo(func)
+    orderings = generate_orderings(func, esc)
+    apply_plan(func, plan_every_delay_fences(func))
+    assert _every_ordering_enforced(func, orderings, RMO)

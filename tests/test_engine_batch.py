@@ -249,3 +249,40 @@ def test_grouped_execution_compiles_once_per_program(monkeypatch):
     for job, result in zip(jobs, grouped):
         solo = execute_job(job)
         assert result.functions == solo.functions, job.variant
+
+
+def _square(n):
+    return n * n
+
+
+def test_budgeted_parallel_map_no_budget_runs_everything():
+    from repro.engine.batch import budgeted_parallel_map
+
+    results, exhausted, _ = budgeted_parallel_map(
+        _square, list(range(10)), parallel=False
+    )
+    assert results == [n * n for n in range(10)]
+    assert not exhausted
+
+
+def test_budgeted_parallel_map_zero_budget_stops_after_first_chunk():
+    from repro.engine.batch import budgeted_parallel_map
+
+    items = list(range(20))
+    results, exhausted, _ = budgeted_parallel_map(
+        _square, items, budget=0.0, max_workers=1, parallel=False,
+        chunk_size=4,
+    )
+    assert exhausted
+    # The first chunk completes; nothing past it is dispatched.
+    assert results == [n * n for n in range(4)]
+
+
+def test_budgeted_parallel_map_budget_never_truncates_final_chunk():
+    from repro.engine.batch import budgeted_parallel_map
+
+    results, exhausted, _ = budgeted_parallel_map(
+        _square, [1, 2, 3], budget=0.0, parallel=False, chunk_size=8
+    )
+    assert results == [1, 4, 9]
+    assert not exhausted
