@@ -4,20 +4,22 @@ Instead of inserting fences, use acquire detection to propose the
 minimal C11-style ``memory_order_acquire`` / ``release`` annotations
 that would make a legacy program data-race-free under a compliant
 compiler — here on the Dekker-style kernel and the work-stealing deque.
+The analysis flows through the :class:`repro.api.Session` facade.
 
 Run:  python examples/annotate_legacy_code.py
 """
 
-from repro import PipelineVariant, analyze_program
+from repro.api import Session
 from repro.core.annotations import render_annotations, suggest_annotations
 from repro.programs.sync_kernels import SYNC_KERNELS
 
 
 def main() -> None:
+    session = Session(variant="address+control")
     for kernel_name in ("dekker", "chase-lev-wsq"):
         kernel = SYNC_KERNELS[kernel_name]
         program = kernel.compile()
-        analysis = analyze_program(program, PipelineVariant.ADDRESS_CONTROL)
+        analysis = session.analysis(program)
         annotations = suggest_annotations(analysis)
         keep = [a for a in annotations if a.function in kernel.kernel_functions]
         print(f"\n### {kernel_name} ({kernel.citation})")

@@ -2,7 +2,10 @@
 
 For each litmus test: enumerate all SC and all x86-TSO outcomes of the
 unfenced program, then re-run TSO with fences from each pipeline
-variant. Shows the paper's contract concretely:
+variant. Everything flows through the :class:`repro.api.Session`
+facade's mid-level API — litmus tests load via ``ProgramSpec.litmus``,
+exploration and placement dispatch through the registries. Shows the
+paper's contract concretely:
 
 * MP (Fig. 4) is already safe on TSO (no w->r reordering involved);
 * Dekker (Fig. 6) breaks unfenced and is repaired by every variant —
@@ -15,9 +18,10 @@ variant. Shows the paper's contract concretely:
 Run:  python examples/litmus_model_check.py
 """
 
-from repro import PipelineVariant, SCExplorer, TSOExplorer, place_fences
+from repro.api import ProgramSpec, Session
 from repro.core.signatures import Variant, detect_acquires
 from repro.memmodel.litmus import LITMUS_TESTS
+from repro.registry import pipeline_variant_keys
 
 
 def outcome_strings(observation_sets) -> list[str]:
@@ -30,11 +34,13 @@ def outcome_strings(observation_sets) -> list[str]:
 
 
 def main() -> None:
+    session = Session()
     for name in ("mp", "dekker", "sb", "mp-pointers"):
         test = LITMUS_TESTS[name]
+        spec = ProgramSpec.litmus(name)
         print(f"\n=== {name}: {test.description.splitlines()[0]}")
-        sc = SCExplorer(test.compile()).explore()
-        tso = TSOExplorer(test.compile()).explore()
+        sc = session.explore(session.load(spec), "sc")
+        tso = session.explore(session.load(spec), "x86-tso")
         print("  SC outcomes          :", outcome_strings(sc.observation_sets()))
         extra = tso.observation_sets() - sc.observation_sets()
         print(
@@ -42,20 +48,19 @@ def main() -> None:
             f"{len(tso.observation_sets())} outcomes"
             + (f", non-SC extras: {outcome_strings(extra)}" if extra else " (== SC)"),
         )
-        for variant in PipelineVariant:
-            fenced = test.compile()
-            analysis = place_fences(fenced, variant)
-            tso_fenced = TSOExplorer(fenced).explore()
+        for variant in pipeline_variant_keys():
+            fenced = session.load(spec)
+            analysis = session.place(fenced, variant)
+            tso_fenced = session.explore(fenced, "x86-tso")
             restored = tso_fenced.observation_sets() == sc.observation_sets()
             print(
-                f"  TSO + {variant.value:16s}: "
+                f"  TSO + {variant:16s}: "
                 f"{analysis.full_fence_count} mfences, "
                 f"SC restored: {restored}"
             )
 
     # The Fig. 5 acquire is visible only to Address+Control.
-    test = LITMUS_TESTS["mp-pointers"]
-    program = test.compile()
+    program = session.load(ProgramSpec.litmus("mp-pointers"))
     reader = program.functions["reader"]
     control = detect_acquires(reader, Variant.CONTROL).sync_reads
     both = detect_acquires(reader, Variant.ADDRESS_CONTROL).sync_reads

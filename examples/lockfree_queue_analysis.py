@@ -1,6 +1,7 @@
 """Analyze a lock-free workload end to end: the Michael-Scott queue.
 
-Walks the paper's whole story on one realistic kernel:
+Walks the paper's whole story on one realistic kernel, driving every
+pipeline step through the :class:`repro.api.Session` facade:
 
 1. signature breakdown (which protocol reads are acquires, and why);
 2. ordering generation and pruning (what the Control analysis saves);
@@ -11,15 +12,16 @@ Walks the paper's whole story on one realistic kernel:
 Run:  python examples/lockfree_queue_analysis.py
 """
 
-from repro import PipelineVariant, analyze_program, place_fences
-from repro.core.signatures import signature_breakdown
+from repro.api import Session, SimulateRequest, ProgramSpec
+from repro.core.signatures import Variant, detect_acquires, signature_breakdown
 from repro.memmodel.drf import check_drf_with_detected_acquires
 from repro.programs.sync_kernels import SYNC_KERNELS
-from repro.simulator import simulate
+from repro.registry import pipeline_variant_keys
 from repro.util.text import format_table
 
 
 def main() -> None:
+    session = Session()
     kernel = SYNC_KERNELS["michael-scott-q"]
     program = kernel.compile()
 
@@ -43,14 +45,14 @@ def main() -> None:
         )
     )
 
-    # 2+3. Orderings and fences per variant.
+    # 2+3. Orderings and fences per variant (shared session context).
     print()
     rows = []
-    for variant in PipelineVariant:
-        analysis = analyze_program(kernel.compile(), variant)
+    for variant in pipeline_variant_keys():
+        analysis = session.analysis(program, variant)
         rows.append(
             [
-                variant.value,
+                variant,
                 analysis.total_sync_reads,
                 analysis.total_orderings,
                 analysis.full_fence_count,
@@ -66,14 +68,19 @@ def main() -> None:
     )
 
     # 4. Timed simulation, normalized to the expert manual placement.
+    # The simulate requests reference the kernel source inline, so each
+    # placement runs on a fresh compile.
     print()
-    manual_cycles = simulate(kernel.compile(include_manual_fences=True)).cycles
-    rows = [["manual", manual_cycles, "1.00x"]]
-    for variant in PipelineVariant:
-        fenced = kernel.compile()
-        place_fences(fenced, variant)
-        cycles = simulate(fenced).cycles
-        rows.append([variant.value, cycles, f"{cycles / manual_cycles:.2f}x"])
+    spec = ProgramSpec.inline(kernel.source, name=kernel.name)
+    manual = session.simulate(SimulateRequest(program=spec, placement="manual"))
+    rows = [["manual", manual.cycles, "1.00x"]]
+    for variant in pipeline_variant_keys():
+        stats = session.simulate(
+            SimulateRequest(program=spec, placement=variant)
+        )
+        rows.append(
+            [variant, stats.cycles, f"{stats.cycles / manual.cycles:.2f}x"]
+        )
     print(
         format_table(
             ["placement", "simulated cycles", "vs manual"],
@@ -85,8 +92,6 @@ def main() -> None:
     # 5. The detected marking makes the program data-race-free.
     sync_reads = []
     for func in program.functions.values():
-        from repro.core.signatures import Variant, detect_acquires
-
         sync_reads.extend(detect_acquires(func, Variant.CONTROL).sync_reads)
     report = check_drf_with_detected_acquires(
         program, sync_reads, max_traces=400

@@ -1,25 +1,27 @@
-"""Quickstart: fence a legacy producer/consumer program.
+"""Quickstart: the public API on a legacy producer/consumer program.
 
-Compiles a small well-synchronized (legacy DRF) program, runs the
-paper's Control pipeline against the Pensieve baseline, shows which
-read was detected as an acquire and where fences land, then verifies
-on the exhaustive x86-TSO model that the fenced program has exactly
-the SC behaviours of the original.
+This is the source of truth for the README's "Public API" section.
+One :class:`repro.api.Session` fronts the whole pipeline; requests and
+reports are schema-versioned dataclasses that round-trip through JSON
+byte-identically, so analysis results are durable wire artifacts.
+
+The walkthrough:
+
+1. analyze a well-synchronized (legacy DRF) program and compare the
+   paper's Control detection against the Pensieve baseline;
+2. serialize the report, read it back, and verify the exact round trip;
+3. model-check that the Control placement restores SC on x86-TSO.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    PipelineVariant,
-    SCExplorer,
-    TSOExplorer,
-    Variant,
-    analyze_program,
-    compile_source,
-    detect_acquires,
-    place_fences,
+from repro.api import (
+    AnalyzeReport,
+    AnalyzeRequest,
+    CheckRequest,
+    ProgramSpec,
+    Session,
 )
-from repro.ir import format_program
 
 SOURCE = """
 global int flag;
@@ -45,35 +47,39 @@ thread consumer(1);
 
 
 def main() -> None:
-    # 1. Which reads are synchronization reads?
-    program = compile_source(SOURCE, "quickstart")
-    for name, func in program.functions.items():
-        acquires = detect_acquires(func, Variant.CONTROL).sync_reads
-        labels = [str(getattr(i, "addr", i)) for i in acquires]
-        print(f"{name}: control acquires -> {labels or 'none'}")
+    session = Session()
+    spec = ProgramSpec.inline(SOURCE, name="quickstart")
 
-    # 2. Compare the fence bill: Pensieve vs the paper's Control.
-    for variant in (PipelineVariant.PENSIEVE, PipelineVariant.CONTROL):
-        analysis = analyze_program(compile_source(SOURCE, "q"), variant)
+    # 1. Pensieve fences every escaping read; Control detects the one
+    #    synchronization read (the flag spin) and prunes the rest.
+    for variant in ("pensieve", "control"):
+        report = session.analyze(AnalyzeRequest(program=spec, variant=variant))
         print(
-            f"{variant.value:12s}: {analysis.total_orderings} orderings kept, "
-            f"{analysis.full_fence_count} full fences, "
-            f"{analysis.compiler_fence_count} compiler directives"
+            f"{variant:12s}: {report.sync_reads}/{report.escaping_reads} "
+            f"acquires, {report.pruned_orderings} orderings kept, "
+            f"{report.full_fences} full fences, "
+            f"{report.compiler_fences} compiler directives"
         )
 
-    # 3. Insert the Control fences and show the final IR.
-    fenced = compile_source(SOURCE, "quickstart-fenced")
-    place_fences(fenced, PipelineVariant.CONTROL)
-    print("\n--- fenced IR ---")
-    print(format_program(fenced))
+    # 2. Reports are versioned wire artifacts: JSON out, JSON in,
+    #    byte-identical back out.
+    report = session.analyze(
+        AnalyzeRequest(program=spec, variant="control", annotations=True)
+    )
+    wire = report.to_json()
+    restored = AnalyzeReport.from_json(wire)
+    assert restored.to_json() == wire
+    print("\nreport round-trips byte-identically: OK")
+    print(report.render())
 
-    # 4. Verify: TSO outcomes of the fenced program == SC of the original.
-    sc = SCExplorer(compile_source(SOURCE, "q2")).explore()
-    tso = TSOExplorer(fenced).explore()
-    print("\nSC outcomes  :", sorted(sc.observation_sets()))
-    print("TSO (fenced) :", sorted(tso.observation_sets()))
-    assert tso.observation_sets() == sc.observation_sets()
-    print("fenced program preserves SC behaviour: OK")
+    # 3. Model-check: with Control's fences, x86-TSO shows exactly the
+    #    SC behaviours of the original program.
+    check = session.check(CheckRequest(program=spec, model="x86-tso"))
+    print()
+    print(check.render())
+    control = next(v for v in check.variants if v.variant == "control")
+    assert control.restored_sc
+    print("\nControl placement preserves SC behaviour: OK")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,9 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-fence-placement",
-    version="0.2.0",
+    # Kept in lockstep with repro.__version__; 2.x marks the stable
+    # repro.api surface (schema-versioned requests/reports).
+    version="2.0.0",
     description=(
         "Reproduction of 'Fence placement for legacy data-race-free "
         "programs via synchronization read detection' (PPoPP 2015): "

@@ -9,25 +9,29 @@ Shasha-Snir delay sets, Fang-style fence minimization, SC and x86-TSO
 model checkers, a timed TSO performance simulator, and the full
 Section-5 workload suite.
 
-Quick start::
+The stable public surface is :mod:`repro.api`::
 
-    from repro import compile_source, place_fences, PipelineVariant
+    from repro.api import AnalyzeRequest, ProgramSpec, Session
 
-    program = compile_source(source_text, "my-program")
-    analysis = place_fences(program, PipelineVariant.CONTROL)
-    print(analysis.full_fence_count, "full fences inserted")
+    session = Session()
+    report = session.analyze(
+        AnalyzeRequest(program=ProgramSpec.inline(source_text, "my-program"))
+    )
+    print(report.full_fences, "full fences planned")
+    artifact = report.to_json()   # schema-versioned, round-trips exactly
 
-See ``examples/`` for runnable walkthroughs and ``repro.experiments``
-for the paper's tables and figures.
+See ``examples/quickstart.py`` for the runnable walkthrough and
+``repro.experiments`` for the paper's tables and figures. The
+pre-facade conveniences ``repro.analyze_program`` / ``repro.place_fences``
+still work but are deprecated shims that warn once.
 """
 
+from repro.api import ProgramSpec, Session
 from repro.core.machine_models import MODELS, PSO, RMO, SC, X86_TSO, MemoryModel, OrderKind
 from repro.core.pipeline import (
     FencePlacer,
     PipelineVariant,
     ProgramAnalysis,
-    analyze_program,
-    place_fences,
 )
 from repro.core.signatures import (
     SignatureBreakdown,
@@ -43,7 +47,7 @@ from repro.memmodel.sc import SCExplorer
 from repro.memmodel.tso import TSOExplorer
 from repro.simulator.machine import TSOSimulator, simulate
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "FencePlacer",
@@ -55,9 +59,11 @@ __all__ = [
     "PipelineVariant",
     "Program",
     "ProgramAnalysis",
+    "ProgramSpec",
     "RMO",
     "SC",
     "SCExplorer",
+    "Session",
     "SignatureBreakdown",
     "TSOExplorer",
     "TSOSimulator",
@@ -71,3 +77,13 @@ __all__ = [
     "signature_breakdown",
     "simulate",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated one-call conveniences: kept as warn-once shims that
+    # delegate to exactly what the repro.api facade runs.
+    if name in ("analyze_program", "place_fences"):
+        from repro.api import _compat
+
+        return getattr(_compat, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,69 @@
+"""`repro.api` — the stable public surface of the reproduction.
+
+One :class:`Session` fronts the entire pipeline; schema-versioned
+request/report dataclasses are the wire format every surface (CLI,
+batch engine, fuzz oracle, experiments, future services) speaks::
+
+    from repro.api import AnalyzeRequest, ProgramSpec, Session
+
+    session = Session()
+    report = session.analyze(
+        AnalyzeRequest(program=ProgramSpec.corpus("fft"), variant="control")
+    )
+    print(report.full_fences, report.surviving_fraction)
+    payload = report.to_json()          # durable, versioned artifact
+    AnalyzeReport.from_json(payload)    # exact round trip
+
+Anything importable from this package is covered by the API-stability
+snapshot in ``tests/data/api_surface.json``: additions and schema-
+version bumps must update the snapshot deliberately
+(``python tools/check_api_surface.py --update``).
+"""
+
+from repro.api.reports import (
+    REPORT_KINDS,
+    AnalyzeReport,
+    AnalyzeRequest,
+    BatchCell,
+    BatchReport,
+    BatchRequest,
+    CheckReport,
+    CheckRequest,
+    FunctionFences,
+    FuzzProblem,
+    FuzzReport,
+    FuzzRequest,
+    FuzzViolation,
+    SchemaError,
+    SimulateReport,
+    SimulateRequest,
+    VariantCheck,
+    diff_payloads,
+    load_report,
+)
+from repro.api.session import Session
+from repro.registry.sources import ProgramSpec
+
+__all__ = [
+    "AnalyzeReport",
+    "AnalyzeRequest",
+    "BatchCell",
+    "BatchReport",
+    "BatchRequest",
+    "CheckReport",
+    "CheckRequest",
+    "FunctionFences",
+    "FuzzProblem",
+    "FuzzReport",
+    "FuzzRequest",
+    "FuzzViolation",
+    "ProgramSpec",
+    "REPORT_KINDS",
+    "SchemaError",
+    "Session",
+    "SimulateReport",
+    "SimulateRequest",
+    "VariantCheck",
+    "diff_payloads",
+    "load_report",
+]

@@ -1,0 +1,74 @@
+"""Deprecation shims keeping the pre-facade entry points alive.
+
+Each shim warns once per process (see :mod:`repro.util.deprecation`)
+and delegates to exactly the code the facade runs, so results are
+identical to the ``repro.api.Session`` path by construction. New code
+should use the facade; these exist so scripts written against the
+pre-``repro.api`` surface keep working.
+"""
+
+from __future__ import annotations
+
+from repro.util.deprecation import warn_once
+
+
+def analyze_program(program, variant=None, model=None, context=None):
+    """Deprecated alias for the facade's analysis path."""
+    warn_once(
+        "repro.analyze_program",
+        "repro.analyze_program is deprecated; use "
+        "repro.api.Session().analysis(program, variant, model) instead",
+    )
+    from repro.core.machine_models import X86_TSO
+    from repro.core.pipeline import PipelineVariant
+    from repro.core.pipeline import analyze_program as _impl
+
+    return _impl(
+        program,
+        variant if variant is not None else PipelineVariant.CONTROL,
+        model if model is not None else X86_TSO,
+        context=context,
+    )
+
+
+def place_fences(program, variant=None, model=None, context=None):
+    """Deprecated alias for the facade's placement path."""
+    warn_once(
+        "repro.place_fences",
+        "repro.place_fences is deprecated; use "
+        "repro.api.Session().place(program, variant, model) instead",
+    )
+    from repro.core.machine_models import X86_TSO
+    from repro.core.pipeline import PipelineVariant
+    from repro.core.pipeline import place_fences as _impl
+
+    return _impl(
+        program,
+        variant if variant is not None else PipelineVariant.CONTROL,
+        model if model is not None else X86_TSO,
+        context=context,
+    )
+
+
+def variants_by_value() -> dict:
+    """Deprecated ``repro.core.pipeline.VARIANTS_BY_VALUE`` shim."""
+    warn_once(
+        "repro.core.pipeline.VARIANTS_BY_VALUE",
+        "VARIANTS_BY_VALUE is deprecated; use "
+        "repro.registry.get_variant / pipeline_variant_keys instead",
+    )
+    from repro.core.pipeline import PipelineVariant
+
+    return {v.value: v for v in PipelineVariant}
+
+
+def weak_explorers() -> dict:
+    """Deprecated ``repro.validate.oracle.WEAK_EXPLORERS`` shim."""
+    warn_once(
+        "repro.validate.oracle.WEAK_EXPLORERS",
+        "WEAK_EXPLORERS is deprecated; use "
+        "repro.registry.weak_explorer_for / weak_model_keys instead",
+    )
+    from repro.registry.models import weak_explorer_for, weak_model_keys
+
+    return {key: weak_explorer_for(key)[0] for key in weak_model_keys()}

@@ -1,0 +1,454 @@
+"""The `Session` facade: one stable entry point over the whole pipeline.
+
+A :class:`Session` owns everything the pre-facade surfaces wired by
+hand — compilation of :class:`~repro.registry.sources.ProgramSpec`
+inputs, one shared :class:`~repro.engine.context.AnalysisContext` per
+compiled program, registry dispatch over detection variants, memory
+models, and explorers, the timed simulator, the batch engine, and the
+differential fuzzer. Execution knobs (worker processes, serial
+fallback, state bounds, result cache) live on the session; *what* to
+run lives in the schema-versioned requests of
+:mod:`repro.api.reports`, so a request serialized on one machine
+replays on another.
+
+Two API levels:
+
+* **wire level** — ``analyze``/``check``/``simulate``/``batch``/
+  ``fuzz`` consume a request dataclass and return a serializable
+  report; this is the surface the CLI and any future service sit on.
+* **mid level** — ``load``/``analysis``/``place``/``explore``/
+  ``timed_simulation`` operate on IR ``Program`` objects with the
+  session's shared analysis context; the experiments and examples use
+  these for in-process composition.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.machine_models import MemoryModel
+from repro.core.pipeline import PipelineVariant, ProgramAnalysis
+from repro.engine.context import AnalysisContext
+from repro.frontend import compile_source
+from repro.ir.function import Program
+from repro.memmodel.sc import ExplorationResult
+from repro.registry.models import get_model, weak_explorer_for
+from repro.registry.sources import ProgramSpec, resolve_spec
+from repro.registry.variants import get_variant, pipeline_variant_keys
+from repro.api.reports import (
+    AnalyzeReport,
+    AnalyzeRequest,
+    BatchCell,
+    BatchReport,
+    BatchRequest,
+    CheckReport,
+    CheckRequest,
+    FunctionFences,
+    FuzzProblem,
+    FuzzReport,
+    FuzzRequest,
+    FuzzViolation,
+    SimulateReport,
+    SimulateRequest,
+    VariantCheck,
+)
+
+
+class Session:
+    """A configured analysis session (see module docstring).
+
+    ``variant`` and ``model`` are the registry-key defaults used when a
+    mid-level call does not name one; requests always carry their own.
+    """
+
+    def __init__(
+        self,
+        variant: str = "control",
+        model: str = "x86-tso",
+        max_states: int = 1_000_000,
+        jobs: int | None = None,
+        parallel: bool = True,
+        interprocedural: bool = False,
+        cache_dir: str | None = None,
+    ) -> None:
+        get_variant(variant)  # validate eagerly: fail at construction
+        get_model(model)
+        self.variant = variant
+        self.model = model
+        self.max_states = max_states
+        self.jobs = jobs
+        self.parallel = parallel
+        self.interprocedural = interprocedural
+        self.cache_dir = cache_dir
+        # Identity-keyed per-program fact cache, LRU-bounded so a
+        # long-lived session serving many one-shot requests does not
+        # retain every compiled program it ever saw.
+        self._contexts: dict[Program, AnalysisContext] = {}
+        self._context_cap = 32
+        self._batch_runner = None
+
+    # --- program loading --------------------------------------------------
+    def load(self, program: ProgramSpec | Program) -> Program:
+        """Resolve and compile a spec (a compiled ``Program`` passes
+        through); the session tracks an analysis context for it."""
+        if isinstance(program, Program):
+            return program
+        resolved = resolve_spec(program)
+        ir = compile_source(
+            resolved.source, resolved.name,
+            include_manual_fences=program.manual_fences,
+        )
+        self.context(ir)
+        return ir
+
+    def context(self, program: Program) -> AnalysisContext:
+        """The session's shared (memoized) facts for ``program``."""
+        ctx = self._contexts.pop(program, None)
+        if ctx is None:
+            ctx = AnalysisContext(program)
+            while len(self._contexts) >= self._context_cap:
+                self._contexts.pop(next(iter(self._contexts)))
+        self._contexts[program] = ctx  # (re)insert as most recent
+        return ctx
+
+    def forget(self, program: Program) -> None:
+        """Drop the context for ``program`` (stale after IR mutation)."""
+        self._contexts.pop(program, None)
+
+    # --- mid-level operations ---------------------------------------------
+    def _variant_key(self, variant: str | PipelineVariant | None) -> str:
+        if variant is None:
+            return self.variant
+        if isinstance(variant, PipelineVariant):
+            return variant.value
+        return variant
+
+    def _machine(self, model: str | None) -> MemoryModel:
+        return get_model(model if model is not None else self.model).model
+
+    def analysis(
+        self,
+        program: Program,
+        variant: str | PipelineVariant | None = None,
+        model: str | None = None,
+        interprocedural: bool | None = None,
+    ) -> ProgramAnalysis:
+        """Run a variant's pipeline on ``program`` (no IR mutation),
+        sharing the session's analysis context."""
+        entry = get_variant(self._variant_key(variant))
+        inter = self.interprocedural if interprocedural is None else interprocedural
+        return entry.analyze(
+            program, self._machine(model),
+            context=self.context(program), interprocedural=inter,
+        )
+
+    def place(
+        self,
+        program: Program,
+        variant: str | PipelineVariant | None = None,
+        model: str | None = None,
+        interprocedural: bool | None = None,
+    ) -> ProgramAnalysis:
+        """Run the pipeline and insert the fences (mutates ``program``;
+        the session's context for it is invalidated)."""
+        entry = get_variant(self._variant_key(variant))
+        inter = self.interprocedural if interprocedural is None else interprocedural
+        result = entry.place(
+            program, self._machine(model),
+            context=self.context(program), interprocedural=inter,
+        )
+        self.forget(program)
+        return result
+
+    def explore(
+        self,
+        program: Program,
+        model: str | None = None,
+        max_states: int | None = None,
+    ) -> ExplorationResult:
+        """Exhaustively explore ``program`` under a model's explorer.
+
+        ``model="sc"`` gives the reference semantics; weak models give
+        the differencing side. Models without explorer coverage (RMO)
+        raise ``KeyError``.
+        """
+        entry = get_model(model if model is not None else self.model)
+        explorer_cls = entry.explorer_cls()
+        bound = max_states if max_states is not None else self.max_states
+        return explorer_cls(program, max_states=bound).explore()
+
+    def timed_simulation(self, program: Program, costs=None):
+        """Run the deterministic timed TSO simulator on ``program``."""
+        from repro.simulator.costmodel import DEFAULT_COSTS
+        from repro.simulator.machine import TSOSimulator
+
+        return TSOSimulator(
+            program, costs if costs is not None else DEFAULT_COSTS
+        ).run()
+
+    # --- wire-level operations --------------------------------------------
+    def analyze(self, request: AnalyzeRequest) -> AnalyzeReport:
+        program = self.load(request.program)
+        interprocedural = (
+            request.interprocedural
+            if request.interprocedural is not None
+            else self.interprocedural
+        )
+        if request.emit_ir:
+            analysis = self.place(
+                program, request.variant, request.model,
+                interprocedural=interprocedural,
+            )
+        else:
+            analysis = self.analysis(
+                program, request.variant, request.model,
+                interprocedural=interprocedural,
+            )
+        annotations = None
+        if request.annotations:
+            from repro.core.annotations import (
+                render_annotations,
+                suggest_annotations,
+            )
+
+            annotations = render_annotations(suggest_annotations(analysis))
+        fenced_ir = None
+        if request.emit_ir:
+            from repro.ir.printer import format_program
+
+            fenced_ir = format_program(program)
+        functions = tuple(
+            FunctionFences(
+                name=name,
+                escaping_reads=len(fa.escape_info.escaping_reads),
+                sync_reads=len(fa.sync_reads),
+                orderings=len(fa.orderings),
+                pruned=len(fa.pruned),
+                full_fences=fa.plan.full_count,
+                compiler_fences=fa.plan.compiler_count,
+            )
+            for name, fa in analysis.functions.items()
+        )
+        return AnalyzeReport(
+            program=program.name,
+            variant=request.variant,
+            model=request.model,
+            interprocedural=interprocedural,
+            functions=functions,
+            escaping_reads=analysis.total_escaping_reads,
+            sync_reads=analysis.total_sync_reads,
+            orderings=sum(len(fa.orderings) for fa in analysis.functions.values()),
+            pruned_orderings=analysis.total_orderings,
+            surviving_fraction=analysis.surviving_fraction,
+            full_fences=analysis.full_fence_count,
+            compiler_fences=analysis.compiler_fence_count,
+            annotations=annotations,
+            fenced_ir=fenced_ir,
+        )
+
+    def check(self, request: CheckRequest) -> CheckReport:
+        resolved = resolve_spec(request.program)
+        explorer_cls, machine = weak_explorer_for(request.model)
+        bound = (
+            request.max_states
+            if request.max_states is not None
+            else self.max_states
+        )
+
+        def fresh() -> Program:
+            # The spec describes the baseline program: with
+            # manual_fences=True the expert fences ARE the program
+            # under check, and the SC reference includes them.
+            return compile_source(
+                resolved.source, resolved.name,
+                include_manual_fences=request.program.manual_fences,
+            )
+
+        def skipped(reason: str) -> CheckReport:
+            return CheckReport(
+                program=resolved.name,
+                model=request.model,
+                max_states=bound,
+                complete=False,
+                skipped=reason,
+                sc_outcomes=0,
+                weak_outcomes_unfenced=0,
+                weak_breaks_unfenced=False,
+                variants=(),
+            )
+
+        from repro.registry.models import EXPLORERS
+
+        sc = EXPLORERS.get("sc")(fresh(), max_states=bound).explore()
+        weak = explorer_cls(fresh(), max_states=bound).explore()
+        if not (sc.complete and weak.complete):
+            return skipped("state space exceeded max_states")
+        sc_obs = sc.observation_sets()
+        weak_obs = weak.observation_sets()
+
+        interprocedural = (
+            request.interprocedural
+            if request.interprocedural is not None
+            else self.interprocedural
+        )
+        variant_keys = request.variants or pipeline_variant_keys()
+        verdicts = []
+        for key in variant_keys:
+            entry = get_variant(key)
+            fenced = fresh()
+            analysis = entry.place(
+                fenced, machine, interprocedural=interprocedural
+            )
+            fenced_weak = explorer_cls(fenced, max_states=bound).explore()
+            verdicts.append(
+                VariantCheck(
+                    variant=key,
+                    full_fences=analysis.full_fence_count,
+                    weak_outcomes=len(fenced_weak.observation_sets()),
+                    restored_sc=fenced_weak.observation_sets() == sc_obs,
+                )
+            )
+        return CheckReport(
+            program=resolved.name,
+            model=request.model,
+            max_states=bound,
+            complete=True,
+            skipped=None,
+            sc_outcomes=len(sc_obs),
+            weak_outcomes_unfenced=len(weak_obs),
+            weak_breaks_unfenced=weak_obs != sc_obs,
+            variants=tuple(verdicts),
+        )
+
+    def simulate(self, request: SimulateRequest) -> SimulateReport:
+        resolved = resolve_spec(request.program)
+        manual = request.placement == "manual" or request.program.manual_fences
+        program = compile_source(
+            resolved.source, resolved.name, include_manual_fences=manual
+        )
+        if request.placement != "manual":
+            self.place(program, request.placement, request.model)
+        stats = self.timed_simulation(program)
+        observations = tuple(
+            (tid, tuple(obs))
+            for tid, obs in sorted(stats.observations.items())
+        )
+        return SimulateReport(
+            program=resolved.name,
+            placement=request.placement,
+            model=request.model,
+            cycles=stats.cycles,
+            instructions=stats.instructions,
+            full_fences_executed=stats.full_fences_executed,
+            compiler_fences_executed=stats.compiler_fences_executed,
+            fence_stall_cycles=stats.fence_stall_cycles,
+            observations=observations,
+            final_globals=tuple(sorted(stats.final_globals.items())),
+            observe_globals=tuple(request.observe_globals),
+        )
+
+    def batch(self, request: BatchRequest) -> BatchReport:
+        from repro.engine.batch import BatchRunner, ResultCache
+        from repro.programs.registry import all_programs, get_program
+
+        programs = list(request.programs) if request.programs else list(all_programs())
+        for name in programs:
+            get_program(name)  # KeyError("unknown program ...") early
+        variants = list(request.variants) if request.variants else None
+        models = list(request.models) if request.models else None
+        if self._batch_runner is None:
+            cache = ResultCache(self.cache_dir) if self.cache_dir else None
+            self._batch_runner = BatchRunner(
+                max_workers=self.jobs, parallel=self.parallel, cache=cache
+            )
+        start = time.perf_counter()
+        results = self._batch_runner.run_matrix(programs, variants, models)
+        wall = time.perf_counter() - start
+        cells = tuple(
+            BatchCell(
+                program=r.program,
+                variant=r.variant,
+                model=r.model,
+                key=r.key,
+                functions=len(r.functions),
+                escaping_reads=r.escaping_reads,
+                sync_reads=r.sync_reads,
+                orderings=r.orderings,
+                pruned_orderings=r.pruned_orderings,
+                surviving_fraction=r.surviving_fraction,
+                full_fences=r.full_fences,
+                compiler_fences=r.compiler_fences,
+                elapsed=r.elapsed,
+                cached=r.cached,
+            )
+            for r in results
+        )
+        return BatchReport(
+            programs=tuple(programs),
+            variants=tuple(variants) if variants else tuple(pipeline_variant_keys()),
+            models=tuple(models) if models else ("x86-tso",),
+            used_pool=self._batch_runner.used_pool,
+            wall=wall,
+            cells=cells,
+        )
+
+    def fuzz(self, request: FuzzRequest) -> FuzzReport:
+        from dataclasses import asdict
+
+        from repro.registry.variants import trusted_variant_keys
+        from repro.validate.generator import SHAPES
+        from repro.validate.runner import run_fuzz
+
+        shapes = tuple(request.shapes) if request.shapes else tuple(SHAPES)
+        variants = (
+            tuple(request.variants) if request.variants
+            else trusted_variant_keys()
+        )
+        raw = run_fuzz(
+            seeds=request.seeds,
+            shapes=shapes,
+            variants=variants,
+            models=tuple(request.models),
+            budget=request.budget,
+            jobs=self.jobs,
+            parallel=self.parallel,
+            shrink=request.shrink,
+            max_states=(
+                request.max_states
+                if request.max_states is not None
+                else self.max_states
+            ),
+        )
+        problems = tuple(
+            [
+                FuzzProblem("error", c.shape, c.seed, c.model, c.error or "")
+                for c in raw.errors
+            ]
+            + [
+                FuzzProblem(
+                    "incomplete", c.shape, c.seed, c.model,
+                    (c.report.skipped if c.report is not None else None) or "",
+                )
+                for c in raw.incomplete
+            ]
+        )
+        return FuzzReport(
+            seeds=raw.seeds,
+            shapes=tuple(raw.shapes),
+            variants=tuple(raw.variants),
+            models=tuple(raw.models),
+            budget=raw.budget,
+            cases_run=len(raw.cases),
+            cases_skipped=raw.cases_skipped,
+            errors=len(raw.errors),
+            incomplete=len(raw.incomplete),
+            budget_exhausted=raw.budget_exhausted,
+            used_pool=raw.used_pool,
+            wall=raw.wall,
+            variant_summary=raw.variant_summary(),
+            violations=tuple(
+                FuzzViolation(**asdict(v)) for v in raw.violations
+            ),
+            problems=problems,
+            cases=tuple(c.to_payload() for c in raw.cases),
+        )

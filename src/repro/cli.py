@@ -1,10 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command is a thin shell over :mod:`repro.api`: it builds a
+schema-versioned request, hands it to a :class:`~repro.api.Session`,
+and prints the report — either rendered (the report's own ``render``)
+or as the serialized JSON artifact (``--json``), which ``repro
+report`` can later pretty-print or diff. Choice lists come from the
+registries, so new variants/models show up here without CLI edits.
+
 Commands:
 
 * ``analyze FILE``     — run the fence-placement pipeline on a mini-C file
-* ``check FILE``       — exhaustively model-check SC vs x86-TSO, unfenced
-  and with each variant's fences
+* ``check FILE``       — exhaustively model-check SC vs a weak model
+  (``--model x86-tso|pso``), unfenced and with each variant's fences
 * ``simulate FILE``    — run the timed TSO simulator and report cycles
 * ``experiments``      — regenerate the paper's tables and figures
 * ``batch``            — analyze a {program × variant × model} matrix in
@@ -12,6 +19,7 @@ Commands:
 * ``fuzz``             — differential fence-validation fuzzing: generate
   seeded programs, model-check every detection variant's placement
   against SC, and shrink any soundness counterexample
+* ``report FILE``      — pretty-print or diff any serialized report
 """
 
 from __future__ import annotations
@@ -20,121 +28,68 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.annotations import render_annotations, suggest_annotations
-from repro.core.machine_models import MODELS, X86_TSO
-from repro.core.pipeline import (
-    VARIANTS_BY_VALUE as _VARIANTS,
-    FencePlacer,
-    PipelineVariant,
+from repro.api import (
+    AnalyzeRequest,
+    BatchRequest,
+    CheckRequest,
+    FuzzRequest,
+    ProgramSpec,
+    SchemaError,
+    Session,
+    SimulateRequest,
+    diff_payloads,
+    load_report,
 )
-from repro.frontend import compile_source
-from repro.ir.printer import format_program
-from repro.memmodel.sc import SCExplorer
-from repro.memmodel.tso import TSOExplorer
-from repro.simulator.machine import TSOSimulator
-from repro.util.text import format_table
-
-
-def _load(path: str, manual_fences: bool = False):
-    source = Path(path).read_text(encoding="utf-8")
-    return compile_source(source, Path(path).stem, manual_fences)
+from repro.registry import (
+    model_keys,
+    pipeline_variant_keys,
+    weak_model_keys,
+)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    program = _load(args.file)
-    placer = FencePlacer(_VARIANTS[args.variant], MODELS[args.model])
-    analysis = placer.place(program) if args.emit_ir else placer.analyze(program)
-
-    rows = []
-    for name, fa in analysis.functions.items():
-        rows.append(
-            [
-                name,
-                len(fa.escape_info.escaping_reads),
-                len(fa.sync_reads),
-                len(fa.orderings),
-                len(fa.pruned),
-                fa.plan.full_count,
-                fa.plan.compiler_count,
-            ]
-        )
-    print(
-        format_table(
-            ["function", "esc reads", "acquires", "orderings", "pruned",
-             "mfences", "directives"],
-            rows,
-            title=f"{program.name}: {args.variant} on {args.model}",
+    session = Session()
+    report = session.analyze(
+        AnalyzeRequest(
+            program=ProgramSpec.file(args.file),
+            variant=args.variant,
+            model=args.model,
+            interprocedural=args.interprocedural,
+            annotations=args.annotations,
+            emit_ir=args.emit_ir,
         )
     )
-    print(
-        f"\ntotal: {analysis.total_sync_reads}/{analysis.total_escaping_reads} "
-        f"reads marked acquire, {analysis.full_fence_count} full fences, "
-        f"{analysis.compiler_fence_count} compiler directives"
-    )
-    if args.annotations:
-        print()
-        print(render_annotations(suggest_annotations(analysis)))
-    if args.emit_ir:
-        print("\n--- fenced IR ---")
-        print(format_program(program))
+    print(report.to_json() if args.json else report.render())
     return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    # Read the source once; each explorer needs its own IR copy (the
-    # explorers and fence insertion mutate state), so compile the
-    # in-memory string repeatedly instead of re-reading the file.
-    source = Path(args.file).read_text(encoding="utf-8")
-    name = Path(args.file).stem
-    sc = SCExplorer(compile_source(source, name), max_states=args.max_states).explore()
-    tso = TSOExplorer(compile_source(source, name), max_states=args.max_states).explore()
-    if not (sc.complete and tso.complete):
-        print("state space exceeded --max-states; results incomplete")
-        return 2
-    print(f"SC outcomes: {len(sc.observation_sets())}")
-    broken = tso.observation_sets() != sc.observation_sets()
-    print(
-        f"TSO unfenced: {len(tso.observation_sets())} outcomes "
-        f"({'NON-SC BEHAVIOUR' if broken else 'SC-equal'})"
-    )
-    failures = 0
-    for variant in PipelineVariant:
-        fenced = compile_source(source, name)
-        analysis = FencePlacer(variant, X86_TSO).place(fenced)
-        fenced_tso = TSOExplorer(fenced, max_states=args.max_states).explore()
-        restored = fenced_tso.observation_sets() == sc.observation_sets()
-        failures += 0 if restored else 1
-        print(
-            f"TSO + {variant.value:16s}: {analysis.full_fence_count} mfences, "
-            f"SC restored: {restored}"
+    # The request is the wire artifact: it carries the full
+    # configuration, so the session stays at defaults.
+    report = Session().check(
+        CheckRequest(
+            program=ProgramSpec.file(args.file),
+            model=args.model,
+            max_states=args.max_states,
         )
-    return 0 if failures == 0 else 1
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    if args.variant == "manual":
-        program = _load(args.file, manual_fences=True)
-    else:
-        program = _load(args.file)
-        FencePlacer(_VARIANTS[args.variant], X86_TSO).place(program)
-    stats = TSOSimulator(program).run()
-    print(f"placement      : {args.variant}")
-    print(f"cycles         : {stats.cycles}")
-    print(f"instructions   : {stats.instructions}")
-    print(f"mfences run    : {stats.full_fences_executed}")
-    print(f"fence stalls   : {stats.fence_stall_cycles} cycles")
-    for tid, obs in sorted(stats.observations.items()):
-        if obs:
-            rendered = ", ".join(f"{k}={v}" for k, v in obs)
-            print(f"observations T{tid}: {rendered}")
-    if args.globals:
-        for name in args.globals:
-            matches = {
-                k: v for k, v in stats.final_globals.items()
-                if k == name or k.startswith(name + "[")
-            }
-            for k, v in sorted(matches.items()):
-                print(f"{k} = {v}")
+    report = Session().simulate(
+        SimulateRequest(
+            program=ProgramSpec.file(args.file),
+            placement=args.variant,
+            model=args.model,
+            observe_globals=tuple(args.globals),
+        )
+    )
+    print(report.to_json() if args.json else report.render())
     return 0
 
 
@@ -155,151 +110,64 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    import json as _json
-    import time
-
-    from repro.engine.batch import BatchRunner, ResultCache
-    from repro.programs import all_programs
-
-    known = list(all_programs())
-    programs = known if args.programs == ["all"] else args.programs
-    for p in programs:
-        if p not in known:
-            print(f"unknown program {p!r}; known: {', '.join(known)}")
-            return 2
-    variants = sorted(_VARIANTS) if args.variants == ["all"] else args.variants
-    models = sorted(MODELS) if args.models == ["all"] else args.models
-
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    runner = BatchRunner(
-        max_workers=args.jobs, parallel=not args.serial, cache=cache
+    session = Session(
+        jobs=args.jobs, parallel=not args.serial, cache_dir=args.cache_dir
     )
-    start = time.perf_counter()
+    programs = () if args.programs == ["all"] else tuple(args.programs)
+    variants = (
+        tuple(sorted(pipeline_variant_keys()))
+        if args.variants == ["all"]
+        else tuple(args.variants)
+    )
+    models = (
+        tuple(sorted(model_keys()))
+        if args.models == ["all"]
+        else tuple(args.models)
+    )
     try:
-        results = runner.run_matrix(programs, variants, models)
+        report = session.batch(
+            BatchRequest(programs=programs, variants=variants, models=models)
+        )
     except KeyError as exc:
         print(exc.args[0])
         return 2
-    wall = time.perf_counter() - start
-
-    if args.json:
-        print(_json.dumps(
-            [r.to_payload() for r in results], indent=2, sort_keys=True
-        ))
-        return 0
-
-    rows = [
-        [
-            r.program,
-            r.variant,
-            r.model,
-            len(r.functions),
-            r.escaping_reads,
-            r.sync_reads,
-            f"{r.orderings}->{r.pruned_orderings}",
-            f"{r.surviving_fraction:.1%}",
-            r.full_fences,
-            r.compiler_fences,
-            f"{r.elapsed * 1000:.0f}ms",
-            "hit" if r.cached else "",
-        ]
-        for r in results
-    ]
-    print(
-        format_table(
-            ["program", "variant", "model", "fns", "esc reads", "acquires",
-             "orderings", "surv", "mfences", "directives", "time", "cache"],
-            rows,
-            title=f"batch: {len(results)} analyses "
-            f"({'pool' if runner.used_pool else 'serial'}, {wall:.2f}s wall)",
-        )
-    )
-    total_full = sum(r.full_fences for r in results)
-    hits = sum(1 for r in results if r.cached)
-    print(
-        f"\ntotal: {total_full} full fences across {len(results)} cells, "
-        f"{hits} cache hits"
-    )
+    print(report.to_json() if args.json else report.render())
     return 0
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    import json as _json
+    from repro.registry import detection_variant_keys
 
-    from repro.validate.generator import SHAPES
-    from repro.validate.oracle import DETECTION_VARIANTS, TRUSTED_VARIANTS
-    from repro.validate.runner import run_fuzz
-
-    shapes = SHAPES if args.shapes == ["all"] else tuple(args.shapes)
-    variants = (
-        TRUSTED_VARIANTS if args.variants == ["trusted"] else tuple(args.variants)
-    )
-    if args.variants == ["all"]:
-        variants = DETECTION_VARIANTS
-    models = tuple(args.models)
+    session = Session(jobs=args.jobs, parallel=not args.serial)
+    shapes = () if args.shapes == ["all"] else tuple(args.shapes)
+    if args.variants == ["trusted"]:
+        variants: tuple[str, ...] = ()
+    elif args.variants == ["all"]:
+        variants = detection_variant_keys()
+    else:
+        variants = tuple(args.variants)
     try:
-        report = run_fuzz(
-            seeds=args.seeds,
-            shapes=shapes,
-            variants=variants,
-            models=models,
-            budget=args.budget,
-            jobs=args.jobs,
-            parallel=not args.serial,
-            shrink=not args.no_shrink,
-            max_states=args.max_states,
+        report = session.fuzz(
+            FuzzRequest(
+                seeds=args.seeds,
+                shapes=shapes,
+                variants=variants,
+                models=tuple(args.models),
+                budget=args.budget,
+                shrink=not args.no_shrink,
+                max_states=args.max_states,
+            )
         )
     except KeyError as exc:
         print(exc.args[0])
         return 2
 
-    if args.json:
-        print(_json.dumps(report.to_payload(), indent=2, sort_keys=True))
-    else:
-        rows = [
-            [
-                variant,
-                row["checked"],
-                row["restored_sc"],
-                row["violations"],
-                row["full_fences"],
-                f"{row['mean_fences_saved']:.1f}",
-            ]
-            for variant, row in report.variant_summary().items()
-        ]
-        print(
-            format_table(
-                ["variant", "checked", "SC restored", "violations",
-                 "mfences", "saved vs full"],
-                rows,
-                title=f"fuzz: {len(report.cases)} cases "
-                f"({report.seeds} seeds x {len(report.shapes)} shapes x "
-                f"{len(report.models)} models; "
-                f"{'pool' if report.used_pool else 'serial'}, "
-                f"{report.wall:.1f}s wall"
-                + (", budget exhausted" if report.budget_exhausted else "")
-                + f", {report.cases_skipped} skipped)",
-            )
-        )
-        for case in report.errors:
-            print(f"\nERROR {case.shape} seed {case.seed}: {case.error}")
-        for case in report.incomplete:
-            print(
-                f"\nINCOMPLETE {case.shape} seed {case.seed}: "
-                f"{case.report.skipped}"
-            )
-        for violation in report.violations:
-            print(
-                f"\nSOUNDNESS VIOLATION: variant {violation.variant!r} on "
-                f"{violation.shape} seed {violation.seed} ({violation.model}), "
-                f"shrunk to {violation.source_lines} lines:"
-            )
-            print(violation.snippet)
+    print(report.to_json() if args.json else report.render())
 
     # Broken or unfinished cases must never read as "no violations":
     # a fuzzer whose every case errors out or blows the state bound
     # would otherwise green-light the CI soundness gate vacuously.
-    problems = len(report.errors) + len(report.incomplete)
+    problems = report.problem_count
     if problems:
         print(
             f"{problems} case(s) errored or exceeded --max-states; "
@@ -315,6 +183,39 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if found == 0 and problems == 0 else 1
 
 
+def _read_report(path: str):
+    text = sys.stdin.read() if path == "-" else Path(path).read_text(
+        encoding="utf-8"
+    )
+    return load_report(text)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        report = _read_report(args.file)
+        other = _read_report(args.diff) if args.diff else None
+    except (SchemaError, KeyError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if other is None:
+        print(report.to_json() if args.json else report.render())
+        return 0
+    if type(other) is not type(report):
+        print(
+            f"cannot diff {report.KIND} against {other.KIND}", file=sys.stderr
+        )
+        return 2
+    lines = diff_payloads(report.to_payload(), other.to_payload())
+    if not lines:
+        print("reports are identical")
+        return 0
+    print("\n".join(lines))
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,28 +225,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="run the fence-placement pipeline")
     p.add_argument("file")
-    p.add_argument("--variant", choices=sorted(_VARIANTS), default="control")
-    p.add_argument("--model", choices=sorted(MODELS), default="x86-tso")
+    p.add_argument("--variant", choices=sorted(pipeline_variant_keys()),
+                   default="control")
+    p.add_argument("--model", choices=sorted(model_keys()), default="x86-tso")
+    p.add_argument("--interprocedural", action="store_true",
+                   help="use the whole-program acquire fixpoint")
     p.add_argument("--annotations", action="store_true",
                    help="also print C11-style annotation suggestions")
     p.add_argument("--emit-ir", action="store_true",
                    help="insert the fences and dump the final IR")
+    p.add_argument("--json", action="store_true",
+                   help="emit the serialized report instead of the table")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("check", help="model-check SC vs x86-TSO")
+    p = sub.add_parser("check", help="model-check SC vs a weak memory model")
     p.add_argument("file")
+    p.add_argument("--model", choices=sorted(weak_model_keys()),
+                   default="x86-tso",
+                   help="weak model to difference against SC")
     p.add_argument("--max-states", type=int, default=1_000_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit the serialized report instead of text")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("simulate", help="run the timed TSO simulator")
     p.add_argument("file")
     p.add_argument(
         "--variant",
-        choices=sorted(_VARIANTS) + ["manual"],
+        choices=sorted(pipeline_variant_keys()) + ["manual"],
         default="control",
     )
+    p.add_argument("--model", choices=sorted(model_keys()), default="x86-tso",
+                   help="memory model driving fence placement "
+                        "(the timed machine itself is TSO)")
     p.add_argument("--globals", nargs="*", default=[],
                    help="global variables to print after the run")
+    p.add_argument("--json", action="store_true",
+                   help="emit the serialized report instead of text")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("experiments", help="regenerate the paper's evaluation")
@@ -363,16 +279,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--programs", nargs="+", default=["all"],
                    help="registry program names, or 'all' (default)")
     p.add_argument("--variants", nargs="+", default=["all"],
-                   help=f"pipeline variants ({', '.join(sorted(_VARIANTS))}), "
+                   help="pipeline variants "
+                        f"({', '.join(sorted(pipeline_variant_keys()))}), "
                         "or 'all' (default)")
     p.add_argument("--models", nargs="+", default=["x86-tso"],
-                   help=f"memory models ({', '.join(sorted(MODELS))}), or 'all'")
+                   help=f"memory models ({', '.join(sorted(model_keys()))}), "
+                        "or 'all'")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: CPU count)")
     p.add_argument("--serial", action="store_true",
                    help="run serially (deterministic fallback)")
     p.add_argument("--json", action="store_true",
-                   help="emit machine-readable JSON instead of a table")
+                   help="emit the serialized report instead of a table")
     p.add_argument("--cache-dir", default=None,
                    help="directory for the content-keyed result cache")
     p.set_defaults(func=cmd_batch)
@@ -394,7 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "or an explicit list incl. the deliberately-weak "
                         "'vanilla' and 'control'")
     p.add_argument("--models", nargs="+", default=["x86-tso"],
-                   help="weak machine models to explore (x86-tso, pso)")
+                   help="weak machine models to explore "
+                        f"({', '.join(weak_model_keys())})")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: CPU count)")
     p.add_argument("--serial", action="store_true",
@@ -409,6 +328,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="invert the exit code: succeed only if at least "
                         "one violation is found (CI oracle self-test)")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "report", help="pretty-print or diff a serialized report"
+    )
+    p.add_argument("file", help="report JSON file, or '-' for stdin")
+    p.add_argument("--diff", default=None,
+                   help="second report to diff against (exit 1 on drift)")
+    p.add_argument("--json", action="store_true",
+                   help="re-emit normalized JSON instead of rendering")
+    p.set_defaults(func=cmd_report)
 
     return parser
 

@@ -32,13 +32,10 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.core.machine_models import MODELS
-from repro.core.pipeline import (
-    VARIANTS_BY_VALUE as _VARIANTS,
-    PipelineVariant,
-    analyze_program,
-)
+from repro.core.pipeline import PipelineVariant
 from repro.frontend import compile_source
+from repro.registry.models import get_model, model_keys
+from repro.registry.variants import get_variant, pipeline_variant_keys
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -184,8 +181,8 @@ def execute_job_group(jobs: "tuple[BatchJob, ...]") -> list[BatchResult]:
 
 def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
     start = time.perf_counter()
-    analysis = analyze_program(
-        ir, _VARIANTS[job.variant], MODELS[job.model], context=context
+    analysis = get_variant(job.variant).analyze(
+        ir, get_model(job.model).model, context=context
     )
     functions = tuple(
         FunctionResult(
@@ -413,20 +410,22 @@ class BatchRunner:
         program_names = (
             list(programs) if programs is not None else list(all_programs())
         )
+        known_variants = pipeline_variant_keys()
         variant_values = [
             v.value if isinstance(v, PipelineVariant) else v
-            for v in (variants if variants is not None else list(_VARIANTS))
+            for v in (variants if variants is not None else list(known_variants))
         ]
         model_names = list(models) if models is not None else ["x86-tso"]
         for value in variant_values:
-            if value not in _VARIANTS:
+            if value not in known_variants:
                 raise KeyError(
-                    f"unknown variant {value!r}; known: {', '.join(_VARIANTS)}"
+                    f"unknown variant {value!r}; "
+                    f"known: {', '.join(known_variants)}"
                 )
         for name in model_names:
-            if name not in MODELS:
+            if name not in model_keys():
                 raise KeyError(
-                    f"unknown model {name!r}; known: {', '.join(MODELS)}"
+                    f"unknown model {name!r}; known: {', '.join(model_keys())}"
                 )
         jobs = [
             BatchJob(program=p, variant=v, model=m)

@@ -5,11 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.pipeline import PipelineVariant, place_fences
+from repro.api.session import Session
 from repro.experiments import expected
 from repro.programs.registry import BenchProgram, all_programs
 from repro.simulator.costmodel import DEFAULT_COSTS, CostModel
-from repro.simulator.machine import SimStats, TSOSimulator
+from repro.simulator.machine import SimStats
 from repro.util.stats import geomean
 from repro.util.text import ascii_bar_chart, format_table
 
@@ -36,28 +36,31 @@ class Fig10Result:
 
 
 def simulate_variant(
-    program: BenchProgram, series: str, costs: CostModel = DEFAULT_COSTS
+    program: BenchProgram,
+    series: str,
+    costs: CostModel = DEFAULT_COSTS,
+    session: Session | None = None,
 ) -> SimStats:
+    session = session if session is not None else Session()
     if series == "manual":
         ir = program.compile(manual_fences=True)
     else:
+        # The series names are detection-variant registry keys.
         ir = program.compile(manual_fences=False)
-        variant = {
-            "pensieve": PipelineVariant.PENSIEVE,
-            "address+control": PipelineVariant.ADDRESS_CONTROL,
-            "control": PipelineVariant.CONTROL,
-        }[series]
-        place_fences(ir, variant)
-    return TSOSimulator(ir, costs).run()
+        session.place(ir, series)
+    return session.timed_simulation(ir, costs)
 
 
 def run_program(
-    program: BenchProgram, costs: CostModel = DEFAULT_COSTS
+    program: BenchProgram,
+    costs: CostModel = DEFAULT_COSTS,
+    session: Session | None = None,
 ) -> Fig10Row:
+    session = session if session is not None else Session()
     cycles = {}
     fences = {}
     for series in SERIES:
-        stats = simulate_variant(program, series, costs)
+        stats = simulate_variant(program, series, costs, session)
         cycles[series] = stats.cycles
         fences[series] = stats.full_fences_executed
     return Fig10Row(program=program.name, cycles=cycles, fences_executed=fences)

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.pipeline import PipelineVariant, analyze_program
-from repro.engine.context import AnalysisContext
+from repro.api.session import Session
 from repro.experiments import expected
 from repro.programs.registry import BenchProgram, all_programs
 from repro.util.stats import geomean
@@ -41,15 +40,15 @@ class Fig7Result:
         return geomean([r.address_control_fraction for r in self.rows])
 
 
-def run_program(program: BenchProgram, ir=None, context=None) -> Fig7Row:
-    # One compile + one analysis context: both variants share the
-    # variant-independent facts (points-to, escape, reachability).
-    # Callers sweeping several figures pass both in to share across
-    # figures too.
+def run_program(program: BenchProgram, ir=None, session=None) -> Fig7Row:
+    # One compile + one session: both variants share the session
+    # context's variant-independent facts (points-to, escape,
+    # reachability). Callers sweeping several figures pass both in to
+    # share across figures too.
+    session = session if session is not None else Session()
     ir = ir if ir is not None else program.compile()
-    ctx = context if context is not None else AnalysisContext(ir)
-    control = analyze_program(ir, PipelineVariant.CONTROL, context=ctx)
-    addr_ctrl = analyze_program(ir, PipelineVariant.ADDRESS_CONTROL, context=ctx)
+    control = session.analysis(ir, "control")
+    addr_ctrl = session.analysis(ir, "address+control")
     return Fig7Row(
         program=program.name,
         escaping_reads=control.total_escaping_reads,

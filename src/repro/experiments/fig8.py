@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.session import Session
 from repro.core.machine_models import OrderKind
-from repro.core.pipeline import PipelineVariant, analyze_program
-from repro.engine.context import AnalysisContext
+from repro.core.pipeline import PipelineVariant
 from repro.experiments import expected
 from repro.programs.registry import BenchProgram, all_programs
 from repro.util.stats import geomean
@@ -43,12 +43,12 @@ class Fig8Result:
         )
 
 
-def run_program(program: BenchProgram, ir=None, context=None) -> Fig8Row:
+def run_program(program: BenchProgram, ir=None, session=None) -> Fig8Row:
+    session = session if session is not None else Session()
     ir = ir if ir is not None else program.compile()
-    ctx = context if context is not None else AnalysisContext(ir)
     counts = {}
     for variant in VARIANTS:
-        analysis = analyze_program(ir, variant, context=ctx)
+        analysis = session.analysis(ir, variant)
         counts[variant] = analysis.ordering_counts(pruned=True)
     return Fig8Row(program=program.name, counts=counts)
 

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.pipeline import PipelineVariant, analyze_program
-from repro.engine.context import AnalysisContext
+from repro.api.session import Session
+from repro.core.pipeline import PipelineVariant
 from repro.experiments import expected
 from repro.programs.registry import BenchProgram, all_programs
 from repro.util.stats import geomean
@@ -42,18 +42,16 @@ class Fig9Result:
         return geomean([max(1e-6, r.address_control_fraction) for r in self.rows])
 
 
-def run_program(program: BenchProgram, ir=None, context=None) -> Fig9Row:
+def run_program(program: BenchProgram, ir=None, session=None) -> Fig9Row:
+    session = session if session is not None else Session()
     ir = ir if ir is not None else program.compile()
-    ctx = context if context is not None else AnalysisContext(ir)
     fences = {}
     for variant in (
         PipelineVariant.PENSIEVE,
         PipelineVariant.CONTROL,
         PipelineVariant.ADDRESS_CONTROL,
     ):
-        fences[variant] = analyze_program(
-            ir, variant, context=ctx
-        ).full_fence_count
+        fences[variant] = session.analysis(ir, variant).full_fence_count
     return Fig9Row(
         program=program.name,
         pensieve_fences=fences[PipelineVariant.PENSIEVE],

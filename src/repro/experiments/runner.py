@@ -51,18 +51,18 @@ class FullReport:
 
 def compute_cell(program: BenchProgram) -> ProgramCell:
     """All figure rows for one program (runs inside a pool worker)."""
-    from repro.engine.context import AnalysisContext
+    from repro.api.session import Session
 
-    # Figs 7-9 only analyze: one compile and one shared context cover
-    # all of them. Fig 10 mutates the IR (fence insertion), so it keeps
-    # its own per-series compiles.
+    # Figs 7-9 only analyze: one compile and one session-owned context
+    # cover all of them. Fig 10 mutates the IR (fence insertion), so it
+    # keeps its own per-series compiles.
+    session = Session()
     ir = program.compile()
-    ctx = AnalysisContext(ir)
     return ProgramCell(
-        fig7_row=fig7.run_program(program, ir, ctx),
-        fig8_row=fig8.run_program(program, ir, ctx),
-        fig9_row=fig9.run_program(program, ir, ctx),
-        fig10_row=fig10.run_program(program),
+        fig7_row=fig7.run_program(program, ir, session),
+        fig8_row=fig8.run_program(program, ir, session),
+        fig9_row=fig9.run_program(program, ir, session),
+        fig10_row=fig10.run_program(program, session=session),
     )
 
 

@@ -1,0 +1,59 @@
+"""Pluggable catalogs: variants, models, explorers, program sources.
+
+Every string key a surface parses — ``--variant``, ``--model``, a
+program reference — resolves through one of these registries, so new
+detectors, machine models, explorers, or source kinds plug in without
+touching the CLI or the :mod:`repro.api` facade.
+"""
+
+from repro.registry.core import Registry
+from repro.registry.models import (
+    EXPLORERS,
+    MODELS,
+    ModelEntry,
+    get_model,
+    model_keys,
+    register_model,
+    weak_explorer_for,
+    weak_model_keys,
+)
+from repro.registry.sources import (
+    SOURCE_KINDS,
+    ProgramSpec,
+    ResolvedSource,
+    resolve_spec,
+)
+from repro.registry.variants import (
+    VARIANTS,
+    DetectionVariant,
+    detection_variant_keys,
+    get_variant,
+    pipeline_variant_keys,
+    register_variant,
+    trusted_variant_keys,
+    variant_keys,
+)
+
+__all__ = [
+    "DetectionVariant",
+    "EXPLORERS",
+    "MODELS",
+    "ModelEntry",
+    "ProgramSpec",
+    "Registry",
+    "ResolvedSource",
+    "SOURCE_KINDS",
+    "VARIANTS",
+    "detection_variant_keys",
+    "get_model",
+    "get_variant",
+    "model_keys",
+    "pipeline_variant_keys",
+    "register_model",
+    "register_variant",
+    "resolve_spec",
+    "trusted_variant_keys",
+    "variant_keys",
+    "weak_explorer_for",
+    "weak_model_keys",
+]

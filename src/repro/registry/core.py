@@ -1,0 +1,89 @@
+"""The generic string-keyed registry underlying every pluggable catalog.
+
+A :class:`Registry` is an ordered mapping from short string keys to
+entries (data records, classes, or resolver callables) with decorator
+registration and uniform error reporting: every surface that parses a
+user-supplied key gets the same ``unknown <kind> 'x'; known: ...``
+``KeyError``. Catalogs for detection variants, memory models, explorers,
+and program-source kinds live in the sibling modules; new entries plug
+in by registering, without touching the CLI or the :mod:`repro.api`
+facade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+class Registry(Generic[T]):
+    """Ordered, string-keyed catalog with decorator registration.
+
+    ``kind`` names what is being cataloged and shapes error messages;
+    registration order is preserved and is the canonical listing order.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    # --- registration -----------------------------------------------------
+    def register(self, key: str, entry: T = _MISSING):  # type: ignore[assignment]
+        """Register ``entry`` under ``key``.
+
+        With an entry, registers directly and returns it. Without one,
+        returns a decorator::
+
+            @SOURCE_KINDS.register("file")
+            def _resolve_file(spec): ...
+        """
+        if entry is not _MISSING:
+            self._add(key, entry)
+            return entry
+
+        def decorator(obj: T) -> T:
+            self._add(key, obj)
+            return obj
+
+        return decorator
+
+    def _add(self, key: str, entry: T) -> None:
+        if key in self._entries:
+            raise ValueError(f"duplicate {self.kind} {key!r}")
+        self._entries[key] = entry
+
+    # --- lookup -----------------------------------------------------------
+    def get(self, key: str) -> T:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {key!r}; known: {', '.join(self._entries)}"
+            ) from None
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def items(self) -> tuple[tuple[str, T], ...]:
+        return tuple(self._entries.items())
+
+    def values(self) -> tuple[T, ...]:
+        return tuple(self._entries.values())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<Registry {self.kind}: {', '.join(self._entries) or '(empty)'}>"
+
+
+RegistryEntryFactory = Callable[[], T]

@@ -1,0 +1,134 @@
+"""The memory-model and explorer catalogs.
+
+A :class:`ModelEntry` ties a hardware :class:`MemoryModel` description
+(which ordering kinds need fences) to the exhaustive state-space
+explorer that implements the same semantics, replacing the
+``MODELS``-dict plumbing in the CLI and the oracle's private
+``WEAK_EXPLORERS`` table. Explorers are themselves a registry so a new
+machine model can ship its explorer without touching any surface:
+register the explorer class, register a :class:`ModelEntry` naming it,
+and ``repro check``/``repro fuzz`` accept the new ``--model`` key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine_models import MODELS as _MACHINE_MODELS, MemoryModel
+from repro.memmodel.pso import PSOExplorer
+from repro.memmodel.sc import SCExplorer
+from repro.memmodel.tso import TSOExplorer
+from repro.registry.core import Registry
+
+#: Exhaustive state-space explorers by machine key. ``sc`` is the
+#: reference semantics every weak model is differenced against.
+EXPLORERS: Registry[type] = Registry("explorer")
+EXPLORERS.register("sc", SCExplorer)
+EXPLORERS.register("x86-tso", TSOExplorer)
+EXPLORERS.register("pso", PSOExplorer)
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered hardware memory model."""
+
+    key: str
+    model: MemoryModel
+    #: Short human label used in report rendering ("TSO + control: ...").
+    display: str
+    #: :data:`EXPLORERS` key of the exhaustive explorer implementing
+    #: this model's semantics; None = fence placement only, no
+    #: model-checking support (e.g. RMO).
+    explorer: str | None = None
+    description: str = ""
+
+    @property
+    def checkable(self) -> bool:
+        """Can this model be differenced against SC (weak explorer)?"""
+        return self.explorer is not None and self.key != "sc"
+
+    def explorer_cls(self) -> type:
+        if self.explorer is None:
+            raise KeyError(
+                f"no weak-memory explorer for model {self.key!r}; "
+                f"known: {', '.join(weak_model_keys())}"
+            )
+        return EXPLORERS.get(self.explorer)
+
+
+MODELS: Registry[ModelEntry] = Registry("model")
+
+
+def register_model(entry: ModelEntry) -> ModelEntry:
+    return MODELS.register(entry.key, entry)
+
+
+register_model(
+    ModelEntry(
+        key="sc",
+        model=_MACHINE_MODELS["sc"],
+        display="SC",
+        explorer="sc",
+        description="Sequential consistency: every ordering enforced; "
+        "the reference semantics.",
+    )
+)
+register_model(
+    ModelEntry(
+        key="x86-tso",
+        model=_MACHINE_MODELS["x86-tso"],
+        display="TSO",
+        explorer="x86-tso",
+        description="x86-TSO: FIFO store buffers relax w->r only.",
+    )
+)
+register_model(
+    ModelEntry(
+        key="pso",
+        model=_MACHINE_MODELS["pso"],
+        display="PSO",
+        explorer="pso",
+        description="SPARC PSO: per-address store buffers additionally "
+        "relax w->w.",
+    )
+)
+register_model(
+    ModelEntry(
+        key="rmo",
+        model=_MACHINE_MODELS["rmo"],
+        display="RMO",
+        explorer=None,
+        description="RMO/weak: nothing enforced; fence placement only "
+        "(no exhaustive explorer).",
+    )
+)
+
+
+def get_model(key: str) -> ModelEntry:
+    return MODELS.get(key)
+
+
+def model_keys() -> tuple[str, ...]:
+    return MODELS.keys()
+
+
+def weak_model_keys() -> tuple[str, ...]:
+    """Models that can be differenced against SC — the ``repro check``
+    and ``repro fuzz`` ``--model`` choice set."""
+    return tuple(k for k, e in MODELS.items() if e.checkable)
+
+
+def weak_explorer_for(key: str) -> tuple[type, MemoryModel]:
+    """(explorer class, machine model) for a checkable model key.
+
+    Raises ``KeyError('unknown model ...')`` for unregistered keys and
+    ``KeyError('no weak-memory explorer ...')`` for registered models
+    without exhaustive explorer coverage.
+    """
+    entry = get_model(key)
+    if not entry.checkable:
+        raise KeyError(
+            f"no weak-memory explorer for model {key!r}; "
+            f"known: {', '.join(weak_model_keys())}"
+        )
+    return entry.explorer_cls(), entry.model

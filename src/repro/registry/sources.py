@@ -1,0 +1,120 @@
+"""The program-source catalog: where analysis inputs come from.
+
+A :class:`ProgramSpec` is the wire-format description of one program —
+a built-in corpus workload, a mini-C file on disk, inline source text,
+or a named litmus test — and the ``SOURCE_KINDS`` registry maps each
+``kind`` to its resolver. Requests in :mod:`repro.api` embed specs, so
+a serialized :class:`~repro.api.AnalyzeRequest` replays anywhere the
+referenced source resolves. New source kinds (URLs, archives,
+databases) plug in by registering a resolver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.registry.core import Registry
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A serializable reference to one analyzable program."""
+
+    kind: str
+    #: Corpus/litmus name, or the display name for file/inline sources.
+    name: str = ""
+    path: str | None = None
+    source: str | None = None
+    #: Keep explicit ``fence;`` statements (the expert placement).
+    manual_fences: bool = False
+
+    # --- constructors -----------------------------------------------------
+    @staticmethod
+    def corpus(name: str, manual_fences: bool = False) -> "ProgramSpec":
+        """A workload from the built-in 17-program registry."""
+        return ProgramSpec(kind="corpus", name=name, manual_fences=manual_fences)
+
+    @staticmethod
+    def file(path: str, name: str = "", manual_fences: bool = False) -> "ProgramSpec":
+        """A mini-C file on disk (name defaults to the file stem)."""
+        return ProgramSpec(
+            kind="file", name=name, path=str(path), manual_fences=manual_fences
+        )
+
+    @staticmethod
+    def inline(source: str, name: str = "inline", manual_fences: bool = False) -> "ProgramSpec":
+        """Inline mini-C source text."""
+        return ProgramSpec(
+            kind="inline", name=name, source=source, manual_fences=manual_fences
+        )
+
+    @staticmethod
+    def litmus(name: str, manual_fences: bool = False) -> "ProgramSpec":
+        """A named test from the litmus corpus."""
+        return ProgramSpec(kind="litmus", name=name, manual_fences=manual_fences)
+
+    # --- wire format ------------------------------------------------------
+    def to_payload(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_payload(payload: dict) -> "ProgramSpec":
+        return ProgramSpec(**payload)
+
+
+@dataclass(frozen=True)
+class ResolvedSource:
+    """A spec resolved down to compilable text."""
+
+    name: str
+    source: str
+
+
+SOURCE_KINDS: Registry[Callable[[ProgramSpec], ResolvedSource]] = Registry(
+    "program source kind"
+)
+
+
+@SOURCE_KINDS.register("corpus")
+def _resolve_corpus(spec: ProgramSpec) -> ResolvedSource:
+    from repro.programs.registry import get_program
+
+    return ResolvedSource(spec.name, get_program(spec.name).source)
+
+
+@SOURCE_KINDS.register("file")
+def _resolve_file(spec: ProgramSpec) -> ResolvedSource:
+    if not spec.path:
+        raise ValueError("file program spec requires a path")
+    path = Path(spec.path)
+    return ResolvedSource(
+        spec.name or path.stem, path.read_text(encoding="utf-8")
+    )
+
+
+@SOURCE_KINDS.register("inline")
+def _resolve_inline(spec: ProgramSpec) -> ResolvedSource:
+    if spec.source is None:
+        raise ValueError("inline program spec requires source text")
+    return ResolvedSource(spec.name or "inline", spec.source)
+
+
+@SOURCE_KINDS.register("litmus")
+def _resolve_litmus(spec: ProgramSpec) -> ResolvedSource:
+    from repro.memmodel.litmus import LITMUS_TESTS
+
+    try:
+        test = LITMUS_TESTS[spec.name]
+    except KeyError:
+        raise KeyError(
+            f"unknown litmus test {spec.name!r}; "
+            f"known: {', '.join(LITMUS_TESTS)}"
+        ) from None
+    return ResolvedSource(spec.name, test.source)
+
+
+def resolve_spec(spec: ProgramSpec) -> ResolvedSource:
+    """Resolve any :class:`ProgramSpec` through the source-kind registry."""
+    return SOURCE_KINDS.get(spec.kind)(spec)

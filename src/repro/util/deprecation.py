@@ -1,0 +1,26 @@
+"""Warn-once deprecation machinery for the compatibility shims.
+
+The ``repro.api`` redesign keeps the pre-facade entry points working
+through thin shims; each shim warns exactly once per process (keyed by
+shim name, independent of the active warning filters) so legacy callers
+get told without drowning batch runs in repeated warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning the first time ``key`` fires."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warned() -> None:
+    """Forget which shims already warned (test isolation hook)."""
+    _warned.clear()

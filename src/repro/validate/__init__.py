@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from repro.validate.generator import SHAPES, GeneratedProgram, generate_program
 from repro.validate.oracle import (
-    DETECTION_VARIANTS,
     OracleReport,
     VariantVerdict,
     place_detected_fences,
@@ -35,8 +34,19 @@ from repro.validate.oracle import (
 from repro.validate.runner import FuzzCase, FuzzReport, execute_fuzz_case, run_fuzz
 from repro.validate.shrink import shrink_counterexample, to_litmus_snippet
 
+
+def __getattr__(name: str):
+    # Live registry views (see repro.validate.oracle.__getattr__): an
+    # eager re-export would freeze the variant list at import time.
+    if name in ("DETECTION_VARIANTS", "TRUSTED_VARIANTS"):
+        from repro.validate import oracle
+
+        return getattr(oracle, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "DETECTION_VARIANTS",
+    "TRUSTED_VARIANTS",
     "FuzzCase",
     "FuzzReport",
     "GeneratedProgram",

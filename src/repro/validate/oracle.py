@@ -28,33 +28,38 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.fence_min import apply_plan, plan_every_delay_fences
-from repro.core.machine_models import MODELS, MemoryModel
-from repro.core.pipeline import (
-    VARIANTS_BY_VALUE as _VARIANTS,
-    FencePlacer,
-    PipelineVariant,
-)
-from repro.engine.context import AnalysisContext
+from repro.core.machine_models import MemoryModel
 from repro.frontend import compile_source
 from repro.ir.function import Program
 from repro.memmodel.drf import check_drf
 from repro.memmodel.litmus import sync_marking_for_globals
-from repro.memmodel.pso import PSOExplorer
-from repro.memmodel.sc import SCExplorer
-from repro.memmodel.tso import TSOExplorer
-from repro.util.orderedset import OrderedSet
+from repro.registry.models import EXPLORERS, weak_explorer_for
+from repro.registry.variants import (
+    detection_variant_keys,
+    get_variant,
+    trusted_variant_keys,
+)
 
-#: Fence-placement strategies the oracle can differentiate. The first
-#: is the null detector; the rest are the pipeline's variants.
-DETECTION_VARIANTS = ("vanilla", "pensieve", "control", "address+control")
+def __getattr__(name: str):
+    # DETECTION_VARIANTS / TRUSTED_VARIANTS are computed from the live
+    # registry on every access, so detectors registered after this
+    # module was imported are picked up immediately.
+    #
+    # DETECTION_VARIANTS: fence-placement strategies the oracle can
+    # differentiate (null detectors listed first). TRUSTED_VARIANTS:
+    # variants whose placements the paper's theory claims sound for
+    # legacy-DRF programs (pensieve enforces everything;
+    # address+control detects every acquire by Theorem 3.1).
+    if name == "DETECTION_VARIANTS":
+        return detection_variant_keys()
+    if name == "TRUSTED_VARIANTS":
+        return trusted_variant_keys()
+    # Deprecated: the weak-explorer dict moved into the model registry.
+    if name == "WEAK_EXPLORERS":
+        from repro.api._compat import weak_explorers
 
-#: Variants whose placements the paper's theory claims sound for
-#: legacy-DRF programs (pensieve enforces everything; address+control
-#: detects every acquire by Theorem 3.1).
-TRUSTED_VARIANTS = ("address+control", "pensieve")
-
-#: Weak-memory explorers by machine-model name.
-WEAK_EXPLORERS = {"x86-tso": TSOExplorer, "pso": PSOExplorer}
+        return weak_explorers()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def tso_breaks_unfenced(
@@ -67,8 +72,9 @@ def tso_breaks_unfenced(
     model) need not break the same way the original did. Returns None
     when either exploration blows the state bound.
     """
-    sc = SCExplorer(compile_source(source, name), max_states=max_states).explore()
-    tso = TSOExplorer(compile_source(source, name), max_states=max_states).explore()
+    sc_cls, tso_cls = EXPLORERS.get("sc"), EXPLORERS.get("x86-tso")
+    sc = sc_cls(compile_source(source, name), max_states=max_states).explore()
+    tso = tso_cls(compile_source(source, name), max_states=max_states).explore()
     if not (sc.complete and tso.complete):
         return None
     return tso.observation_sets() != sc.observation_sets()
@@ -89,26 +95,13 @@ def place_detected_fences(
 ) -> tuple[int, int]:
     """Insert ``variant``'s placement; returns (full, compiler) counts.
 
-    ``variant`` is one of :data:`DETECTION_VARIANTS`; ``vanilla`` runs
-    the pipeline with an empty acquire override per function.
+    ``variant`` is a detection-variant registry key (one of
+    :data:`DETECTION_VARIANTS`). The registry entry carries the whole
+    strategy — including which pipeline configuration a null detector
+    overrides — so the variant under test is threaded through here
+    instead of being hardcoded per special case.
     """
-    if variant == "vanilla":
-        placer = FencePlacer(PipelineVariant.CONTROL, model)
-        ctx = AnalysisContext(program)
-        full = compiler = 0
-        for func in program.functions.values():
-            fa = placer.analyze_function(
-                func, sync_reads_override=OrderedSet(), context=ctx
-            )
-            apply_plan(func, fa.plan)
-            full += fa.plan.full_count
-            compiler += fa.plan.compiler_count
-        return full, compiler
-    if variant not in _VARIANTS:
-        raise KeyError(
-            f"unknown variant {variant!r}; known: {', '.join(DETECTION_VARIANTS)}"
-        )
-    analysis = FencePlacer(_VARIANTS[variant], model).place(program)
+    analysis = get_variant(variant).place(program, model)
     return analysis.full_fence_count, analysis.compiler_fence_count
 
 
@@ -177,7 +170,7 @@ def _skipped(name: str, model: str, reason: str) -> OracleReport:
 def run_oracle(
     source: str,
     name: str,
-    variants: tuple[str, ...] = TRUSTED_VARIANTS,
+    variants: tuple[str, ...] | None = None,
     model: str = "x86-tso",
     sync_globals: frozenset[str] = frozenset(),
     max_states: int = 1_000_000,
@@ -196,16 +189,12 @@ def run_oracle(
     oracle per candidate) drops it for speed. The report then records
     ``weak_breaks_unfenced=False`` / ``weak_outcomes_unfenced=0``.
     """
-    if model not in WEAK_EXPLORERS:
-        raise KeyError(
-            f"no weak-memory explorer for model {model!r}; "
-            f"known: {', '.join(WEAK_EXPLORERS)}"
-        )
-    explorer_cls = WEAK_EXPLORERS[model]
-    machine = MODELS[model]
+    if variants is None:  # default: the live trusted set
+        variants = trusted_variant_keys()
+    explorer_cls, machine = weak_explorer_for(model)
 
     unfenced = compile_source(source, name)
-    sc = SCExplorer(unfenced, max_states=max_states).explore()
+    sc = EXPLORERS.get("sc")(unfenced, max_states=max_states).explore()
     if not sc.complete:
         return _skipped(name, model, "SC state space exceeded max_states")
     sc_obs = sc.observation_sets()

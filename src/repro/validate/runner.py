@@ -17,10 +17,9 @@ from dataclasses import asdict, dataclass, field
 
 from repro.engine.batch import budgeted_parallel_map
 from repro.validate.generator import SHAPES, generate_program
+from repro.registry.models import weak_model_keys
+from repro.registry.variants import detection_variant_keys, trusted_variant_keys
 from repro.validate.oracle import (
-    DETECTION_VARIANTS,
-    TRUSTED_VARIANTS,
-    WEAK_EXPLORERS,
     OracleReport,
     run_oracle,
     tso_breaks_unfenced,
@@ -35,7 +34,8 @@ class FuzzCase:
     seed: int
     shape: str
     model: str = "x86-tso"
-    variants: tuple[str, ...] = TRUSTED_VARIANTS
+    #: () = the live trusted set at execution time.
+    variants: tuple[str, ...] = ()
     max_states: int = 1_000_000
     shrink: bool = True
 
@@ -98,7 +98,7 @@ def execute_fuzz_case(case: FuzzCase) -> FuzzCaseResult:
         report = run_oracle(
             program.source,
             program.name,
-            variants=case.variants,
+            variants=case.variants or None,
             model=case.model,
             sync_globals=program.sync_globals,
             max_states=case.max_states,
@@ -262,7 +262,7 @@ class FuzzReport:
 def run_fuzz(
     seeds: int,
     shapes: tuple[str, ...] = SHAPES,
-    variants: tuple[str, ...] = TRUSTED_VARIANTS,
+    variants: tuple[str, ...] | None = None,
     models: tuple[str, ...] = ("x86-tso",),
     budget: float | None = None,
     jobs: int | None = None,
@@ -276,21 +276,26 @@ def run_fuzz(
     arguments check the same programs — the budget only decides how far
     down the list a run gets.
     """
+    if variants is None:  # default: the live trusted set
+        variants = trusted_variant_keys()
     for shape in shapes:
         if shape not in SHAPES:
             raise KeyError(
                 f"unknown shape {shape!r}; known: {', '.join(SHAPES)}"
             )
+    # Validated against the live registry (not an import-time snapshot)
+    # so detectors registered after import are fuzzable immediately.
+    known_variants = detection_variant_keys()
     for variant in variants:
-        if variant not in DETECTION_VARIANTS:
+        if variant not in known_variants:
             raise KeyError(
                 f"unknown variant {variant!r}; "
-                f"known: {', '.join(DETECTION_VARIANTS)}"
+                f"known: {', '.join(known_variants)}"
             )
     for model in models:
-        if model not in WEAK_EXPLORERS:
+        if model not in weak_model_keys():
             raise KeyError(
-                f"unknown model {model!r}; known: {', '.join(WEAK_EXPLORERS)}"
+                f"unknown model {model!r}; known: {', '.join(weak_model_keys())}"
             )
     cases = [
         FuzzCase(

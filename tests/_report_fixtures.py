@@ -1,0 +1,162 @@
+"""Fixed wire-payload instances shared by the round-trip/golden tests
+and the golden-file generator (``python tools/gen_golden_reports.py``).
+
+Every value is deliberately constant — goldens must not depend on
+analysis results, timing, or machine — while still exercising nested
+dataclasses, tuples, dicts, None fields, and floats.
+"""
+
+from repro.api import (
+    AnalyzeReport,
+    AnalyzeRequest,
+    BatchCell,
+    BatchReport,
+    BatchRequest,
+    CheckReport,
+    CheckRequest,
+    FunctionFences,
+    FuzzProblem,
+    FuzzReport,
+    FuzzRequest,
+    FuzzViolation,
+    ProgramSpec,
+    SimulateReport,
+    SimulateRequest,
+    VariantCheck,
+)
+
+
+def sample_payloads() -> dict:
+    """kind -> fixed instance, one per registered wire type."""
+    spec = ProgramSpec.inline("global int x;\n", name="sample")
+    analyze_request = AnalyzeRequest(
+        program=spec, variant="control", model="x86-tso", annotations=True
+    )
+    analyze_report = AnalyzeReport(
+        program="sample",
+        variant="control",
+        model="x86-tso",
+        interprocedural=False,
+        functions=(
+            FunctionFences("producer", 0, 0, 1, 1, 0, 1),
+            FunctionFences("consumer", 2, 1, 1, 1, 1, 1),
+        ),
+        escaping_reads=2,
+        sync_reads=1,
+        orderings=2,
+        pruned_orderings=2,
+        surviving_fraction=0.5,
+        full_fences=1,
+        compiler_fences=2,
+        annotations="consumer: acquire @flag",
+        fenced_ir=None,
+    )
+    check_request = CheckRequest(program=spec, model="pso", max_states=5000)
+    check_report = CheckReport(
+        program="sample",
+        model="pso",
+        max_states=5000,
+        complete=True,
+        skipped=None,
+        sc_outcomes=1,
+        weak_outcomes_unfenced=2,
+        weak_breaks_unfenced=True,
+        variants=(
+            VariantCheck("pensieve", 2, 1, True),
+            VariantCheck("control", 2, 1, True),
+        ),
+    )
+    simulate_request = SimulateRequest(
+        program=spec, placement="manual", observe_globals=("flag",)
+    )
+    simulate_report = SimulateReport(
+        program="sample",
+        placement="manual",
+        model="x86-tso",
+        cycles=75,
+        instructions=21,
+        full_fences_executed=1,
+        compiler_fences_executed=0,
+        fence_stall_cycles=0,
+        observations=((1, (("r", 1),)),),
+        final_globals=(("data", 1), ("flag", 1)),
+        observe_globals=("flag",),
+    )
+    batch_request = BatchRequest(programs=("fft",), variants=("control",))
+    batch_report = BatchReport(
+        programs=("fft",),
+        variants=("control",),
+        models=("x86-tso",),
+        used_pool=False,
+        wall=0.25,
+        cells=(
+            BatchCell(
+                program="fft",
+                variant="control",
+                model="x86-tso",
+                key="0" * 64,
+                functions=10,
+                escaping_reads=100,
+                sync_reads=10,
+                orderings=9262,
+                pruned_orderings=3396,
+                surviving_fraction=0.3666,
+                full_fences=4,
+                compiler_fences=58,
+                elapsed=0.04,
+                cached=False,
+            ),
+        ),
+    )
+    fuzz_request = FuzzRequest(
+        seeds=2, shapes=("publish",), variants=("vanilla",), budget=30.0
+    )
+    fuzz_report = FuzzReport(
+        seeds=1,
+        shapes=("dekker",),
+        variants=("vanilla",),
+        models=("x86-tso",),
+        budget=None,
+        cases_run=1,
+        cases_skipped=0,
+        errors=0,
+        incomplete=1,
+        budget_exhausted=False,
+        used_pool=False,
+        wall=1.5,
+        variant_summary={
+            "vanilla": {
+                "checked": 1,
+                "violations": 1,
+                "restored_sc": 0,
+                "full_fences": 0,
+                "fences_saved": 9,
+                "mean_fences_saved": 9.0,
+            }
+        },
+        violations=(
+            FuzzViolation(
+                seed=0,
+                shape="dekker",
+                model="x86-tso",
+                variant="vanilla",
+                source="global int x;\n",
+                source_lines=1,
+                snippet="LitmusTest(name='dekker-vanilla')",
+                shrink_checks=12,
+            ),
+        ),
+        problems=(
+            FuzzProblem("incomplete", "dekker", 0, "x86-tso",
+                        "SC state space exceeded max_states"),
+        ),
+        cases=({"seed": 0, "shape": "dekker", "violations": []},),
+    )
+    samples = [
+        analyze_request, analyze_report,
+        check_request, check_report,
+        simulate_request, simulate_report,
+        batch_request, batch_report,
+        fuzz_request, fuzz_report,
+    ]
+    return {s.KIND: s for s in samples}

@@ -1,0 +1,46 @@
+"""API-stability snapshot test.
+
+``repro.api`` is the repo's stable surface: its exports and every wire
+type's schema version are frozen in ``tests/data/api_surface.json``.
+An undeclared change fails here (and in the CI api-stability job);
+declare intentional changes with::
+
+    PYTHONPATH=src python tools/check_api_surface.py --update
+"""
+
+import json
+from pathlib import Path
+
+import repro.api
+from repro.api import REPORT_KINDS
+
+SNAPSHOT = Path(__file__).parent / "data" / "api_surface.json"
+
+
+def current_surface() -> dict:
+    return {
+        "api_all": sorted(repro.api.__all__),
+        "schema_versions": {
+            kind: cls.SCHEMA_VERSION
+            for kind, cls in sorted(REPORT_KINDS.items())
+        },
+    }
+
+
+def test_api_surface_matches_snapshot():
+    recorded = json.loads(SNAPSHOT.read_text(encoding="utf-8"))
+    assert recorded == current_surface(), (
+        "repro.api surface changed; declare it with "
+        "'PYTHONPATH=src python tools/check_api_surface.py --update'"
+    )
+
+
+def test_every_export_resolves():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name) is not None
+
+
+def test_every_wire_kind_is_versioned():
+    for kind, cls in REPORT_KINDS.items():
+        assert cls.KIND == kind
+        assert isinstance(cls.SCHEMA_VERSION, int) and cls.SCHEMA_VERSION >= 1

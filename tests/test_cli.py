@@ -188,3 +188,85 @@ def test_fuzz_incomplete_cases_fail_the_gate(capsys):
         "--max-states", "10",
     ]) == 1
     assert "soundness not established" in capsys.readouterr().err
+
+
+# --- the repro.api facade surface ------------------------------------------
+
+
+def test_analyze_json_is_a_loadable_report(mp_file, capsys):
+    import json
+
+    from repro.api import load_report
+
+    assert main(["analyze", mp_file, "--json"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert payload["kind"] == "analyze-report"
+    assert payload["schema_version"] == 1
+    report = load_report(out)
+    assert report.full_fences == payload["full_fences"]
+
+
+def test_check_model_flag_pso(mp_file, capsys):
+    # MP is TSO-safe but breaks unfenced on PSO; every variant repairs it.
+    assert main(["check", mp_file, "--model", "pso"]) == 0
+    out = capsys.readouterr().out
+    assert "PSO unfenced" in out
+    assert "NON-SC BEHAVIOUR" in out
+    assert "SC restored: False" not in out
+
+
+def test_simulate_model_flag_changes_placement(mp_file, capsys):
+    # Placement under SC needs no hardware fences at all.
+    assert main(["simulate", mp_file, "--model", "sc"]) == 0
+    out = capsys.readouterr().out
+    assert "mfences run    : 0" in out
+
+
+def test_report_renders_saved_artifact(mp_file, tmp_path, capsys):
+    assert main(["check", mp_file, "--json"]) == 0
+    saved = tmp_path / "check.json"
+    saved.write_text(capsys.readouterr().out)
+    assert main(["report", str(saved)]) == 0
+    out = capsys.readouterr().out
+    assert "SC outcomes: " in out
+    assert "SC restored: True" in out
+
+
+def test_report_diff_identical_and_drifted(mp_file, sb_file, tmp_path, capsys):
+    assert main(["analyze", mp_file, "--json"]) == 0
+    a = tmp_path / "a.json"
+    a.write_text(capsys.readouterr().out)
+    main(["analyze", sb_file, "--json"])
+    b = tmp_path / "b.json"
+    b.write_text(capsys.readouterr().out)
+
+    assert main(["report", str(a), "--diff", str(a)]) == 0
+    assert "identical" in capsys.readouterr().out
+    assert main(["report", str(a), "--diff", str(b)]) == 1
+    assert "~ program:" in capsys.readouterr().out
+
+
+def test_report_rejects_unknown_kind_and_version(tmp_path, capsys):
+    import json
+
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"kind": "mystery", "schema_version": 1}))
+    assert main(["report", str(bogus)]) == 2
+    assert "unknown report kind" in capsys.readouterr().err
+
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps({"kind": "analyze-report", "schema_version": 99}))
+    assert main(["report", str(stale)]) == 2
+    assert "schema_version" in capsys.readouterr().err
+
+
+def test_report_diff_kind_mismatch(mp_file, tmp_path, capsys):
+    main(["analyze", mp_file, "--json"])
+    a = tmp_path / "a.json"
+    a.write_text(capsys.readouterr().out)
+    main(["check", mp_file, "--json"])
+    c = tmp_path / "c.json"
+    c.write_text(capsys.readouterr().out)
+    assert main(["report", str(a), "--diff", str(c)]) == 2
+    assert "cannot diff" in capsys.readouterr().err

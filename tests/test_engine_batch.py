@@ -170,9 +170,12 @@ def test_cli_batch_json(capsys):
     assert main(["batch", "--programs", "fft", "matrix",
                  "--variants", "control", "--serial", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert [cell["program"] for cell in payload] == ["fft", "matrix"]
+    assert payload["kind"] == "batch-report"
+    assert payload["schema_version"] == 1
+    cells = payload["cells"]
+    assert [cell["program"] for cell in cells] == ["fft", "matrix"]
     serial = analyze_program(get_program("fft").compile(), PipelineVariant.CONTROL)
-    assert payload[0]["full_fences"] == serial.full_fence_count
+    assert cells[0]["full_fences"] == serial.full_fence_count
 
 
 def test_cli_batch_pool_matches_serial_pipeline(capsys):
@@ -180,7 +183,7 @@ def test_cli_batch_pool_matches_serial_pipeline(capsys):
     assert main(["batch", "--programs", "fft", "canneal",
                  "--variants", "control", "--jobs", "2", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    for cell in payload:
+    for cell in payload["cells"]:
         serial = analyze_program(
             get_program(cell["program"]).compile(), PipelineVariant.CONTROL
         )

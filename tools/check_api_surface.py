@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""API-stability gate: fail when ``repro.api``'s surface drifts.
+
+Compares the live public surface — ``repro.api.__all__`` plus every
+registered wire type's schema version — against the snapshot in
+``tests/data/api_surface.json``. Any undeclared change (added/removed
+export, schema version bump) fails; intentional changes are declared by
+regenerating the snapshot:
+
+    PYTHONPATH=src python tools/check_api_surface.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = ROOT / "tests" / "data" / "api_surface.json"
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+
+def current_surface() -> dict:
+    import repro.api
+    from repro.api import REPORT_KINDS
+
+    return {
+        "api_all": sorted(repro.api.__all__),
+        "schema_versions": {
+            kind: cls.SCHEMA_VERSION for kind, cls in sorted(REPORT_KINDS.items())
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the snapshot from the live surface")
+    args = parser.parse_args()
+
+    surface = current_surface()
+    if args.update:
+        SNAPSHOT.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT.write_text(
+            json.dumps(surface, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {SNAPSHOT.relative_to(ROOT)}")
+        return 0
+
+    if not SNAPSHOT.is_file():
+        print(f"missing snapshot {SNAPSHOT}; run with --update", file=sys.stderr)
+        return 1
+    recorded = json.loads(SNAPSHOT.read_text(encoding="utf-8"))
+    if recorded == surface:
+        print(
+            f"api surface OK: {len(surface['api_all'])} exports, "
+            f"{len(surface['schema_versions'])} wire kinds"
+        )
+        return 0
+
+    print("repro.api surface drifted from tests/data/api_surface.json:",
+          file=sys.stderr)
+    for field in ("api_all",):
+        missing = sorted(set(recorded[field]) - set(surface[field]))
+        added = sorted(set(surface[field]) - set(recorded[field]))
+        for name in missing:
+            print(f"  removed export: {name}", file=sys.stderr)
+        for name in added:
+            print(f"  added export:   {name}", file=sys.stderr)
+    old_v, new_v = recorded["schema_versions"], surface["schema_versions"]
+    for kind in sorted(set(old_v) | set(new_v)):
+        if old_v.get(kind) != new_v.get(kind):
+            print(
+                f"  schema change:  {kind}: "
+                f"{old_v.get(kind)} -> {new_v.get(kind)}",
+                file=sys.stderr,
+            )
+    print("declare the change with: "
+          "PYTHONPATH=src python tools/check_api_surface.py --update",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

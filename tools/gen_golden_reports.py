@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate the golden wire-format files under tests/data/reports/.
+
+Run after an *intentional* schema change (and bump the affected
+SCHEMA_VERSION):
+
+    PYTHONPATH=src python tools/gen_golden_reports.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tests"))
+
+
+def main() -> int:
+    from _report_fixtures import sample_payloads
+
+    out_dir = ROOT / "tests" / "data" / "reports"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for kind, sample in sorted(sample_payloads().items()):
+        path = out_dir / f"{kind}.json"
+        path.write_text(sample.to_json() + "\n", encoding="utf-8")
+        print(f"wrote {path.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
