@@ -1,0 +1,114 @@
+"""Drive the `repro serve` daemon end to end over stdio.
+
+The daemon speaks JSON lines: one schema-versioned request envelope in,
+one response out, against a single long-lived session whose query cache
+stays warm across requests. This client:
+
+1. spawns ``repro serve --stdio`` as a subprocess;
+2. pings it and round-trips an :class:`~repro.api.AnalyzeRequest` and a
+   :class:`~repro.api.CheckRequest` (with ``id`` correlation);
+3. re-sends the analyze request to show the warm second hit;
+4. asks for server/session stats, then shuts the daemon down cleanly
+   and verifies a zero exit status.
+
+Run:  python examples/serve_client.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro.api import AnalyzeRequest, CheckRequest, ProgramSpec  # noqa: E402
+
+SOURCE = """
+global int flag;
+global int data;
+
+fn producer(tid) { data = 1; flag = 1; }
+fn consumer(tid) {
+  local r = 0;
+  while (flag == 0) { }
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+
+def main() -> int:
+    # Make the subprocess import the same repro tree as this script.
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--stdio", "--serial"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+    def call(payload: dict) -> dict:
+        daemon.stdin.write(json.dumps(payload) + "\n")
+        daemon.stdin.flush()
+        return json.loads(daemon.stdout.readline())
+
+    spec = ProgramSpec.inline(SOURCE, name="mp")
+
+    pong = call({"op": "ping"})
+    assert pong["ok"] and pong["pong"], pong
+    print(f"daemon up (repro {pong['version']})")
+
+    analyze = call(
+        {"id": 1, "request": AnalyzeRequest(program=spec, stats=True).to_payload()}
+    )
+    assert analyze["ok"] and analyze["id"] == 1, analyze
+    report = analyze["report"]
+    print(
+        f"analyze: {report['sync_reads']}/{report['escaping_reads']} reads "
+        f"marked acquire, {report['full_fences']} full fences "
+        f"(cold: {report['cache_stats']['misses']} fact misses)"
+    )
+
+    check = call(
+        {"id": 2, "request": CheckRequest(program=spec, model="x86-tso").to_payload()}
+    )
+    assert check["ok"] and check["id"] == 2, check
+    verdicts = {v["variant"]: v["restored_sc"] for v in check["report"]["variants"]}
+    print(f"check on x86-tso: SC restored per variant -> {verdicts}")
+
+    again = call({"id": 3, "request": AnalyzeRequest(program=spec).to_payload()})
+    assert again["ok"], again
+    assert {k: v for k, v in again["report"].items() if k != "cache_stats"} == {
+        k: v for k, v in report.items() if k != "cache_stats"
+    }, "warm re-analysis must match the cold report"
+    print("warm re-analysis: byte-identical report")
+
+    stats = call({"op": "stats"})
+    assert stats["ok"] and stats["server"]["served"] == 3, stats
+    print(
+        f"server stats: {stats['server']['served']} served, "
+        f"{stats['session']['query_stats']['hits']} query hits / "
+        f"{stats['session']['query_stats']['computes']} computes"
+    )
+
+    bye = call({"op": "shutdown"})
+    assert bye["ok"] and bye["bye"], bye
+    daemon.stdin.close()
+    returncode = daemon.wait(timeout=30)
+    assert returncode == 0, f"daemon exited with {returncode}"
+    print("daemon shut down cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

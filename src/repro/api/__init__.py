@@ -27,6 +27,7 @@ from repro.api.reports import (
     BatchCell,
     BatchReport,
     BatchRequest,
+    CacheStats,
     CheckReport,
     CheckRequest,
     FunctionFences,
@@ -50,6 +51,7 @@ __all__ = [
     "BatchCell",
     "BatchReport",
     "BatchRequest",
+    "CacheStats",
     "CheckReport",
     "CheckRequest",
     "FunctionFences",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, ClassVar, Mapping
 
 from repro.registry.core import Registry
@@ -97,6 +97,39 @@ def _tuple_of(cls: type) -> Callable[[Any], tuple]:
 
 def _decode_spec(value: Any) -> ProgramSpec:
     return _construct(ProgramSpec, value)
+
+
+def _optional(decode: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    """Wrap a field decoder so JSON ``null`` stays ``None``."""
+
+    def wrapped(value: Any) -> Any:
+        return None if value is None else decode(value)
+
+    return wrapped
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Analysis-cache counters for one request (opt-in via ``stats``).
+
+    ``hits``/``misses`` are the shared analysis context's memo counters
+    for the facts served while answering the request; ``by_fact`` breaks
+    the misses down per fact kind. A warm query cache shows up as a
+    high hit count and an empty ``by_fact``.
+    """
+
+    hits: int
+    misses: int
+    by_fact: dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        detail = ", ".join(
+            f"{name}: {count}" for name, count in sorted(self.by_fact.items())
+        )
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses"
+            + (f" ({detail})" if detail else "")
+        )
 
 
 class WirePayload:
@@ -240,7 +273,7 @@ class AnalyzeRequest(WirePayload):
     """Run the fence-placement pipeline on one program."""
 
     KIND: ClassVar[str] = "analyze-request"
-    SCHEMA_VERSION: ClassVar[int] = 1
+    SCHEMA_VERSION: ClassVar[int] = 2
     _DECODERS: ClassVar[dict] = {"program": _decode_spec}
 
     program: ProgramSpec
@@ -250,6 +283,8 @@ class AnalyzeRequest(WirePayload):
     interprocedural: bool | None = None
     annotations: bool = False
     emit_ir: bool = False
+    #: Attach this request's analysis-cache counters to the report.
+    stats: bool = False
 
 
 @dataclass(frozen=True)
@@ -271,8 +306,11 @@ class AnalyzeReport(WirePayload):
     """The pipeline's whole-program result as a wire artifact."""
 
     KIND: ClassVar[str] = "analyze-report"
-    SCHEMA_VERSION: ClassVar[int] = 1
-    _DECODERS: ClassVar[dict] = {"functions": _tuple_of(FunctionFences)}
+    SCHEMA_VERSION: ClassVar[int] = 2
+    _DECODERS: ClassVar[dict] = {
+        "functions": _tuple_of(FunctionFences),
+        "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
+    }
 
     program: str
     variant: str
@@ -288,6 +326,8 @@ class AnalyzeReport(WirePayload):
     compiler_fences: int
     annotations: str | None = None
     fenced_ir: str | None = None
+    #: Filled only when the request asked for ``stats``.
+    cache_stats: CacheStats | None = None
 
     def render(self) -> str:
         rows = [
@@ -313,6 +353,8 @@ class AnalyzeReport(WirePayload):
             f"reads marked acquire, {self.full_fences} full fences, "
             f"{self.compiler_fences} compiler directives",
         ]
+        if self.cache_stats is not None:
+            parts.append(self.cache_stats.render())
         if self.annotations is not None:
             parts.append("\n" + self.annotations)
         if self.fenced_ir is not None:
@@ -479,12 +521,14 @@ class BatchRequest(WirePayload):
     """Analyze a {program x variant x model} matrix."""
 
     KIND: ClassVar[str] = "batch-request"
-    SCHEMA_VERSION: ClassVar[int] = 1
+    SCHEMA_VERSION: ClassVar[int] = 2
 
     #: () = every corpus program / every non-null variant.
     programs: tuple[str, ...] = ()
     variants: tuple[str, ...] = ()
     models: tuple[str, ...] = ("x86-tso",)
+    #: Attach aggregated analysis-cache counters to the report.
+    stats: bool = False
 
 
 @dataclass(frozen=True)
@@ -513,8 +557,11 @@ class BatchReport(WirePayload):
     """A whole batch run's cells as one wire artifact."""
 
     KIND: ClassVar[str] = "batch-report"
-    SCHEMA_VERSION: ClassVar[int] = 1
-    _DECODERS: ClassVar[dict] = {"cells": _tuple_of(BatchCell)}
+    SCHEMA_VERSION: ClassVar[int] = 2
+    _DECODERS: ClassVar[dict] = {
+        "cells": _tuple_of(BatchCell),
+        "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
+    }
 
     programs: tuple[str, ...]
     variants: tuple[str, ...]
@@ -522,6 +569,8 @@ class BatchReport(WirePayload):
     used_pool: bool
     wall: float
     cells: tuple[BatchCell, ...]
+    #: Filled only when the request asked for ``stats``.
+    cache_stats: CacheStats | None = None
 
     @property
     def total_full_fences(self) -> int:
@@ -556,10 +605,13 @@ class BatchReport(WirePayload):
             title=f"batch: {len(self.cells)} analyses "
             f"({'pool' if self.used_pool else 'serial'}, {self.wall:.2f}s wall)",
         )
-        return (
+        text = (
             f"{table}\n\ntotal: {self.total_full_fences} full fences across "
             f"{len(self.cells)} cells, {self.cache_hits} cache hits"
         )
+        if self.cache_stats is not None:
+            text += f"\nanalysis {self.cache_stats.render()}"
+        return text
 
 
 # =========================================================================

@@ -24,6 +24,7 @@ Two API levels:
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.core.machine_models import MemoryModel
@@ -41,6 +42,7 @@ from repro.api.reports import (
     BatchCell,
     BatchReport,
     BatchRequest,
+    CacheStats,
     CheckReport,
     CheckRequest,
     FunctionFences,
@@ -70,6 +72,7 @@ class Session:
         parallel: bool = True,
         interprocedural: bool = False,
         cache_dir: str | None = None,
+        query_cache_dir: str | None = None,
     ) -> None:
         get_variant(variant)  # validate eagerly: fail at construction
         get_model(model)
@@ -80,40 +83,233 @@ class Session:
         self.parallel = parallel
         self.interprocedural = interprocedural
         self.cache_dir = cache_dir
+        #: Directory for the engine's persistent query cache (fact
+        #: results keyed by content fingerprint survive the session).
+        self.query_cache_dir = query_cache_dir
         # Identity-keyed per-program fact cache, LRU-bounded so a
         # long-lived session serving many one-shot requests does not
-        # retain every compiled program it ever saw.
+        # retain every compiled program it ever saw. The lock makes
+        # insert/evict/forget safe under concurrent `serve` requests.
         self._contexts: dict[Program, AnalysisContext] = {}
         self._context_cap = 32
+        # Compiled-program cache keyed by (name, manual_fences): wire
+        # requests for the same program resolve to the *same* Program
+        # object — and therefore the same warm context. An edited
+        # source is spliced function-by-function (see _adopt_source),
+        # so re-analysis over the wire touches only the changed
+        # functions' query subgraphs.
+        self._programs: dict[
+            tuple[str, bool], tuple[str, Program, AnalysisContext]
+        ] = {}
         self._batch_runner = None
+        self._lock = threading.RLock()
+        # Batch runs share one BatchRunner (whose used_pool flag and
+        # result cache are per-run state): serialize them.
+        self._batch_lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self._requests[kind] = self._requests.get(kind, 0) + 1
 
     # --- program loading --------------------------------------------------
-    def load(self, program: ProgramSpec | Program) -> Program:
+    def load(self, program: ProgramSpec | Program, reuse: bool = True) -> Program:
         """Resolve and compile a spec (a compiled ``Program`` passes
-        through); the session tracks an analysis context for it."""
+        through); the session tracks an analysis context for it.
+
+        With ``reuse`` (the default), repeated loads of the same
+        program name return the same warm ``Program``: an unchanged
+        source is a pure cache hit, an edited one is spliced so only
+        the changed functions lose their facts. Callers about to
+        mutate the IR (fence insertion) pass ``reuse=False`` to get a
+        private compile that never pollutes the shared cache.
+        """
         if isinstance(program, Program):
             return program
-        resolved = resolve_spec(program)
-        ir = compile_source(
+        return self._load_spec(program, reuse)[0]
+
+    def _load_spec(
+        self, spec: ProgramSpec, reuse: bool
+    ) -> tuple[Program, AnalysisContext, str]:
+        """Resolve/compile ``spec``; returns (program, its *pinned*
+        context, resolved source). The context is the one stored with
+        the cache entry, so request-span locking stays meaningful even
+        if the context LRU churns meanwhile."""
+        resolved = resolve_spec(spec)
+        if not reuse:
+            ir = compile_source(
+                resolved.source, resolved.name,
+                include_manual_fences=spec.manual_fences,
+            )
+            return ir, self.context(ir), resolved.source
+        key = (resolved.name, spec.manual_fences)
+        with self._lock:
+            cached = self._programs.get(key)
+            if cached is not None and cached[0] == resolved.source:
+                self._programs.pop(key)
+                self._programs[key] = cached  # LRU re-insert
+                self.context(cached[1])
+                return cached[1], cached[2], resolved.source
+        # Compile outside the lock: one client loading a large program
+        # must not stall every other client's requests.
+        fresh = compile_source(
             resolved.source, resolved.name,
-            include_manual_fences=program.manual_fences,
+            include_manual_fences=spec.manual_fences,
         )
-        self.context(ir)
-        return ir
+        with self._lock:
+            cached = self._programs.get(key)
+            if cached is not None and cached[0] == resolved.source:
+                self.context(cached[1])  # another thread won the race
+                return cached[1], cached[2], resolved.source
+            if cached is not None:
+                # Pull the entry out before splicing: threads loading
+                # the same name meanwhile fall back to fresh compiles.
+                del self._programs[key]
+            else:
+                ctx = self._store_program(key, resolved.source, fresh)
+                return fresh, ctx, resolved.source
+        # Splice outside the session lock, but under the program's
+        # pinned request lock so no in-flight analysis sees a half-edit.
+        target_ctx = cached[2]
+        with target_ctx.request_lock:
+            ir = self._adopt_source(target_ctx, cached[1], fresh)
+        with self._lock:
+            self._store_program(key, resolved.source, ir, ctx=target_ctx)
+        return ir, target_ctx, resolved.source
+
+    def _store_program(
+        self,
+        key,
+        source: str,
+        ir: Program,
+        ctx: AnalysisContext | None = None,
+    ) -> AnalysisContext:
+        """LRU-insert under the already-held session lock. Pass ``ctx``
+        when the caller already owns the program's live context (the
+        splice path) — looking it up again could mint a *second*
+        context if the LRU churned the old one out meanwhile."""
+        if ctx is None:
+            ctx = self.context(ir)
+        else:
+            self._insert_context(ir, ctx)
+        self._programs.pop(key, None)
+        while len(self._programs) >= self._context_cap:
+            self._programs.pop(next(iter(self._programs)))
+        self._programs[key] = (source, ir, ctx)
+        return ctx
+
+    def _still_cached(self, program: Program, source: str) -> bool:
+        """Is ``program`` still the cache's compile of ``source``?
+        (False when a concurrent edit spliced or evicted it.)"""
+        with self._lock:
+            for cached_source, ir, _ in self._programs.values():
+                if ir is program:
+                    return cached_source == source
+        return False
+
+    def _adopt_source(
+        self, context: AnalysisContext, cached: Program, fresh: Program
+    ) -> Program:
+        """Splice an edited recompile into the warm ``cached`` program.
+
+        Functions whose printed IR is unchanged keep their *object
+        identity* (so every query memoized for them stays a hit);
+        changed/new functions come from ``fresh``, and the facts of
+        replaced/removed ones are discarded from the engine. Returns
+        ``cached``, mutated in place so its context stays bound.
+        """
+        from repro.query.engine import fingerprint_function
+
+        engine = context.engine
+        merged: dict[str, object] = {}
+        for name, func in fresh.functions.items():
+            old = cached.functions.get(name)
+            if old is not None:
+                # The engine already fingerprinted every queried
+                # function; only never-queried ones need printing.
+                old_fp = engine.fingerprint_of(old) or fingerprint_function(old)
+                if old_fp == fingerprint_function(func):
+                    merged[name] = old
+                    continue
+                engine.discard_input(old)
+            merged[name] = func
+        for name, old in cached.functions.items():
+            if name not in merged:
+                engine.discard_input(old)
+        cached.functions = merged
+        cached.globals = fresh.globals
+        cached.threads = list(fresh.threads)
+        # Catch structure changes (interprocedural shape) and any
+        # in-place drift the fingerprints can see.
+        context.refresh()
+        return cached
 
     def context(self, program: Program) -> AnalysisContext:
         """The session's shared (memoized) facts for ``program``."""
-        ctx = self._contexts.pop(program, None)
-        if ctx is None:
-            ctx = AnalysisContext(program)
-            while len(self._contexts) >= self._context_cap:
-                self._contexts.pop(next(iter(self._contexts)))
-        self._contexts[program] = ctx  # (re)insert as most recent
+        with self._lock:
+            ctx = self._contexts.pop(program, None)
+            if ctx is None:
+                # A source-cached program keeps its pinned context even
+                # after LRU churn: an in-flight request's locks and
+                # collectors must keep pointing at the live one.
+                for _, ir, pinned in self._programs.values():
+                    if ir is program:
+                        ctx = pinned
+                        break
+            if ctx is None:
+                ctx = AnalysisContext(program, cache_dir=self.query_cache_dir)
+            return self._insert_context(program, ctx)
+
+    def _insert_context(self, program: Program, ctx: AnalysisContext) -> AnalysisContext:
+        """(Re)insert as most recent; caller holds the session lock."""
+        self._contexts.pop(program, None)
+        while len(self._contexts) >= self._context_cap:
+            self._contexts.pop(next(iter(self._contexts)))
+        self._contexts[program] = ctx
         return ctx
 
     def forget(self, program: Program) -> None:
-        """Drop the context for ``program`` (stale after IR mutation)."""
-        self._contexts.pop(program, None)
+        """Drop the context for ``program`` (stale after IR mutation).
+
+        Also evicts any source-cache entry pinning it, so the next
+        ``context()``/``load()`` really starts fresh. (For in-place
+        edits, :meth:`refresh` is the cheaper, incremental choice.)
+        """
+        with self._lock:
+            self._contexts.pop(program, None)
+            for key, (_, ir, _ctx) in list(self._programs.items()):
+                if ir is program:
+                    del self._programs[key]
+
+    def refresh(self, program: Program) -> tuple[str, ...]:
+        """Revalidate ``program``'s facts after in-place IR edits: the
+        query engine evicts exactly the changed functions' subgraphs
+        (see :meth:`repro.engine.context.AnalysisContext.refresh`)."""
+        return self.context(program).refresh()
+
+    def stats(self) -> dict:
+        """Observable session state: request counters, the context LRU,
+        and aggregated context/query-engine cache counters."""
+        with self._lock:
+            contexts = list(self._contexts.values())
+            requests = dict(self._requests)
+        query_totals: dict[str, int] = {}
+        for ctx in contexts:
+            with ctx.engine.lock:  # stable copy under concurrent writers
+                payload = ctx.engine.stats.to_payload()
+            for name, value in payload.items():
+                if isinstance(value, int):
+                    query_totals[name] = query_totals.get(name, 0) + value
+        return {
+            "requests": requests,
+            "contexts": len(contexts),
+            "context_cap": self._context_cap,
+            "context_stats": {
+                "hits": sum(c.stats.hits for c in contexts),
+                "misses": sum(c.stats.misses for c in contexts),
+            },
+            "query_stats": query_totals,
+        }
 
     # --- mid-level operations ---------------------------------------------
     def _variant_key(self, variant: str | PipelineVariant | None) -> str:
@@ -132,14 +328,17 @@ class Session:
         variant: str | PipelineVariant | None = None,
         model: str | None = None,
         interprocedural: bool | None = None,
+        context: AnalysisContext | None = None,
     ) -> ProgramAnalysis:
         """Run a variant's pipeline on ``program`` (no IR mutation),
-        sharing the session's analysis context."""
+        sharing the session's analysis context. Callers holding a
+        pinned context (the wire layer) pass it explicitly so a cache
+        churn mid-request cannot swap it out underneath them."""
         entry = get_variant(self._variant_key(variant))
         inter = self.interprocedural if interprocedural is None else interprocedural
+        ctx = context if context is not None else self.context(program)
         return entry.analyze(
-            program, self._machine(model),
-            context=self.context(program), interprocedural=inter,
+            program, self._machine(model), context=ctx, interprocedural=inter,
         )
 
     def place(
@@ -148,17 +347,28 @@ class Session:
         variant: str | PipelineVariant | None = None,
         model: str | None = None,
         interprocedural: bool | None = None,
+        context: AnalysisContext | None = None,
     ) -> ProgramAnalysis:
         """Run the pipeline and insert the fences (mutates ``program``;
-        the session's context for it is invalidated)."""
+        the context refreshes itself, so it stays valid for reuse —
+        only the fenced functions' facts recompute)."""
         entry = get_variant(self._variant_key(variant))
         inter = self.interprocedural if interprocedural is None else interprocedural
-        result = entry.place(
-            program, self._machine(model),
-            context=self.context(program), interprocedural=inter,
-        )
-        self.forget(program)
-        return result
+        if context is None:
+            context = self.context(program)
+        # Exclude concurrent requests on this program for the whole
+        # mutation, and evict it from the source-keyed cache *before*
+        # inserting fences — a parallel load() of the same source must
+        # compile clean IR, never see the half-fenced shared program.
+        with context.request_lock:
+            with self._lock:
+                for key, (_, cached, _ctx) in list(self._programs.items()):
+                    if cached is program:
+                        del self._programs[key]
+            return entry.place(
+                program, self._machine(model),
+                context=context, interprocedural=inter,
+            )
 
     def explore(
         self,
@@ -188,22 +398,38 @@ class Session:
 
     # --- wire-level operations --------------------------------------------
     def analyze(self, request: AnalyzeRequest) -> AnalyzeReport:
-        program = self.load(request.program)
+        self._count("analyze")
         interprocedural = (
             request.interprocedural
             if request.interprocedural is not None
             else self.interprocedural
         )
-        if request.emit_ir:
-            analysis = self.place(
-                program, request.variant, request.model,
-                interprocedural=interprocedural,
-            )
-        else:
-            analysis = self.analysis(
-                program, request.variant, request.model,
-                interprocedural=interprocedural,
-            )
+        # emit_ir inserts fences: a private compile (reuse=False) keeps
+        # the shared warm program unmutated. Warm loads re-validate
+        # under the program's pinned request lock: a concurrent edit of
+        # the same program name splices the shared IR, and this request
+        # must not answer with the other client's source.
+        reuse = not request.emit_ir
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > 4:
+                reuse = False  # racing edits: fall back to private IR
+            program, context, source = self._load_spec(request.program, reuse)
+            with context.request_lock, context.collect_stats() as recorded:
+                if reuse and not self._still_cached(program, source):
+                    continue
+                if request.emit_ir:
+                    analysis = self.place(
+                        program, request.variant, request.model,
+                        interprocedural=interprocedural, context=context,
+                    )
+                else:
+                    analysis = self.analysis(
+                        program, request.variant, request.model,
+                        interprocedural=interprocedural, context=context,
+                    )
+                break
         annotations = None
         if request.annotations:
             from repro.core.annotations import (
@@ -217,6 +443,20 @@ class Session:
             from repro.ir.printer import format_program
 
             fenced_ir = format_program(program)
+        if not reuse:
+            # One-shot program: drop its context so per-request compiles
+            # cannot thrash genuinely warm entries out of the LRU.
+            self.forget(program)
+        cache_stats = None
+        if request.stats:
+            # This request's own counters (thread-local collector): a
+            # warm shared context shows up as all-hits, a cold one as
+            # the full fact-construction bill.
+            cache_stats = CacheStats(
+                hits=recorded.hits,
+                misses=recorded.misses,
+                by_fact=dict(recorded.by_fact),
+            )
         functions = tuple(
             FunctionFences(
                 name=name,
@@ -244,9 +484,11 @@ class Session:
             compiler_fences=analysis.compiler_fence_count,
             annotations=annotations,
             fenced_ir=fenced_ir,
+            cache_stats=cache_stats,
         )
 
     def check(self, request: CheckRequest) -> CheckReport:
+        self._count("check")
         resolved = resolve_spec(request.program)
         explorer_cls, machine = weak_explorer_for(request.model)
         bound = (
@@ -321,6 +563,7 @@ class Session:
         )
 
     def simulate(self, request: SimulateRequest) -> SimulateReport:
+        self._count("simulate")
         resolved = resolve_spec(request.program)
         manual = request.placement == "manual" or request.program.manual_fences
         program = compile_source(
@@ -328,6 +571,7 @@ class Session:
         )
         if request.placement != "manual":
             self.place(program, request.placement, request.model)
+            self.forget(program)  # per-request compile: keep the LRU warm
         stats = self.timed_simulation(program)
         observations = tuple(
             (tid, tuple(obs))
@@ -351,19 +595,39 @@ class Session:
         from repro.engine.batch import BatchRunner, ResultCache
         from repro.programs.registry import all_programs, get_program
 
+        self._count("batch")
         programs = list(request.programs) if request.programs else list(all_programs())
         for name in programs:
             get_program(name)  # KeyError("unknown program ...") early
         variants = list(request.variants) if request.variants else None
         models = list(request.models) if request.models else None
-        if self._batch_runner is None:
-            cache = ResultCache(self.cache_dir) if self.cache_dir else None
-            self._batch_runner = BatchRunner(
-                max_workers=self.jobs, parallel=self.parallel, cache=cache
+        with self._lock:
+            if self._batch_runner is None:
+                cache = ResultCache(self.cache_dir) if self.cache_dir else None
+                self._batch_runner = BatchRunner(
+                    max_workers=self.jobs, parallel=self.parallel, cache=cache
+                )
+            runner = self._batch_runner
+        with self._batch_lock:
+            start = time.perf_counter()
+            results = runner.run_matrix(programs, variants, models)
+            wall = time.perf_counter() - start
+            used_pool = runner.used_pool
+        cache_stats = None
+        if request.stats:
+            # Only cells analyzed *this run*: result-cache replays kept
+            # their original counters, and counting them would claim
+            # fact work a fully-warm run never did.
+            live = [r for r in results if not r.cached]
+            by_fact: dict[str, int] = {}
+            for r in live:
+                for fact, count in r.context_by_fact.items():
+                    by_fact[fact] = by_fact.get(fact, 0) + count
+            cache_stats = CacheStats(
+                hits=sum(r.context_hits for r in live),
+                misses=sum(r.context_misses for r in live),
+                by_fact=by_fact,
             )
-        start = time.perf_counter()
-        results = self._batch_runner.run_matrix(programs, variants, models)
-        wall = time.perf_counter() - start
         cells = tuple(
             BatchCell(
                 program=r.program,
@@ -387,13 +651,16 @@ class Session:
             programs=tuple(programs),
             variants=tuple(variants) if variants else tuple(pipeline_variant_keys()),
             models=tuple(models) if models else ("x86-tso",),
-            used_pool=self._batch_runner.used_pool,
+            used_pool=used_pool,
             wall=wall,
             cells=cells,
+            cache_stats=cache_stats,
         )
 
     def fuzz(self, request: FuzzRequest) -> FuzzReport:
         from dataclasses import asdict
+
+        self._count("fuzz")
 
         from repro.registry.variants import trusted_variant_keys
         from repro.validate.generator import SHAPES

@@ -20,6 +20,9 @@ Commands:
   seeded programs, model-check every detection variant's placement
   against SC, and shrink any soundness counterexample
 * ``report FILE``      — pretty-print or diff any serialized report
+* ``serve``            — long-lived JSON-lines analysis daemon (socket
+  or stdio) dispatching the same request envelopes through one warm,
+  thread-safe session
 """
 
 from __future__ import annotations
@@ -126,7 +129,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     )
     try:
         report = session.batch(
-            BatchRequest(programs=programs, variants=variants, models=models)
+            BatchRequest(programs=programs, variants=variants, models=models,
+                         stats=args.stats)
         )
     except KeyError as exc:
         print(exc.args[0])
@@ -181,6 +185,39 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             return 1
         return 0 if problems == 0 else 1
     return 0 if found == 0 and problems == 0 else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ReproServer, serve_stdio
+
+    session = Session(
+        jobs=args.jobs,
+        parallel=not args.serial,
+        max_states=args.max_states,
+        cache_dir=args.cache_dir,
+        query_cache_dir=args.query_cache_dir,
+    )
+    if args.stdio:
+        return serve_stdio(session)
+    server = ReproServer(session, host=args.host, port=args.port)
+    # The announcement is itself a protocol line, so scripted clients
+    # can read the ephemeral port without parsing free-form text.
+    print(
+        json.dumps(
+            {"ok": True, "serving": {"host": server.host, "port": server.port}},
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
 
 
 def _read_report(path: str):
@@ -293,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the serialized report instead of a table")
     p.add_argument("--cache-dir", default=None,
                    help="directory for the content-keyed result cache")
+    p.add_argument("--stats", action="store_true",
+                   help="include aggregated analysis-cache hit/miss "
+                        "counters in the report")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
@@ -328,6 +368,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="invert the exit code: succeed only if at least "
                         "one violation is found (CI oracle self-test)")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived JSON-lines analysis daemon (socket or stdio)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port; 0 (default) picks an ephemeral port, "
+                        "announced as the first stdout line")
+    p.add_argument("--stdio", action="store_true",
+                   help="serve a single client over stdin/stdout instead "
+                        "of a socket (for subprocess embedding)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for batch/fuzz requests")
+    p.add_argument("--serial", action="store_true",
+                   help="run batch/fuzz requests serially")
+    p.add_argument("--max-states", type=int, default=1_000_000,
+                   help="default per-exploration state bound")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the batch result cache")
+    p.add_argument("--query-cache-dir", default=None,
+                   help="directory for the persistent query cache "
+                        "(fact results keyed by content fingerprint)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "report", help="pretty-print or diff a serialized report"

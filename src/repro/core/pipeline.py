@@ -232,12 +232,16 @@ class FencePlacer:
     ) -> ProgramAnalysis:
         """Run the pipeline and insert the planned fences into ``program``.
 
-        Insertion mutates the IR, so any ``context`` holding facts for
-        this program is stale afterwards — don't reuse it.
+        Insertion mutates the IR; a supplied ``context`` is refreshed
+        afterwards, so its query engine evicts exactly the fenced
+        functions' fact subgraphs and the context stays safe to reuse
+        (untouched functions remain cache hits).
         """
         result = self.analyze(program, context=context)
         for fa in result.functions.values():
             apply_plan(fa.function, fa.plan)
+        if context is not None:
+            context.refresh()
         return result
 
 

@@ -28,7 +28,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -41,7 +41,7 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 #: Bump when analysis semantics change so stale cache entries miss.
-ENGINE_VERSION = "1"
+ENGINE_VERSION = "2"
 
 
 @dataclass(frozen=True)
@@ -98,6 +98,11 @@ class BatchResult:
     ordering_kinds: dict[str, int]  # pruned counts by OrderKind value
     elapsed: float
     cached: bool = False
+    #: Shared-context memo counters for this cell (cross the process
+    #: boundary as plain ints so reports can aggregate them).
+    context_hits: int = 0
+    context_misses: int = 0
+    context_by_fact: dict[str, int] = field(default_factory=dict)
 
     # --- aggregates -------------------------------------------------------
     @property
@@ -160,9 +165,10 @@ class BatchResult:
 
 def execute_job(job: BatchJob) -> BatchResult:
     """Run one matrix cell; top-level so process pools can pickle it."""
-    return _execute_cell(
-        job, compile_source(job.resolve_source(), job.program), None
-    )
+    from repro.engine.context import AnalysisContext
+
+    ir = compile_source(job.resolve_source(), job.program)
+    return _execute_cell(job, ir, AnalysisContext(ir))
 
 
 def execute_job_group(jobs: "tuple[BatchJob, ...]") -> list[BatchResult]:
@@ -180,10 +186,19 @@ def execute_job_group(jobs: "tuple[BatchJob, ...]") -> list[BatchResult]:
 
 
 def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
+    from contextlib import nullcontext
+
     start = time.perf_counter()
-    analysis = get_variant(job.variant).analyze(
-        ir, get_model(job.model).model, context=context
+    recording = (
+        context.collect_stats() if context is not None else nullcontext(None)
     )
+    with recording as recorded:
+        analysis = get_variant(job.variant).analyze(
+            ir, get_model(job.model).model, context=context
+        )
+    context_hits = recorded.hits if recorded is not None else 0
+    context_misses = recorded.misses if recorded is not None else 0
+    context_by_fact = dict(recorded.by_fact) if recorded is not None else {}
     functions = tuple(
         FunctionResult(
             name=name,
@@ -208,6 +223,9 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
         functions=functions,
         ordering_kinds=kinds,
         elapsed=time.perf_counter() - start,
+        context_hits=context_hits,
+        context_misses=context_misses,
+        context_by_fact=context_by_fact,
     )
 
 

@@ -1,27 +1,38 @@
-"""Shared per-program analysis context.
+"""Shared per-program analysis context — now a query-engine facade.
 
 Before this module existed, every pipeline stage built its own
-``PointsTo``/``EscapeInfo``/``ReachabilityTable``: the pipeline, the
-exact delay-set analysis, the interprocedural fixpoint, and the
-signature detectors each recomputed identical per-function facts. An
-:class:`AnalysisContext` is the single construction site for those
-facts: consumers ask the context, the context computes each fact at
-most once per function and memoizes it.
+``PointsTo``/``EscapeInfo``/``ReachabilityTable``; an
+:class:`AnalysisContext` became the single construction site for those
+facts. Since the :mod:`repro.query` engine landed, the context no
+longer memoizes by hand: each fact kind is a registered *query*
+(``points_to``, ``escape_info``, ``reachability``, ``writers_cache``,
+``acquires``, ``interprocedural``) evaluated through a
+:class:`~repro.query.engine.QueryEngine`, which records dependency
+edges as they are read and invalidates at function granularity. The
+context keeps its historical surface — consumers ask it for facts
+exactly as before — plus:
 
-The context is keyed by :class:`~repro.ir.function.Function` identity,
-so one context serves exactly one compiled IR program (plus any helper
-functions handed to it directly). Facts are variant-independent except
-acquire detection, which is memoized per ``(function, Variant)``.
+* :meth:`refresh` — after mutating a function's IR in place,
+  re-fingerprints the inputs and evicts exactly the stale query
+  subgraph, so warm re-analysis recomputes only the edited function's
+  facts (and anything, like the interprocedural fixpoint, that read
+  them);
+* ``cache_dir`` — an optional on-disk persistent query cache keyed by
+  content fingerprint (used by long-lived sessions and ``repro
+  serve``).
 
-The context also owns the ``potential_writers`` memo shared by every
-slicer over a function — previously each ``Slicer`` instance kept a
-private cache, so the control and address detectors re-ran the alias
-queries the other had already answered.
+Facts are variant-independent except acquire detection, which is keyed
+per ``(function, Variant)``. The context is bound to at most one
+:class:`~repro.ir.function.Program`; loose functions (unit tests,
+Table-II kernels) work too, but whole-program facts require a program.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.analysis.aliasing import PointsTo
@@ -29,6 +40,7 @@ from repro.analysis.escape import EscapeInfo
 from repro.analysis.reachability import ReachabilityTable
 from repro.ir.function import Function, Program
 from repro.ir.instructions import Instruction
+from repro.query.engine import QueryEngine
 
 if TYPE_CHECKING:  # avoid import cycles; these are runtime-lazy below
     from repro.core.interprocedural import InterproceduralResult
@@ -56,73 +68,96 @@ class AnalysisContext:
 
     ``program`` is optional: a context can serve loose functions (unit
     tests, Table-II kernels), but whole-program facts — the
-    interprocedural acquire fixpoint — require one.
+    interprocedural acquire fixpoint — require one. ``cache_dir``
+    enables the engine's persistent query cache.
     """
 
-    def __init__(self, program: Program | None = None) -> None:
-        self.program = program
+    def __init__(
+        self,
+        program: Program | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
         self.stats = ContextStats()
-        self._points_to: dict[Function, PointsTo] = {}
-        self._escape: dict[Function, EscapeInfo] = {}
-        self._reach: dict[Function, ReachabilityTable] = {}
-        self._writers: dict[Function, dict[int, list[Instruction]]] = {}
-        self._acquires: dict[tuple[Function, "Variant"], "AcquireResult"] = {}
-        self._interprocedural: dict["Variant", "InterproceduralResult"] = {}
+        self.engine = QueryEngine(program=program, cache_dir=cache_dir)
+        self.engine.context = self
+        self._local = threading.local()
+        # Request-span exclusion: a whole analysis holds this while
+        # structural edits (program splicing) also take it, so an
+        # in-flight request never observes a half-spliced program.
+        self.request_lock = threading.RLock()
+
+    def adopt_engine(self, engine: QueryEngine) -> "AnalysisContext":
+        """Wire this (possibly bare) facade onto an existing engine."""
+        self.stats = ContextStats()
+        self.engine = engine
+        engine.context = self
+        self._local = threading.local()
+        self.request_lock = threading.RLock()
+        return self
+
+    @contextmanager
+    def collect_stats(self):
+        """Record this thread's fact hits/misses into a private
+        :class:`ContextStats` for the duration — exact per-request
+        counters even while other threads share the context."""
+        previous = getattr(self._local, "collector", None)
+        collector = ContextStats()
+        self._local.collector = collector
+        try:
+            yield collector
+        finally:
+            self._local.collector = previous
+
+    @property
+    def program(self) -> Program | None:
+        return self.engine.program
+
+    @program.setter
+    def program(self, program: Program | None) -> None:
+        self.engine.program = program
+
+    def _fact(self, name: str, key) -> object:
+        value, hit = self.engine.lookup(name, key)
+        with self.engine.lock:  # shared counters: no torn increments
+            self.stats.record(name, hit)
+            collector = getattr(self._local, "collector", None)
+            if collector is not None:
+                collector.record(name, hit)
+        return value
 
     # --- per-function facts ----------------------------------------------
     def points_to(self, func: Function) -> PointsTo:
-        fact = self._points_to.get(func)
-        self.stats.record("points_to", fact is not None)
-        if fact is None:
-            fact = PointsTo(func)
-            self._points_to[func] = fact
-        return fact
+        return self._fact("points_to", func)
 
     def escape_info(self, func: Function) -> EscapeInfo:
-        fact = self._escape.get(func)
-        self.stats.record("escape_info", fact is not None)
-        if fact is None:
-            fact = EscapeInfo(func, self.points_to(func))
-            self._escape[func] = fact
-        return fact
+        return self._fact("escape_info", func)
 
     def reachability(self, func: Function) -> ReachabilityTable:
-        fact = self._reach.get(func)
-        self.stats.record("reachability", fact is not None)
-        if fact is None:
-            fact = ReachabilityTable(func)
-            self._reach[func] = fact
-        return fact
+        return self._fact("reachability", func)
 
     def writers_cache(self, func: Function) -> dict[int, list[Instruction]]:
         """The shared ``potential_writers`` memo for slicers over ``func``."""
-        return self._writers.setdefault(func, {})
+        return self.engine.get("writers_cache", func)
 
     def acquires(self, func: Function, variant: "Variant") -> "AcquireResult":
-        from repro.core.signatures import detect_acquires
-
-        key = (func, variant)
-        result = self._acquires.get(key)
-        self.stats.record("acquires", result is not None)
-        if result is None:
-            result = detect_acquires(func, variant, context=self)
-            self._acquires[key] = result
-        return result
+        return self._fact("acquires", (func, variant))
 
     # --- whole-program facts ---------------------------------------------
     def interprocedural(self, variant: "Variant") -> "InterproceduralResult":
-        from repro.core.interprocedural import detect_acquires_interprocedural
-
         if self.program is None:
             raise ValueError(
                 "interprocedural acquire detection needs a whole program; "
                 "construct the context with AnalysisContext(program)"
             )
-        result = self._interprocedural.get(variant)
-        self.stats.record("interprocedural", result is not None)
-        if result is None:
-            result = detect_acquires_interprocedural(
-                self.program, variant, context=self
-            )
-            self._interprocedural[variant] = result
-        return result
+        return self._fact("interprocedural", variant)
+
+    # --- incremental invalidation ----------------------------------------
+    def refresh(self) -> tuple[str, ...]:
+        """Revalidate after in-place IR edits: evict the query subgraph
+        of every changed function, keep everything else. Returns the
+        changed functions' names."""
+        return self.engine.refresh()
+
+    def invalidate_function(self, func: Function) -> None:
+        """Force-evict ``func``'s query subgraph."""
+        self.engine.invalidate_function(func)

@@ -74,10 +74,19 @@ class DetectionVariant:
         context: AnalysisContext | None = None,
         interprocedural: bool = False,
     ) -> ProgramAnalysis:
-        """Run the pipeline and insert the fences (mutates ``program``)."""
+        """Run the pipeline and insert the fences (mutates ``program``;
+        a supplied ``context`` is refreshed, so it stays valid)."""
+        if not self.null_detector:
+            # Delegate so the pipeline's post-insertion context refresh
+            # applies here too (this is the path Session.place uses).
+            return self.placer(model, interprocedural).place(
+                program, context=context
+            )
         result = self.analyze(program, model, context, interprocedural)
         for fa in result.functions.values():
             apply_plan(fa.function, fa.plan)
+        if context is not None:
+            context.refresh()
         return result
 
 

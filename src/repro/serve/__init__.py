@@ -1,0 +1,22 @@
+"""`repro.serve` — the long-lived JSON-lines analysis daemon.
+
+``repro serve`` keeps one thread-safe :class:`~repro.api.Session` (and
+therefore one warm query cache) alive across many requests and many
+concurrent clients; see :mod:`repro.serve.server` for the protocol.
+"""
+
+from repro.serve.server import (
+    REQUEST_DISPATCH,
+    ReproServer,
+    ServeDispatcher,
+    encode_response,
+    serve_stdio,
+)
+
+__all__ = [
+    "REQUEST_DISPATCH",
+    "ReproServer",
+    "ServeDispatcher",
+    "encode_response",
+    "serve_stdio",
+]

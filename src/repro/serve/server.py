@@ -1,0 +1,223 @@
+"""The long-lived analysis daemon behind ``repro serve``.
+
+One :class:`~repro.api.session.Session` serves every client, so the
+shared query cache stays warm across requests: re-analyzing an edited
+program touches only the changed functions' query subgraph. The wire
+protocol is JSON lines — one request per line, one response per line:
+
+* a bare schema-versioned request payload (any ``*-request`` kind from
+  :mod:`repro.api.reports`), or an envelope ``{"id": ..., "request":
+  {...}}`` when the client wants responses correlated;
+* control operations ``{"op": "ping"}``, ``{"op": "stats"}`` and
+  ``{"op": "shutdown"}``;
+* responses are ``{"ok": true, "id": ..., "report": <payload>}`` with
+  the *identical* payload the one-shot CLI would serialize, or
+  ``{"ok": false, "id": ..., "error": "..."}``.
+
+Two transports share one dispatcher: a threading TCP server (each
+connection gets a thread; concurrent requests interleave through the
+thread-safe session) and a stdio loop for subprocess embedding.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+import threading
+from typing import IO
+
+import repro
+from repro.api.reports import (
+    REPORT_KINDS,
+    AnalyzeRequest,
+    BatchRequest,
+    CheckRequest,
+    FuzzRequest,
+    SchemaError,
+    SimulateRequest,
+)
+from repro.api.session import Session
+
+#: request kind -> the Session method that answers it.
+REQUEST_DISPATCH = {
+    AnalyzeRequest.KIND: "analyze",
+    CheckRequest.KIND: "check",
+    SimulateRequest.KIND: "simulate",
+    BatchRequest.KIND: "batch",
+    FuzzRequest.KIND: "fuzz",
+}
+
+
+def encode_response(response: dict) -> str:
+    """One wire line (no trailing newline), key-sorted for stability."""
+    return json.dumps(response, sort_keys=True)
+
+
+class ServeDispatcher:
+    """Maps one decoded request line to one response dict.
+
+    Stateless apart from served/error counters; safe to share across
+    handler threads because the session itself is thread-safe.
+    """
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self._lock = threading.Lock()
+        self.served = 0
+        self.errors = 0
+
+    def _error(self, message: str, req_id=None) -> dict:
+        with self._lock:
+            self.errors += 1
+        return {"ok": False, "id": req_id, "error": message}
+
+    def handle_line(self, line: str) -> tuple[dict, bool]:
+        """Answer one request line; returns ``(response, shutdown)``."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return self._error(f"request line is not valid JSON: {exc}"), False
+        if not isinstance(payload, dict):
+            return self._error("request line must be a JSON object"), False
+
+        if "op" in payload:
+            return self._handle_op(payload)
+
+        req_id = None
+        if "request" in payload:
+            req_id = payload.get("id")
+            payload = payload["request"]
+            if not isinstance(payload, dict):
+                return self._error("'request' must be a JSON object", req_id), False
+
+        kind = payload.get("kind")
+        method = REQUEST_DISPATCH.get(kind)
+        if method is None:
+            known = ", ".join(sorted(REQUEST_DISPATCH))
+            return self._error(
+                f"not a servable request kind: {kind!r}; known: {known}", req_id
+            ), False
+        try:
+            request = REPORT_KINDS.get(kind).from_payload(payload)
+            report = getattr(self.session, method)(request)
+        except Exception as exc:  # noqa: BLE001 - daemon boundary: a bad
+            # request (e.g. type-confused field values that pass the
+            # name-level schema gate) must answer {"ok": false}, never
+            # kill the handler thread or the stdio loop.
+            detail = exc.args[0] if exc.args else exc
+            return self._error(f"{type(exc).__name__}: {detail}", req_id), False
+        with self._lock:
+            self.served += 1
+        return {"ok": True, "id": req_id, "report": report.to_payload()}, False
+
+    def _handle_op(self, payload: dict) -> tuple[dict, bool]:
+        op = payload.get("op")
+        req_id = payload.get("id")
+        if op == "ping":
+            return {
+                "ok": True, "id": req_id, "pong": True,
+                "version": repro.__version__,
+            }, False
+        if op == "stats":
+            with self._lock:
+                counters = {"served": self.served, "errors": self.errors}
+            try:
+                session_stats = self.session.stats()
+            except Exception as exc:  # noqa: BLE001 - same daemon
+                # boundary as the request path: never kill the loop.
+                detail = exc.args[0] if exc.args else exc
+                return self._error(f"{type(exc).__name__}: {detail}", req_id), False
+            return {
+                "ok": True, "id": req_id,
+                "server": counters,
+                "session": session_stats,
+            }, False
+        if op == "shutdown":
+            return {"ok": True, "id": req_id, "bye": True}, True
+        return self._error(f"unknown op {op!r}", req_id), False
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        for raw in self.rfile:
+            line = raw.decode("utf-8", "replace").strip()
+            if not line:
+                continue
+            response, stop = self.server.dispatcher.handle_line(line)
+            try:
+                self.wfile.write(
+                    (encode_response(response) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+            except OSError:
+                return  # client went away mid-response
+            if stop:
+                self.server.begin_shutdown()
+                return
+
+
+class ReproServer(socketserver.ThreadingTCPServer):
+    """Threaded JSON-lines analysis server over TCP.
+
+    ``port=0`` binds an ephemeral port; read the chosen one back from
+    :attr:`port`. Every connection is handled in its own thread, so
+    N clients analyze concurrently against the shared warm session.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.dispatcher = ServeDispatcher(
+            session if session is not None else Session()
+        )
+        super().__init__((host, port), _LineHandler)
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def begin_shutdown(self) -> None:
+        """Stop ``serve_forever`` without deadlocking a handler thread."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        self.server_close()
+
+
+def serve_stdio(
+    session: Session | None = None,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+) -> int:
+    """Serve one client over stdin/stdout (for subprocess embedding).
+
+    Requests are answered in arrival order; the loop ends on EOF or a
+    ``shutdown`` op. Returns a process exit code.
+    """
+    dispatcher = ServeDispatcher(session if session is not None else Session())
+    inp = stdin if stdin is not None else sys.stdin
+    out = stdout if stdout is not None else sys.stdout
+    for raw in inp:
+        line = raw.strip()
+        if not line:
+            continue
+        response, stop = dispatcher.handle_line(line)
+        try:
+            out.write(encode_response(response) + "\n")
+            out.flush()
+        except OSError:
+            return 1
+        if stop:
+            break
+    return 0

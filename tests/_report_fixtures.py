@@ -12,6 +12,7 @@ from repro.api import (
     BatchCell,
     BatchReport,
     BatchRequest,
+    CacheStats,
     CheckReport,
     CheckRequest,
     FunctionFences,
@@ -50,6 +51,9 @@ def sample_payloads() -> dict:
         compiler_fences=2,
         annotations="consumer: acquire @flag",
         fenced_ir=None,
+        cache_stats=CacheStats(
+            hits=9, misses=5, by_fact={"acquires": 1, "points_to": 2}
+        ),
     )
     check_request = CheckRequest(program=spec, model="pso", max_states=5000)
     check_report = CheckReport(
@@ -107,6 +111,7 @@ def sample_payloads() -> dict:
                 cached=False,
             ),
         ),
+        cache_stats=None,
     )
     fuzz_request = FuzzRequest(
         seeds=2, shapes=("publish",), variants=("vanilla",), budget=30.0

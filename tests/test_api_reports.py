@@ -83,11 +83,16 @@ def test_unknown_schema_version_rejected(samples, kind):
 
 def test_kind_mismatch_rejected(samples):
     payload = samples["analyze-report"].to_payload()
-    payload["kind"] = "check-report"
+    payload["kind"] = "batch-report"  # same schema_version, wrong kind
     with pytest.raises(SchemaError, match="unknown fields"):
-        load_report(json.dumps(payload))  # dispatches to CheckReport
+        load_report(json.dumps(payload))  # dispatches to BatchReport
     with pytest.raises(SchemaError, match="cannot be read as"):
         AnalyzeReport.from_payload(payload)
+    # A kind whose schema version differs trips the version gate first.
+    payload = samples["analyze-report"].to_payload()
+    payload["kind"] = "check-report"
+    with pytest.raises(SchemaError, match="schema_version"):
+        load_report(json.dumps(payload))
 
 
 def test_unknown_and_missing_fields_rejected(samples):

@@ -85,13 +85,22 @@ def test_session_accepts_pipeline_variant_enum(spec):
     assert a.full_fence_count == b.full_fence_count
 
 
-def test_session_place_invalidates_context(spec):
+def test_session_place_keeps_context_valid(spec):
     session = Session()
     program = session.load(spec)
     ctx = session.context(program)
     session.place(program, "control")
-    assert session.context(program) is not ctx
     assert len(program.fences()) > 0
+    # The context survives place(): the engine refreshed it, so the
+    # fenced functions' facts recompute and re-analysis is correct.
+    assert session.context(program) is ctx
+    # No stale inputs remain — place() really did refresh (a further
+    # refresh sees nothing changed).
+    assert session.refresh(program) == ()
+    reused = session.analysis(program, "control")
+    fresh = Session().analysis(program, "control")
+    assert reused.full_fence_count == fresh.full_fence_count
+    assert reused.total_sync_reads == fresh.total_sync_reads
 
 
 def test_session_explore_dispatches_models(spec):
@@ -338,6 +347,167 @@ def test_fuzz_wire_payload_layout_matches_runner_payload():
     assert api["config"]["seeds"] == raw["config"]["seeds"]
     assert api["cases"][0].keys() == raw["cases"][0].keys()
     assert api["violations"] == raw["violations"] == []
+
+
+def test_session_context_lru_safe_under_concurrency():
+    import threading
+
+    session = Session()
+    session._context_cap = 4
+    programs = [
+        session.load(ProgramSpec.inline(MP, name=f"c{i}")) for i in range(12)
+    ]
+    barrier = threading.Barrier(6)
+    errors = []
+
+    def worker(offset):
+        try:
+            barrier.wait(timeout=10)
+            for i in range(40):
+                program = programs[(offset + i) % len(programs)]
+                session.context(program)
+                if i % 7 == 0:
+                    session.forget(program)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(session._contexts) <= session._context_cap
+
+
+def test_session_stats_accessor(spec):
+    session = Session()
+    report = session.analyze(AnalyzeRequest(program=spec))
+    assert report.cache_stats is None  # opt-in only
+    stats = session.stats()
+    assert stats["requests"] == {"analyze": 1}
+    assert stats["contexts"] == 1
+    assert stats["context_cap"] == session._context_cap
+    assert stats["context_stats"]["misses"] > 0
+    assert stats["query_stats"]["computes"] > 0
+
+
+def test_analyze_cache_stats_show_warm_context(spec):
+    session = Session()
+    cold = session.analyze(AnalyzeRequest(program=spec, stats=True))
+    assert cold.cache_stats is not None
+    assert cold.cache_stats.misses > 0
+    assert "points_to" in cold.cache_stats.by_fact
+    warm = session.analyze(AnalyzeRequest(program=spec, stats=True))
+    assert "cache:" in warm.render()
+    # The program cache hands the second request the same warm Program,
+    # so its counters are pure hits.
+    assert warm.cache_stats.misses == 0
+    assert warm.cache_stats.hits > 0
+    # The mid-level path shares the same warm context:
+    program = session.load(spec)
+    ctx = session.context(program)
+    analysis_before = ctx.stats.misses
+    session.analysis(program, "control")
+    assert ctx.stats.misses == analysis_before  # all hits
+
+
+def test_batch_cache_stats_aggregate():
+    session = Session(parallel=False)
+    report = session.batch(
+        BatchRequest(programs=("fft",), variants=("control", "pensieve"),
+                     stats=True)
+    )
+    assert report.cache_stats is not None
+    assert report.cache_stats.misses > 0
+    # The second variant shares the first's variant-independent facts.
+    assert report.cache_stats.hits > 0
+    assert "analysis cache:" in report.render()
+    wire = report.to_json()
+    from repro.api import BatchReport
+
+    assert BatchReport.from_json(wire).to_json() == wire
+
+
+def test_wire_requests_reuse_warm_program_and_context(spec):
+    session = Session()
+    cold = session.analyze(AnalyzeRequest(program=spec, stats=True))
+    assert cold.cache_stats.misses > 0
+    warm = session.analyze(AnalyzeRequest(program=spec, stats=True))
+    # Same source -> same Program object -> pure memo hits.
+    assert warm.cache_stats.misses == 0
+    assert warm.cache_stats.hits > 0
+    cold_payload = cold.to_payload()
+    warm_payload = warm.to_payload()
+    cold_payload.pop("cache_stats")
+    warm_payload.pop("cache_stats")
+    assert warm_payload == cold_payload
+
+
+def test_wire_edit_recomputes_only_changed_function():
+    edited_src = MP.replace("data = 1;", "data = 2;")  # producer only
+    session = Session()
+    session.analyze(
+        AnalyzeRequest(program=ProgramSpec.inline(MP, name="mp"))
+    )
+    computes_cold = session.stats()["query_stats"]["computes"]
+    report = session.analyze(
+        AnalyzeRequest(
+            program=ProgramSpec.inline(edited_src, name="mp"), stats=True
+        )
+    )
+    delta = session.stats()["query_stats"]["computes"] - computes_cold
+    # Only the edited producer's facts recomputed; consumer stayed hit.
+    assert set(report.cache_stats.by_fact) <= {
+        "points_to", "escape_info", "reachability", "acquires",
+    }
+    assert 0 < delta < computes_cold
+    assert report.cache_stats.hits > 0
+    # And the spliced warm result is byte-identical to a cold session's.
+    fresh = Session().analyze(
+        AnalyzeRequest(program=ProgramSpec.inline(edited_src, name="mp"))
+    )
+    warm_payload = report.to_payload()
+    warm_payload.pop("cache_stats")
+    fresh_payload = fresh.to_payload()
+    fresh_payload.pop("cache_stats")
+    assert warm_payload == fresh_payload
+
+
+def test_place_evicts_mutated_program_from_source_cache(spec):
+    """The litmus_model_check pattern: load + place per variant must
+    hand each variant a clean compile, never the previous variant's
+    fenced IR (regression: cached program returned fence-mutated)."""
+    session = Session()
+    first = session.load(spec)
+    session.place(first, "pensieve")
+    fenced_count = len(first.fences())
+    assert fenced_count > 0
+    second = session.load(spec)
+    assert second is not first
+    assert len(second.fences()) == 0
+    session.place(second, "control")
+    third = session.load(spec)
+    assert len(third.fences()) == 0
+
+
+def test_emit_ir_request_does_not_pollute_warm_program(spec):
+    session = Session()
+    session.analyze(AnalyzeRequest(program=spec))
+    fenced = session.analyze(AnalyzeRequest(program=spec, emit_ir=True))
+    assert fenced.fenced_ir is not None and "fence" in fenced.fenced_ir
+    # The shared warm program was not mutated by the emit_ir request.
+    program = session.load(spec)
+    assert len(program.fences()) == 0
+    again = session.analyze(AnalyzeRequest(program=spec))
+    assert again.full_fences == fenced.full_fences
+
+
+def test_session_refresh_delegates_to_engine(spec):
+    session = Session()
+    program = session.load(spec)
+    session.analysis(program, "control")
+    assert session.refresh(program) == ()
 
 
 def test_package_versions_agree():

@@ -171,7 +171,7 @@ def test_cli_batch_json(capsys):
                  "--variants", "control", "--serial", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["kind"] == "batch-report"
-    assert payload["schema_version"] == 1
+    assert payload["schema_version"] == 2
     cells = payload["cells"]
     assert [cell["program"] for cell in cells] == ["fft", "matrix"]
     serial = analyze_program(get_program("fft").compile(), PipelineVariant.CONTROL)

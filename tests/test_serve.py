@@ -1,0 +1,282 @@
+"""Tests for the long-lived analysis daemon (repro.serve)."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import AnalyzeRequest, CheckRequest, ProgramSpec, Session
+from repro.serve import REQUEST_DISPATCH, ReproServer, ServeDispatcher, serve_stdio
+
+MP = """
+global int flag;
+global int data;
+
+fn producer(tid) { data = 1; flag = 1; }
+fn consumer(tid) {
+  local r = 0;
+  while (flag == 0) { }
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+SPEC = ProgramSpec.inline(MP, name="mp")
+
+
+# --- dispatcher (transport-independent) --------------------------------------
+
+
+@pytest.fixture
+def dispatcher():
+    return ServeDispatcher(Session(parallel=False))
+
+
+def test_dispatch_table_covers_every_request_kind():
+    from repro.api import REPORT_KINDS
+
+    request_kinds = {k for k in REPORT_KINDS.keys() if k.endswith("-request")}
+    assert set(REQUEST_DISPATCH) == request_kinds
+
+
+def test_dispatcher_answers_bare_request(dispatcher):
+    request = AnalyzeRequest(program=SPEC)
+    response, stop = dispatcher.handle_line(request.to_json().replace("\n", " "))
+    assert not stop
+    assert response["ok"] and response["id"] is None
+    expected = Session().analyze(request).to_payload()
+    assert response["report"] == expected
+    # Byte-identical to what the one-shot CLI serializes.
+    assert json.dumps(response["report"], indent=2, sort_keys=True) == (
+        Session().analyze(request).to_json()
+    )
+
+
+def test_dispatcher_echoes_request_id(dispatcher):
+    envelope = {"id": 42, "request": AnalyzeRequest(program=SPEC).to_payload()}
+    response, _ = dispatcher.handle_line(json.dumps(envelope))
+    assert response["ok"] and response["id"] == 42
+
+
+def test_dispatcher_ops(dispatcher):
+    pong, stop = dispatcher.handle_line('{"op": "ping"}')
+    assert pong["ok"] and pong["pong"] and not stop
+    stats, _ = dispatcher.handle_line('{"op": "stats", "id": "s1"}')
+    assert stats["ok"] and stats["id"] == "s1"
+    assert "requests" in stats["session"] and "server" in stats
+    bye, stop = dispatcher.handle_line('{"op": "shutdown"}')
+    assert bye["ok"] and bye["bye"] and stop
+
+
+def test_dispatcher_error_paths(dispatcher):
+    bad_json, _ = dispatcher.handle_line("{nope")
+    assert not bad_json["ok"] and "not valid JSON" in bad_json["error"]
+    not_object, _ = dispatcher.handle_line("[1, 2]")
+    assert not not_object["ok"] and "JSON object" in not_object["error"]
+    unknown_op, _ = dispatcher.handle_line('{"op": "dance"}')
+    assert not unknown_op["ok"] and "unknown op" in unknown_op["error"]
+    # A *report* kind is not servable.
+    report_kind, _ = dispatcher.handle_line(
+        json.dumps({"kind": "analyze-report", "schema_version": 2})
+    )
+    assert not report_kind["ok"]
+    assert "not a servable request kind" in report_kind["error"]
+    # Schema violations come back as errors, not dropped connections.
+    payload = AnalyzeRequest(program=SPEC).to_payload()
+    payload["bonus"] = 1
+    malformed, _ = dispatcher.handle_line(json.dumps(payload))
+    assert not malformed["ok"] and "unknown fields" in malformed["error"]
+    # Unknown registry keys inside a valid envelope surface too.
+    bogus = AnalyzeRequest(program=SPEC, variant="bogus").to_payload()
+    unknown_variant, _ = dispatcher.handle_line(json.dumps(bogus))
+    assert not unknown_variant["ok"]
+    assert "unknown" in unknown_variant["error"]
+    assert dispatcher.errors == 6 and dispatcher.served == 0
+
+
+def test_dispatcher_survives_type_confused_payloads(dispatcher):
+    """Payloads that pass the name-level schema gate but carry wrong
+    field *types* must answer {"ok": false}, never raise out of the
+    dispatcher (which would kill the daemon/handler thread)."""
+    confused = [
+        # seeds as a string: TypeError deep in the fuzz runner.
+        {"kind": "fuzz-request", "schema_version": 1, "seeds": "ten",
+         "shapes": [], "variants": [], "models": ["x86-tso"],
+         "budget": None, "shrink": True, "max_states": None},
+        # variant as an int.
+        dict(AnalyzeRequest(program=SPEC).to_payload(), variant=123),
+        # ProgramSpec kind as a list (unhashable).
+        dict(AnalyzeRequest(program=SPEC).to_payload(),
+             program={"kind": ["corpus"], "name": "fft", "path": None,
+                      "source": None, "manual_fences": False}),
+    ]
+    for payload in confused:
+        response, stop = dispatcher.handle_line(json.dumps(payload))
+        assert not stop
+        assert not response["ok"] and response["error"]
+    # The daemon still answers normal requests afterwards.
+    ok, _ = dispatcher.handle_line(
+        json.dumps(AnalyzeRequest(program=SPEC).to_payload())
+    )
+    assert ok["ok"]
+
+
+def test_dispatcher_warm_reanalysis_after_wire_edit(dispatcher):
+    """The daemon's headline: an edited program re-sent over the wire
+    recomputes only the changed function's query subgraph."""
+    cold, _ = dispatcher.handle_line(
+        json.dumps(AnalyzeRequest(program=SPEC, stats=True).to_payload())
+    )
+    assert cold["ok"] and cold["report"]["cache_stats"]["misses"] > 0
+    warm, _ = dispatcher.handle_line(
+        json.dumps(AnalyzeRequest(program=SPEC, stats=True).to_payload())
+    )
+    assert warm["ok"] and warm["report"]["cache_stats"]["misses"] == 0
+    edited = ProgramSpec.inline(MP.replace("data = 1;", "data = 2;"), name="mp")
+    incremental, _ = dispatcher.handle_line(
+        json.dumps(AnalyzeRequest(program=edited, stats=True).to_payload())
+    )
+    assert incremental["ok"]
+    stats = incremental["report"]["cache_stats"]
+    assert stats["hits"] > 0  # the unchanged consumer stayed cached
+    assert 0 < stats["misses"] < cold["report"]["cache_stats"]["misses"]
+
+
+def test_dispatcher_counts_and_session_stats(dispatcher):
+    request = AnalyzeRequest(program=SPEC)
+    dispatcher.handle_line(request.to_json().replace("\n", " "))
+    dispatcher.handle_line(request.to_json().replace("\n", " "))
+    assert dispatcher.served == 2
+    stats = dispatcher.session.stats()
+    assert stats["requests"] == {"analyze": 2}
+    assert stats["contexts"] >= 1
+    assert stats["query_stats"]["computes"] > 0
+
+
+# --- socket transport --------------------------------------------------------
+
+
+@pytest.fixture
+def server():
+    srv = ReproServer(Session(parallel=False))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.close()
+    thread.join(timeout=10)
+
+
+def _roundtrip(server, lines):
+    with socket.create_connection((server.host, server.port), timeout=30) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        responses = []
+        for line in lines:
+            stream.write(line + "\n")
+            stream.flush()
+            responses.append(json.loads(stream.readline()))
+        return responses
+
+
+def test_server_round_trips_analyze_and_check(server):
+    analyze = AnalyzeRequest(program=SPEC)
+    check = CheckRequest(program=SPEC, max_states=200_000)
+    responses = _roundtrip(
+        server,
+        [json.dumps(analyze.to_payload()), json.dumps(check.to_payload())],
+    )
+    assert all(r["ok"] for r in responses)
+    one_shot = Session()
+    assert responses[0]["report"] == one_shot.analyze(analyze).to_payload()
+    assert responses[1]["report"] == one_shot.check(check).to_payload()
+
+
+def test_server_handles_concurrent_clients_byte_identically(server):
+    request = AnalyzeRequest(program=SPEC, stats=False)
+    expected = json.dumps(
+        Session().analyze(request).to_payload(), indent=2, sort_keys=True
+    )
+    clients = 3
+    barrier = threading.Barrier(clients)
+    results: list = [None] * clients
+
+    def client(slot):
+        barrier.wait(timeout=10)
+        responses = _roundtrip(
+            server, [json.dumps({"id": slot, "request": request.to_payload()})]
+        )
+        results[slot] = responses[0]
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    for slot, response in enumerate(results):
+        assert response is not None and response["ok"]
+        assert response["id"] == slot
+        assert json.dumps(response["report"], indent=2, sort_keys=True) == expected
+
+
+def test_server_warm_requests_stay_deterministic(server):
+    line = json.dumps(AnalyzeRequest(program=SPEC).to_payload())
+    first, second = (_roundtrip(server, [line])[0] for _ in range(2))
+    assert first == second
+
+
+def test_server_shutdown_op_stops_serve_forever():
+    srv = ReproServer(Session(parallel=False))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    responses = _roundtrip(srv, ['{"op": "shutdown"}'])
+    assert responses[0]["ok"] and responses[0]["bye"]
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    srv.close()
+
+
+# --- stdio transport ---------------------------------------------------------
+
+
+def test_serve_stdio_round_trip_and_clean_shutdown():
+    request = AnalyzeRequest(program=SPEC)
+    stdin = io.StringIO(
+        json.dumps({"id": 1, "request": request.to_payload()})
+        + "\n\n"  # blank lines are ignored
+        + '{"op": "shutdown"}\n'
+        + json.dumps(request.to_payload())  # never reached
+        + "\n"
+    )
+    stdout = io.StringIO()
+    assert serve_stdio(Session(parallel=False), stdin, stdout) == 0
+    lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["ok"] and lines[0]["id"] == 1
+    assert lines[0]["report"] == Session().analyze(request).to_payload()
+    assert lines[1]["bye"]
+
+
+def test_serve_stdio_stops_on_eof():
+    stdout = io.StringIO()
+    assert serve_stdio(Session(parallel=False), io.StringIO(""), stdout) == 0
+    assert stdout.getvalue() == ""
+
+
+def test_cli_serve_stdio_smoke(monkeypatch, capsys):
+    from repro.cli import main
+
+    request = AnalyzeRequest(program=SPEC)
+    stdin = io.StringIO(
+        json.dumps(request.to_payload()) + "\n" + '{"op": "shutdown"}\n'
+    )
+    monkeypatch.setattr("sys.stdin", stdin)
+    assert main(["serve", "--stdio", "--serial"]) == 0
+    out_lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+    assert out_lines[0]["ok"]
+    assert out_lines[0]["report"]["kind"] == "analyze-report"
+    assert out_lines[1]["bye"]
