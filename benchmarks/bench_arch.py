@@ -1,0 +1,112 @@
+"""Cross-arch benchmarks: per-arch analyze+lower time and fence costs.
+
+For every backend (x86, arm, power) this measures, over the 17-program
+corpus with the address+control variant:
+
+* **analyze_s** — pipeline time under the backend's native machine
+  model (fully relaxed models generate/stab many more intervals);
+* **lower_s** — flavored-lowering time (cheapest-sufficient-flavor
+  selection over every planned fence);
+* **full_fences / fence_cost** — static counts and the lowered cycle
+  total, plus the per-flavor histogram.
+
+Runs two ways: under pytest-benchmark like the other bench modules, or
+as a script emitting the machine-readable trajectory artifact::
+
+    PYTHONPATH=src python benchmarks/bench_arch.py --out BENCH_arch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.arch import backend_keys, get_backend, lower_analysis  # noqa: E402
+from repro.core.machine_models import MODELS  # noqa: E402
+from repro.core.pipeline import PipelineVariant, analyze_program  # noqa: E402
+from repro.frontend import compile_source  # noqa: E402
+from repro.programs import all_programs  # noqa: E402
+
+VARIANT = PipelineVariant.ADDRESS_CONTROL
+
+
+def run_arch(arch: str) -> dict:
+    """Analyze + lower the whole corpus on one backend."""
+    backend = get_backend(arch)
+    model = MODELS[backend.model_key]
+    analyze_s = 0.0
+    lower_s = 0.0
+    full_fences = 0
+    compiler_fences = 0
+    fence_cost = 0
+    flavors: dict[str, int] = {}
+    for name, entry in sorted(all_programs().items()):
+        program = compile_source(entry.source, name)
+
+        start = time.perf_counter()
+        analysis = analyze_program(program, VARIANT, model)
+        analyze_s += time.perf_counter() - start
+
+        start = time.perf_counter()
+        _, summary = lower_analysis(analysis, backend)
+        lower_s += time.perf_counter() - start
+
+        full_fences += summary.full_fences
+        compiler_fences += summary.compiler_fences
+        fence_cost += summary.cost
+        for flavor, count in summary.flavors.items():
+            flavors[flavor] = flavors.get(flavor, 0) + count
+    return {
+        "arch": arch,
+        "model": backend.model_key,
+        "programs": len(all_programs()),
+        "analyze_s": round(analyze_s, 4),
+        "lower_s": round(lower_s, 4),
+        "full_fences": full_fences,
+        "compiler_fences": compiler_fences,
+        "fence_cost": fence_cost,
+        "flavors": dict(sorted(flavors.items())),
+    }
+
+
+def run_suite() -> dict:
+    return {"variant": VARIANT.value, "archs": [run_arch(a) for a in backend_keys()]}
+
+
+# --- pytest-benchmark entry points ------------------------------------------
+
+
+def test_bench_analyze_and_lower_power(benchmark):
+    benchmark(run_arch, "power")
+
+
+def test_bench_analyze_and_lower_x86(benchmark):
+    benchmark(run_arch, "x86")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_arch.json",
+                        help="path for the JSON artifact")
+    args = parser.parse_args()
+    report = run_suite()
+    Path(args.out).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    for row in report["archs"]:
+        print(
+            f"{row['arch']:6s} analyze {row['analyze_s']:.2f}s "
+            f"lower {row['lower_s']:.3f}s  {row['full_fences']} fences "
+            f"@ {row['fence_cost']} cycles  {row['flavors']}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -273,7 +273,7 @@ class AnalyzeRequest(WirePayload):
     """Run the fence-placement pipeline on one program."""
 
     KIND: ClassVar[str] = "analyze-request"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
     _DECODERS: ClassVar[dict] = {"program": _decode_spec}
 
     program: ProgramSpec
@@ -285,6 +285,9 @@ class AnalyzeRequest(WirePayload):
     emit_ir: bool = False
     #: Attach this request's analysis-cache counters to the report.
     stats: bool = False
+    #: Arch backend key for flavored fence lowering; None = generic
+    #: full fences (the pre-arch behaviour, byte-identical output).
+    arch: str | None = None
 
 
 @dataclass(frozen=True)
@@ -306,7 +309,7 @@ class AnalyzeReport(WirePayload):
     """The pipeline's whole-program result as a wire artifact."""
 
     KIND: ClassVar[str] = "analyze-report"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
     _DECODERS: ClassVar[dict] = {
         "functions": _tuple_of(FunctionFences),
         "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
@@ -328,6 +331,11 @@ class AnalyzeReport(WirePayload):
     fenced_ir: str | None = None
     #: Filled only when the request asked for ``stats``.
     cache_stats: CacheStats | None = None
+    #: Flavored-lowering summary, filled when the request named an arch.
+    arch: str | None = None
+    fence_cost: int | None = None
+    #: flavor name -> count across the program (entry fences included).
+    flavors: dict[str, int] | None = None
 
     def render(self) -> str:
         rows = [
@@ -353,6 +361,15 @@ class AnalyzeReport(WirePayload):
             f"reads marked acquire, {self.full_fences} full fences, "
             f"{self.compiler_fences} compiler directives",
         ]
+        if self.arch is not None:
+            detail = ", ".join(
+                f"{name}: {count}"
+                for name, count in sorted((self.flavors or {}).items())
+            )
+            parts.append(
+                f"arch {self.arch}: lowered cost {self.fence_cost} cycles"
+                + (f" ({detail})" if detail else "")
+            )
         if self.cache_stats is not None:
             parts.append(self.cache_stats.render())
         if self.annotations is not None:
@@ -373,7 +390,7 @@ class CheckRequest(WirePayload):
     """Model-check SC vs a weak model, unfenced and per variant."""
 
     KIND: ClassVar[str] = "check-request"
-    SCHEMA_VERSION: ClassVar[int] = 1
+    SCHEMA_VERSION: ClassVar[int] = 2
     _DECODERS: ClassVar[dict] = {"program": _decode_spec}
 
     program: ProgramSpec
@@ -384,6 +401,12 @@ class CheckRequest(WirePayload):
     max_states: int | None = None
     #: None = use the session's setting.
     interprocedural: bool | None = None
+    #: Arch backend lowering the variant placements before exploration.
+    #: None = the model's default (its own catalog on flavor-honoring
+    #: explorers like arm/power, generic FULL elsewhere). Naming a
+    #: catalog the model's explorer cannot give kill-set semantics to
+    #: is refused with a ValueError.
+    arch: str | None = None
 
 
 @dataclass(frozen=True)
@@ -402,7 +425,7 @@ class CheckReport(WirePayload):
     """Differential model-checking verdicts as a wire artifact."""
 
     KIND: ClassVar[str] = "check-report"
-    SCHEMA_VERSION: ClassVar[int] = 1
+    SCHEMA_VERSION: ClassVar[int] = 2
     _DECODERS: ClassVar[dict] = {"variants": _tuple_of(VariantCheck)}
 
     program: str
@@ -414,6 +437,8 @@ class CheckReport(WirePayload):
     weak_outcomes_unfenced: int
     weak_breaks_unfenced: bool
     variants: tuple[VariantCheck, ...]
+    #: Arch backend the placements were lowered with (None = generic).
+    arch: str | None = None
 
     @property
     def failures(self) -> int:
@@ -457,7 +482,7 @@ class SimulateRequest(WirePayload):
     """Run the timed TSO simulator under one fence placement."""
 
     KIND: ClassVar[str] = "simulate-request"
-    SCHEMA_VERSION: ClassVar[int] = 1
+    SCHEMA_VERSION: ClassVar[int] = 2
     _DECODERS: ClassVar[dict] = {"program": _decode_spec}
 
     program: ProgramSpec
@@ -467,6 +492,9 @@ class SimulateRequest(WirePayload):
     model: str = "x86-tso"
     #: Global names (array prefixes included) to report after the run.
     observe_globals: tuple[str, ...] = ()
+    #: Arch backend: placements are lowered to its flavors and the
+    #: timed machine prices fences with its cost model.
+    arch: str | None = None
 
 
 @register_report
@@ -475,7 +503,7 @@ class SimulateReport(WirePayload):
     """One timed simulation's counters as a wire artifact."""
 
     KIND: ClassVar[str] = "simulate-report"
-    SCHEMA_VERSION: ClassVar[int] = 1
+    SCHEMA_VERSION: ClassVar[int] = 2
 
     program: str
     placement: str
@@ -490,10 +518,14 @@ class SimulateReport(WirePayload):
     #: Every scalar/array slot's final value, name-sorted.
     final_globals: tuple[tuple[str, int], ...]
     observe_globals: tuple[str, ...] = ()
+    #: Arch backend whose flavors/costs drove the run (None = x86 TSO
+    #: defaults).
+    arch: str | None = None
 
     def render(self) -> str:
         lines = [
-            f"placement      : {self.placement}",
+            f"placement      : {self.placement}"
+            + (f" (arch {self.arch})" if self.arch is not None else ""),
             f"cycles         : {self.cycles}",
             f"instructions   : {self.instructions}",
             f"mfences run    : {self.full_fences_executed}",
@@ -521,7 +553,7 @@ class BatchRequest(WirePayload):
     """Analyze a {program x variant x model} matrix."""
 
     KIND: ClassVar[str] = "batch-request"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
 
     #: () = every corpus program / every non-null variant.
     programs: tuple[str, ...] = ()
@@ -529,6 +561,9 @@ class BatchRequest(WirePayload):
     models: tuple[str, ...] = ("x86-tso",)
     #: Attach aggregated analysis-cache counters to the report.
     stats: bool = False
+    #: Arch backend overriding the per-model default for flavored
+    #: lowering costs; None = each model's own registered arch.
+    arch: str | None = None
 
 
 @dataclass(frozen=True)
@@ -549,6 +584,10 @@ class BatchCell:
     compiler_fences: int
     elapsed: float
     cached: bool
+    #: Flavored-lowering cost under the cell's arch backend (None when
+    #: the model has no registered arch) and its flavor histogram.
+    fence_cost: int | None = None
+    flavors: dict[str, int] = field(default_factory=dict)
 
 
 @register_report
@@ -557,7 +596,7 @@ class BatchReport(WirePayload):
     """A whole batch run's cells as one wire artifact."""
 
     KIND: ClassVar[str] = "batch-report"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
     _DECODERS: ClassVar[dict] = {
         "cells": _tuple_of(BatchCell),
         "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
@@ -571,10 +610,16 @@ class BatchReport(WirePayload):
     cells: tuple[BatchCell, ...]
     #: Filled only when the request asked for ``stats``.
     cache_stats: CacheStats | None = None
+    #: Arch override the request named (None = per-model defaults).
+    arch: str | None = None
 
     @property
     def total_full_fences(self) -> int:
         return sum(c.full_fences for c in self.cells)
+
+    @property
+    def total_fence_cost(self) -> int:
+        return sum(c.fence_cost or 0 for c in self.cells)
 
     @property
     def cache_hits(self) -> int:
@@ -593,6 +638,7 @@ class BatchReport(WirePayload):
                 f"{c.surviving_fraction:.1%}",
                 c.full_fences,
                 c.compiler_fences,
+                "-" if c.fence_cost is None else str(c.fence_cost),
                 f"{c.elapsed * 1000:.0f}ms",
                 "hit" if c.cached else "",
             ]
@@ -600,13 +646,15 @@ class BatchReport(WirePayload):
         ]
         table = format_table(
             ["program", "variant", "model", "fns", "esc reads", "acquires",
-             "orderings", "surv", "mfences", "directives", "time", "cache"],
+             "orderings", "surv", "fences", "directives", "cost", "time",
+             "cache"],
             rows,
             title=f"batch: {len(self.cells)} analyses "
             f"({'pool' if self.used_pool else 'serial'}, {self.wall:.2f}s wall)",
         )
         text = (
-            f"{table}\n\ntotal: {self.total_full_fences} full fences across "
+            f"{table}\n\ntotal: {self.total_full_fences} full fences "
+            f"({self.total_fence_cost} cycles lowered) across "
             f"{len(self.cells)} cells, {self.cache_hits} cache hits"
         )
         if self.cache_stats is not None:

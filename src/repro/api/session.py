@@ -348,10 +348,12 @@ class Session:
         model: str | None = None,
         interprocedural: bool | None = None,
         context: AnalysisContext | None = None,
+        backend=None,
     ) -> ProgramAnalysis:
         """Run the pipeline and insert the fences (mutates ``program``;
         the context refreshes itself, so it stays valid for reuse —
-        only the fenced functions' facts recompute)."""
+        only the fenced functions' facts recompute). With an arch
+        ``backend``, fences are lowered to its flavors on insertion."""
         entry = get_variant(self._variant_key(variant))
         inter = self.interprocedural if interprocedural is None else interprocedural
         if context is None:
@@ -367,7 +369,7 @@ class Session:
                         del self._programs[key]
             return entry.place(
                 program, self._machine(model),
-                context=context, interprocedural=inter,
+                context=context, interprocedural=inter, backend=backend,
             )
 
     def explore(
@@ -397,8 +399,17 @@ class Session:
         ).run()
 
     # --- wire-level operations --------------------------------------------
+    @staticmethod
+    def _backend(arch: str | None):
+        if arch is None:
+            return None
+        from repro.arch.backend import get_backend
+
+        return get_backend(arch)
+
     def analyze(self, request: AnalyzeRequest) -> AnalyzeReport:
         self._count("analyze")
+        backend = self._backend(request.arch)
         interprocedural = (
             request.interprocedural
             if request.interprocedural is not None
@@ -423,6 +434,7 @@ class Session:
                     analysis = self.place(
                         program, request.variant, request.model,
                         interprocedural=interprocedural, context=context,
+                        backend=backend,
                     )
                 else:
                     analysis = self.analysis(
@@ -457,6 +469,21 @@ class Session:
                 misses=recorded.misses,
                 by_fact=dict(recorded.by_fact),
             )
+        fence_cost = None
+        flavors = None
+        if backend is not None:
+            from repro.arch.lowering import lower_analysis, summarize_lowerings
+
+            if analysis.lowered_plans is not None:
+                # emit_ir placed through the backend already: summarize
+                # the plans actually inserted, don't lower twice.
+                summary = summarize_lowerings(
+                    backend.key, analysis.lowered_plans
+                )
+            else:
+                _, summary = lower_analysis(analysis, backend)
+            fence_cost = summary.cost
+            flavors = dict(summary.flavors)
         functions = tuple(
             FunctionFences(
                 name=name,
@@ -485,12 +512,38 @@ class Session:
             annotations=annotations,
             fenced_ir=fenced_ir,
             cache_stats=cache_stats,
+            arch=request.arch,
+            fence_cost=fence_cost,
+            flavors=flavors,
         )
 
     def check(self, request: CheckRequest) -> CheckReport:
         self._count("check")
         resolved = resolve_spec(request.program)
         explorer_cls, machine = weak_explorer_for(request.model)
+        # Placements are lowered through an arch backend only when the
+        # model's explorer honors flavor kill-sets (arm/power) — those
+        # checks then exercise the flavored fences they would ship.
+        # Flavor-blind explorers (TSO/PSO) keep generic FULL, and an
+        # explicit request.arch naming any *other* catalog is refused:
+        # the explorer would give foreign/unmodeled flavors full-fence
+        # strength, stamping the report as validating a flavor
+        # selection it cannot actually model.
+        from repro.registry.models import check_backend_for_model
+
+        backend = check_backend_for_model(request.model)
+        if request.arch is not None:
+            self._backend(request.arch)  # unknown arch: KeyError early
+            if backend is None or backend.key != request.arch:
+                raise ValueError(
+                    f"cannot validate {request.arch!r} fence flavors on "
+                    f"model {request.model!r}: its explorer "
+                    + (
+                        "does not model flavor kill-sets"
+                        if backend is None
+                        else f"honors the {backend.key!r} flavor catalog"
+                    )
+                )
         bound = (
             request.max_states
             if request.max_states is not None
@@ -517,6 +570,7 @@ class Session:
                 weak_outcomes_unfenced=0,
                 weak_breaks_unfenced=False,
                 variants=(),
+                arch=backend.key if backend is not None else None,
             )
 
         from repro.registry.models import EXPLORERS
@@ -539,7 +593,8 @@ class Session:
             entry = get_variant(key)
             fenced = fresh()
             analysis = entry.place(
-                fenced, machine, interprocedural=interprocedural
+                fenced, machine, interprocedural=interprocedural,
+                backend=backend,
             )
             fenced_weak = explorer_cls(fenced, max_states=bound).explore()
             verdicts.append(
@@ -560,19 +615,26 @@ class Session:
             weak_outcomes_unfenced=len(weak_obs),
             weak_breaks_unfenced=weak_obs != sc_obs,
             variants=tuple(verdicts),
+            arch=backend.key if backend is not None else None,
         )
 
     def simulate(self, request: SimulateRequest) -> SimulateReport:
         self._count("simulate")
+        backend = self._backend(request.arch)
         resolved = resolve_spec(request.program)
         manual = request.placement == "manual" or request.program.manual_fences
         program = compile_source(
             resolved.source, resolved.name, include_manual_fences=manual
         )
         if request.placement != "manual":
-            self.place(program, request.placement, request.model)
+            self.place(program, request.placement, request.model, backend=backend)
             self.forget(program)  # per-request compile: keep the LRU warm
-        stats = self.timed_simulation(program)
+        costs = None
+        if backend is not None:
+            from repro.simulator.costmodel import arch_cost_model
+
+            costs = arch_cost_model(backend)
+        stats = self.timed_simulation(program, costs)
         observations = tuple(
             (tid, tuple(obs))
             for tid, obs in sorted(stats.observations.items())
@@ -589,6 +651,7 @@ class Session:
             observations=observations,
             final_globals=tuple(sorted(stats.final_globals.items())),
             observe_globals=tuple(request.observe_globals),
+            arch=request.arch,
         )
 
     def batch(self, request: BatchRequest) -> BatchReport:
@@ -608,9 +671,13 @@ class Session:
                     max_workers=self.jobs, parallel=self.parallel, cache=cache
                 )
             runner = self._batch_runner
+        if request.arch is not None:
+            self._backend(request.arch)  # unknown arch: KeyError early
         with self._batch_lock:
             start = time.perf_counter()
-            results = runner.run_matrix(programs, variants, models)
+            results = runner.run_matrix(
+                programs, variants, models, arch=request.arch
+            )
             wall = time.perf_counter() - start
             used_pool = runner.used_pool
         cache_stats = None
@@ -644,6 +711,8 @@ class Session:
                 compiler_fences=r.compiler_fences,
                 elapsed=r.elapsed,
                 cached=r.cached,
+                fence_cost=r.fence_cost,
+                flavors=dict(r.flavors),
             )
             for r in results
         )
@@ -655,6 +724,7 @@ class Session:
             wall=wall,
             cells=cells,
             cache_stats=cache_stats,
+            arch=request.arch,
         )
 
     def fuzz(self, request: FuzzRequest) -> FuzzReport:

@@ -1,0 +1,49 @@
+"""Multi-architecture fence backends and flavored lowering.
+
+``repro.arch`` owns the target-architecture axis of the reproduction:
+
+* :mod:`repro.arch.backend` — the :class:`ArchBackend` registry: per
+  arch, which ordering kinds its hardware reorders, its fence ISA as a
+  set of :class:`FenceFlavor` kill-sets, and per-flavor costs;
+* :mod:`repro.arch.lowering` — the pass mapping each minimized delay
+  cut to the cheapest sufficient flavor (``lwsync`` over ``sync``,
+  ``dmbst``/``eieio`` for pure store ordering) instead of always-FULL.
+"""
+
+from repro.arch.backend import (
+    ALL_KINDS,
+    BACKENDS,
+    ArchBackend,
+    FenceFlavor,
+    backend_keys,
+    get_backend,
+    register_backend,
+)
+from repro.arch.lowering import (
+    ArchLoweringSummary,
+    LoweredFence,
+    LoweredPlan,
+    apply_lowered_plan,
+    lower_analysis,
+    lower_fence,
+    lower_plan,
+    summarize_lowerings,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "BACKENDS",
+    "ArchBackend",
+    "ArchLoweringSummary",
+    "FenceFlavor",
+    "LoweredFence",
+    "LoweredPlan",
+    "apply_lowered_plan",
+    "backend_keys",
+    "get_backend",
+    "lower_analysis",
+    "lower_fence",
+    "lower_plan",
+    "register_backend",
+    "summarize_lowerings",
+]

@@ -1,0 +1,233 @@
+"""Architecture backends: fence ISAs, kill-sets, and cost models.
+
+The delay-set + sync-read-detection pipeline is architecture-generic:
+it ends in a set of *delay cuts* — program points where some subset of
+the four ordering kinds (``r->r``, ``r->w``, ``w->r``, ``w->w``) must
+be enforced. What an architecture contributes is (a) which kinds its
+hardware reorders at all (the :class:`~repro.core.machine_models
+.MemoryModel`), and (b) a menu of fence instructions — *flavors* —
+each killing a subset of the kinds at a price. x86 sells exactly one
+relevant fence (``mfence``, kills everything); POWER sells ``sync``
+(everything, expensive), ``lwsync`` (everything except ``w->r``,
+cheap), and ``eieio`` (store ordering only); ARM sells ``dmb``
+variants. Alglave et al.'s "Don't sit on the fence" shows the
+cost/precision action is exactly in choosing the weakest sufficient
+flavor per cut — which is what :mod:`repro.arch.lowering` does with
+the catalogs registered here.
+
+An :class:`ArchBackend` is a plain data record in a
+:class:`~repro.registry.core.Registry`; registering a new backend makes
+it reachable from ``--arch`` on every CLI surface and from the
+model-keyed lowering in the batch engine and oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine_models import MODELS as MACHINE_MODELS, OrderKind
+from repro.registry.core import Registry
+
+#: Every program-order ordering kind (the full kill-set).
+ALL_KINDS: frozenset[OrderKind] = frozenset(OrderKind)
+
+
+@dataclass(frozen=True)
+class FenceFlavor:
+    """One ISA fence instruction: which delay kinds it kills, at what cost.
+
+    ``cumulative`` records whether the fence also orders *other*
+    threads' stores observed before it (POWER's sync/lwsync are
+    cumulative, eieio is not). The operational explorers here use a
+    single shared memory order, so cumulativity never changes a
+    verdict — it is carried as honest ISA metadata for rendering and
+    for any future non-multi-copy-atomic explorer.
+    """
+
+    name: str
+    kills: frozenset[OrderKind]
+    cost: int
+    cumulative: bool = True
+    description: str = ""
+
+    def sufficient_for(self, kinds: frozenset[OrderKind]) -> bool:
+        """Does this flavor enforce every kind in ``kinds``?"""
+        return kinds <= self.kills
+
+    @property
+    def is_full(self) -> bool:
+        return self.kills == ALL_KINDS
+
+
+@dataclass(frozen=True)
+class ArchBackend:
+    """One registered target architecture."""
+
+    key: str
+    display: str
+    #: Default machine-model registry key driving placement for this
+    #: arch (``repro analyze --arch power`` analyzes under it).
+    model_key: str
+    #: Fence ISA, registration order = tiebreak order for equal costs.
+    flavors: tuple[FenceFlavor, ...]
+    description: str = ""
+
+    @property
+    def reorderable(self) -> frozenset[OrderKind]:
+        """Ordering kinds this arch's hardware may reorder."""
+        return ALL_KINDS - MACHINE_MODELS[self.model_key].enforced
+
+    def flavor(self, name: str) -> FenceFlavor:
+        for f in self.flavors:
+            if f.name == name:
+                return f
+        known = ", ".join(f.name for f in self.flavors)
+        raise KeyError(f"unknown {self.key} fence flavor {name!r}; known: {known}")
+
+    def has_flavor(self, name: str) -> bool:
+        return any(f.name == name for f in self.flavors)
+
+    def full_flavor(self) -> FenceFlavor:
+        """The cheapest flavor that kills every ordering kind."""
+        return self.cheapest_flavor(ALL_KINDS)
+
+    def cheapest_flavor(self, kinds: frozenset[OrderKind]) -> FenceFlavor:
+        """The cheapest registered flavor killing all of ``kinds``.
+
+        Ties break toward earlier registration. Raises ``ValueError``
+        for an empty kill requirement (no fence is needed there — the
+        caller's planning should not have asked).
+        """
+        kinds = frozenset(kinds)
+        if not kinds:
+            raise ValueError(
+                f"{self.key}: no ordering kinds to enforce; no fence needed"
+            )
+        candidates = [f for f in self.flavors if f.sufficient_for(kinds)]
+        # Registration is validated to include a full flavor, so there
+        # is always at least one candidate.
+        return min(candidates, key=lambda f: f.cost)
+
+    def cost_of(self, flavor: str | None) -> int:
+        """Cycle cost of a flavor name; ``None`` = the full fence."""
+        if flavor is None:
+            return self.full_flavor().cost
+        return self.flavor(flavor).cost
+
+
+BACKENDS: Registry[ArchBackend] = Registry("arch")
+
+
+def register_backend(backend: ArchBackend) -> ArchBackend:
+    """Register an architecture backend (validating its fence ISA)."""
+    if backend.model_key not in MACHINE_MODELS:
+        raise ValueError(
+            f"arch {backend.key!r}: unknown machine model {backend.model_key!r}"
+        )
+    if not any(f.is_full for f in backend.flavors):
+        raise ValueError(
+            f"arch {backend.key!r} must register a full fence flavor "
+            "(a flavor killing all four ordering kinds)"
+        )
+    names = [f.name for f in backend.flavors]
+    if len(set(names)) != len(names):
+        raise ValueError(f"arch {backend.key!r}: duplicate flavor names")
+    return BACKENDS.register(backend.key, backend)
+
+
+def get_backend(key: str) -> ArchBackend:
+    return BACKENDS.get(key)
+
+
+def backend_keys() -> tuple[str, ...]:
+    return BACKENDS.keys()
+
+
+_RR, _RW, _WR, _WW = OrderKind.RR, OrderKind.RW, OrderKind.WR, OrderKind.WW
+
+register_backend(
+    ArchBackend(
+        key="x86",
+        display="x86",
+        model_key="x86-tso",
+        flavors=(
+            FenceFlavor(
+                name="mfence",
+                kills=ALL_KINDS,
+                cost=60,
+                description="Full fence; the only barrier TSO ever needs "
+                "(w->r is the sole relaxed kind).",
+            ),
+            FenceFlavor(
+                name="sfence",
+                kills=frozenset({_WW}),
+                cost=20,
+                cumulative=False,
+                description="Store-store ordering; selected for pure w->w "
+                "cuts when placing for PSO-style models on this backend.",
+            ),
+        ),
+        description="x86 / x86-TSO: store buffers relax w->r only; "
+        "everything lowers to mfence under the native model.",
+    )
+)
+
+register_backend(
+    ArchBackend(
+        key="arm",
+        display="ARM",
+        model_key="arm",
+        flavors=(
+            FenceFlavor(
+                name="dmb",
+                kills=ALL_KINDS,
+                cost=48,
+                description="Full data memory barrier (dmb ish).",
+            ),
+            FenceFlavor(
+                name="dmbst",
+                kills=frozenset({_WW}),
+                cost=24,
+                cumulative=False,
+                description="Store-only barrier (dmb ishst): orders "
+                "writes against later writes.",
+            ),
+        ),
+        description="ARMv7-style relaxed: all four kinds reorderable; "
+        "dmb variants are the fence ISA.",
+    )
+)
+
+register_backend(
+    ArchBackend(
+        key="power",
+        display="POWER",
+        model_key="power",
+        flavors=(
+            FenceFlavor(
+                name="sync",
+                kills=ALL_KINDS,
+                cost=80,
+                description="Heavyweight sync: the only POWER fence that "
+                "kills w->r.",
+            ),
+            FenceFlavor(
+                name="lwsync",
+                kills=frozenset({_RR, _RW, _WW}),
+                cost=33,
+                description="Lightweight sync: kills everything except "
+                "w->r — the workhorse for acquire/release chains.",
+            ),
+            FenceFlavor(
+                name="eieio",
+                kills=frozenset({_WW}),
+                cost=25,
+                cumulative=False,
+                description="Store ordering for cacheable memory; the "
+                "cheapest pure w->w cut.",
+            ),
+        ),
+        description="POWER: fully relaxed program order with a flavored "
+        "fence ISA (sync / lwsync / eieio).",
+    )
+)

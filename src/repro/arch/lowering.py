@@ -1,0 +1,174 @@
+"""Flavored fence lowering: delay cuts -> cheapest sufficient ISA fence.
+
+:func:`repro.core.fence_min.plan_fences` ends with a
+:class:`~repro.core.fence_min.FencePlan` whose full fences each carry
+the set of ordering kinds they are relied on to enforce
+(``PlannedFence.covers``). Lowering maps every such cut to the
+*cheapest sufficient flavor* of an :class:`~repro.arch.backend
+.ArchBackend` — ``lwsync`` instead of ``sync`` wherever no ``w->r``
+delay crosses the cut, ``eieio``/``dmbst``/``sfence`` for pure store
+ordering — instead of the always-FULL placement the generic pipeline
+emits. Compiler directives stay free and unflavored.
+
+Function-entry fences enforce *interprocedural* orderings whose kinds
+the intraprocedural plan cannot see, so they conservatively lower to
+the backend's full flavor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.backend import ArchBackend
+from repro.core.fence_min import FencePlan, PlannedFence
+from repro.core.machine_models import OrderKind
+from repro.ir.function import Function
+from repro.ir.instructions import Fence, FenceKind, FenceOrigin
+
+
+@dataclass(frozen=True)
+class LoweredFence:
+    """One planned fence after flavor selection."""
+
+    block_label: str
+    gap: int
+    kind: FenceKind
+    #: ISA flavor for full fences; ``None`` for compiler directives.
+    flavor: str | None
+    cost: int
+    covers: frozenset[OrderKind] = frozenset()
+
+
+@dataclass
+class LoweredPlan:
+    """A function's fence plan lowered onto one architecture."""
+
+    function: Function
+    arch: str
+    fences: list[LoweredFence] = field(default_factory=list)
+    entry_fence: bool = False
+    entry_flavor: str | None = None
+    entry_cost: int = 0
+
+    @property
+    def full_count(self) -> int:
+        full = sum(1 for f in self.fences if f.kind is FenceKind.FULL)
+        return full + (1 if self.entry_fence else 0)
+
+    @property
+    def compiler_count(self) -> int:
+        return sum(1 for f in self.fences if f.kind is FenceKind.COMPILER)
+
+    @property
+    def cost(self) -> int:
+        """Total cycle cost of the lowered placement (entry included)."""
+        return sum(f.cost for f in self.fences) + self.entry_cost
+
+    def flavor_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.fences:
+            if f.flavor is not None:
+                counts[f.flavor] = counts.get(f.flavor, 0) + 1
+        if self.entry_fence and self.entry_flavor is not None:
+            counts[self.entry_flavor] = counts.get(self.entry_flavor, 0) + 1
+        return counts
+
+
+def lower_fence(fence: PlannedFence, backend: ArchBackend) -> LoweredFence:
+    """Pick the cheapest sufficient flavor for one planned fence."""
+    if fence.kind is FenceKind.COMPILER:
+        return LoweredFence(
+            fence.block_label, fence.gap, fence.kind, None, 0, fence.covers
+        )
+    if fence.covers:
+        flavor = backend.cheapest_flavor(fence.covers)
+    else:
+        # No recorded kill-set (hand-built plans, every-delay upper
+        # bound): stay conservative, take the full fence.
+        flavor = backend.full_flavor()
+    return LoweredFence(
+        fence.block_label, fence.gap, fence.kind,
+        flavor.name, flavor.cost, fence.covers,
+    )
+
+
+def lower_plan(plan: FencePlan, backend: ArchBackend) -> LoweredPlan:
+    """Lower every fence of one function's plan onto ``backend``."""
+    lowered = LoweredPlan(plan.function, backend.key)
+    lowered.fences = [lower_fence(f, backend) for f in plan.fences]
+    if plan.entry_fence:
+        full = backend.full_flavor()
+        lowered.entry_fence = True
+        lowered.entry_flavor = full.name
+        lowered.entry_cost = full.cost
+    return lowered
+
+
+def apply_lowered_plan(func: Function, plan: LoweredPlan) -> int:
+    """Insert the lowered (flavored) fences; returns fences inserted.
+
+    Mirrors :func:`repro.core.fence_min.apply_plan` exactly — same
+    insertion order, same re-finalization — differing only in the
+    flavor stamped on each full fence.
+    """
+    inserted = 0
+    by_block: dict[str, list[LoweredFence]] = {}
+    for fence in plan.fences:
+        by_block.setdefault(fence.block_label, []).append(fence)
+    for label, fences in by_block.items():
+        block = func.block(label)
+        for fence in sorted(fences, key=lambda f: f.gap, reverse=True):
+            block.insert(
+                fence.gap,
+                Fence(fence.kind, FenceOrigin.INSERTED, flavor=fence.flavor),
+            )
+            inserted += 1
+    if plan.entry_fence:
+        func.entry.insert(
+            0,
+            Fence(FenceKind.FULL, FenceOrigin.INSERTED, flavor=plan.entry_flavor),
+        )
+        inserted += 1
+    func.finalize()
+    return inserted
+
+
+@dataclass(frozen=True)
+class ArchLoweringSummary:
+    """Aggregate lowering statistics for one program on one arch."""
+
+    arch: str
+    full_fences: int
+    compiler_fences: int
+    cost: int
+    #: flavor name -> count across the whole program (entry included).
+    flavors: dict[str, int]
+
+
+def summarize_lowerings(
+    arch: str, lowerings: "dict[str, LoweredPlan]"
+) -> ArchLoweringSummary:
+    flavors: dict[str, int] = {}
+    for plan in lowerings.values():
+        for name, count in plan.flavor_counts().items():
+            flavors[name] = flavors.get(name, 0) + count
+    return ArchLoweringSummary(
+        arch=arch,
+        full_fences=sum(p.full_count for p in lowerings.values()),
+        compiler_fences=sum(p.compiler_count for p in lowerings.values()),
+        cost=sum(p.cost for p in lowerings.values()),
+        flavors=flavors,
+    )
+
+
+def lower_analysis(analysis, backend: ArchBackend):
+    """Lower a whole :class:`~repro.core.pipeline.ProgramAnalysis`.
+
+    Returns ``(per-function LoweredPlans, ArchLoweringSummary)``; no IR
+    mutation — pair with :func:`apply_lowered_plan` to insert.
+    """
+    lowerings = {
+        name: lower_plan(fa.plan, backend)
+        for name, fa in analysis.functions.items()
+    }
+    return lowerings, summarize_lowerings(backend.key, lowerings)

@@ -19,6 +19,8 @@ Commands:
 * ``fuzz``             — differential fence-validation fuzzing: generate
   seeded programs, model-check every detection variant's placement
   against SC, and shrink any soundness counterexample
+* ``models``           — list the memory-model registry (key, display,
+  checkable, arch backend)
 * ``report FILE``      — pretty-print or diff any serialized report
 * ``serve``            — long-lived JSON-lines analysis daemon (socket
   or stdio) dispatching the same request envelopes through one warm,
@@ -43,11 +45,24 @@ from repro.api import (
     diff_payloads,
     load_report,
 )
+from repro.arch import backend_keys, get_backend
 from repro.registry import (
+    MODELS,
     model_keys,
     pipeline_variant_keys,
     weak_model_keys,
 )
+
+
+def _resolve_model(args: argparse.Namespace, fallback: str = "x86-tso") -> str:
+    """``--model`` if given; else the ``--arch`` backend's native model
+    (``--arch power`` alone analyzes under the POWER model); else the
+    historical default."""
+    if args.model is not None:
+        return args.model
+    if getattr(args, "arch", None) is not None:
+        return get_backend(args.arch).model_key
+    return fallback
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -56,10 +71,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         AnalyzeRequest(
             program=ProgramSpec.file(args.file),
             variant=args.variant,
-            model=args.model,
+            model=_resolve_model(args),
             interprocedural=args.interprocedural,
             annotations=args.annotations,
             emit_ir=args.emit_ir,
+            arch=args.arch,
         )
     )
     print(report.to_json() if args.json else report.render())
@@ -69,13 +85,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_check(args: argparse.Namespace) -> int:
     # The request is the wire artifact: it carries the full
     # configuration, so the session stays at defaults.
-    report = Session().check(
-        CheckRequest(
-            program=ProgramSpec.file(args.file),
-            model=args.model,
-            max_states=args.max_states,
+    try:
+        report = Session().check(
+            CheckRequest(
+                program=ProgramSpec.file(args.file),
+                model=_resolve_model(args),
+                max_states=args.max_states,
+                arch=args.arch,
+            )
         )
-    )
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     if args.json:
         print(report.to_json())
     else:
@@ -88,8 +109,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         SimulateRequest(
             program=ProgramSpec.file(args.file),
             placement=args.variant,
-            model=args.model,
+            model=_resolve_model(args),
             observe_globals=tuple(args.globals),
+            arch=args.arch,
         )
     )
     print(report.to_json() if args.json else report.render())
@@ -130,12 +152,39 @@ def cmd_batch(args: argparse.Namespace) -> int:
     try:
         report = session.batch(
             BatchRequest(programs=programs, variants=variants, models=models,
-                         stats=args.stats)
+                         stats=args.stats, arch=args.arch)
         )
     except KeyError as exc:
         print(exc.args[0])
         return 2
     print(report.to_json() if args.json else report.render())
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List the memory-model registry, so backend-registered models are
+    discoverable without reading source."""
+    from repro.util.text import format_table
+
+    rows = []
+    for key, entry in MODELS.items():
+        rows.append(
+            [
+                key,
+                entry.display,
+                "yes" if entry.checkable else
+                ("reference" if entry.is_reference else "no"),
+                entry.arch or "-",
+                entry.description,
+            ]
+        )
+    print(
+        format_table(
+            ["key", "display", "checkable", "arch", "description"],
+            rows,
+            title=f"{len(rows)} registered memory models",
+        )
+    )
     return 0
 
 
@@ -264,7 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--variant", choices=sorted(pipeline_variant_keys()),
                    default="control")
-    p.add_argument("--model", choices=sorted(model_keys()), default="x86-tso")
+    p.add_argument("--model", choices=sorted(model_keys()), default=None,
+                   help="memory model (default: x86-tso, or the --arch "
+                        "backend's native model)")
+    p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
+                   help="arch backend for flavored fence lowering "
+                        "(adds per-flavor counts and cycle cost)")
     p.add_argument("--interprocedural", action="store_true",
                    help="use the whole-program acquire fixpoint")
     p.add_argument("--annotations", action="store_true",
@@ -278,8 +332,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="model-check SC vs a weak memory model")
     p.add_argument("file")
     p.add_argument("--model", choices=sorted(weak_model_keys()),
-                   default="x86-tso",
-                   help="weak model to difference against SC")
+                   default=None,
+                   help="weak model to difference against SC (default: "
+                        "x86-tso, or the --arch backend's native model); "
+                        "non-checkable models (sc, rmo) are excluded")
+    p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
+                   help="arch backend lowering each variant's placement "
+                        "before exploration (default: the model's own)")
     p.add_argument("--max-states", type=int, default=1_000_000)
     p.add_argument("--json", action="store_true",
                    help="emit the serialized report instead of text")
@@ -292,9 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(pipeline_variant_keys()) + ["manual"],
         default="control",
     )
-    p.add_argument("--model", choices=sorted(model_keys()), default="x86-tso",
+    p.add_argument("--model", choices=sorted(model_keys()), default=None,
                    help="memory model driving fence placement "
-                        "(the timed machine itself is TSO)")
+                        "(the timed machine itself is TSO; default: "
+                        "x86-tso, or the --arch backend's native model)")
+    p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
+                   help="arch backend: placements lower to its flavors "
+                        "and fences are priced with its cost model")
     p.add_argument("--globals", nargs="*", default=[],
                    help="global variables to print after the run")
     p.add_argument("--json", action="store_true",
@@ -322,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--models", nargs="+", default=["x86-tso"],
                    help=f"memory models ({', '.join(sorted(model_keys()))}), "
                         "or 'all'")
+    p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
+                   help="arch backend overriding each model's default "
+                        "for flavored-lowering costs")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: CPU count)")
     p.add_argument("--serial", action="store_true",
@@ -352,8 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "or an explicit list incl. the deliberately-weak "
                         "'vanilla' and 'control'")
     p.add_argument("--models", nargs="+", default=["x86-tso"],
+                   choices=sorted(weak_model_keys()),
                    help="weak machine models to explore "
-                        f"({', '.join(weak_model_keys())})")
+                        f"({', '.join(sorted(weak_model_keys()))}); "
+                        "non-checkable models (sc, rmo) are excluded")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: CPU count)")
     p.add_argument("--serial", action="store_true",
@@ -393,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for the persistent query cache "
                         "(fact results keyed by content fingerprint)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "models", help="list the memory-model registry"
+    )
+    p.set_defaults(func=cmd_models)
 
     p = sub.add_parser(
         "report", help="pretty-print or diff a serialized report"

@@ -47,11 +47,19 @@ from repro.ir.instructions import Fence, FenceKind, FenceOrigin, Instruction
 
 @dataclass(frozen=True)
 class PlannedFence:
-    """A fence to insert: before instruction index ``gap`` of a block."""
+    """A fence to insert: before instruction index ``gap`` of a block.
+
+    ``covers`` records the ordering kinds this fence is relied on to
+    enforce (the kinds of every interval the greedy stabbing assigned to
+    this gap). Flavored lowering (:mod:`repro.arch.lowering`) uses it to
+    pick the cheapest ISA fence flavor that kills exactly those kinds;
+    plain :func:`apply_plan` ignores it and inserts generic full fences.
+    """
 
     block_label: str
     gap: int
     kind: FenceKind
+    covers: frozenset[OrderKind] = frozenset()
 
 
 @dataclass
@@ -62,6 +70,7 @@ class _Interval:
     lo: int
     hi: int
     needs_full: bool
+    kind: OrderKind
 
 
 @dataclass
@@ -95,17 +104,18 @@ def _ordering_interval(
 ) -> _Interval:
     u_block, u_index = func.position(ordering.src.inst)
     v_block, v_index = func.position(ordering.dst.inst)
-    needs_full = model.needs_full_fence(ordering.kind)
+    kind = ordering.kind
+    needs_full = model.needs_full_fence(kind)
     if u_block == v_block and u_index < v_index:
-        return _Interval(u_block, u_index + 1, v_index, needs_full)
+        return _Interval(u_block, u_index + 1, v_index, needs_full, kind)
     if projection == "source":
         # Fence between u and its block's end: sound, since every path
         # from u to v leaves through the end of u's block.
         terminator_index = len(func.blocks[u_block].instructions) - 1
-        return _Interval(u_block, u_index + 1, terminator_index, needs_full)
+        return _Interval(u_block, u_index + 1, terminator_index, needs_full, kind)
     # Target-side projection: fence between v's block entry and v —
     # equally sound (every path into v enters through its block start).
-    return _Interval(v_block, 0, v_index, needs_full)
+    return _Interval(v_block, 0, v_index, needs_full, kind)
 
 
 def _barrier_indices(
@@ -113,14 +123,22 @@ def _barrier_indices(
 ) -> list[int]:
     """Indices of instructions that already act as enforcement points.
 
-    Full enforcement: existing full fences, plus RMWs when the model
-    gives them fence semantics. Compiler-level enforcement: any fence
-    (both kinds) plus RMWs (atomics are compiler barriers).
+    Full enforcement: existing *unflavored* full fences, plus RMWs when
+    the model gives them fence semantics. A flavored fence (a manual
+    ``fence eieio;``) kills only its declared subset of ordering kinds,
+    which this backend-agnostic planner cannot resolve — crediting it
+    as a full barrier would let a weak store fence silently satisfy a
+    ``w->r`` delay cut, so flavored fences are conservatively not
+    credited (the worst case is a redundant fence next to them, never
+    a missing one). Compiler-level enforcement: any fence (every
+    hardware fence is at least a compiler barrier) plus RMWs.
     """
     indices = []
     for i, inst in enumerate(block_insts):
         if isinstance(inst, Fence):
-            if inst.kind is FenceKind.FULL or not for_full:
+            if not for_full:
+                indices.append(i)
+            elif inst.kind is FenceKind.FULL and inst.flavor is None:
                 indices.append(i)
         elif inst.is_atomic_rmw():
             if model.rmw_is_full_fence or not for_full:
@@ -163,9 +181,12 @@ def plan_fences(
     ]
     intervals = [_ordering_interval(func, o, model, projection) for o in relevant]
     # Deduplicate: distinct orderings frequently project to one interval.
-    unique: dict[tuple[int, int, int, bool], _Interval] = {}
+    # The ordering kind stays in the key — same-span intervals of
+    # different kinds place the same fences (spans drive the stabbing)
+    # but each kind must be recorded in the fence's ``covers`` set.
+    unique: dict[tuple[int, int, int, OrderKind], _Interval] = {}
     for iv in intervals:
-        unique.setdefault((iv.block_index, iv.lo, iv.hi, iv.needs_full), iv)
+        unique.setdefault((iv.block_index, iv.lo, iv.hi, iv.kind), iv)
     intervals = list(unique.values())
 
     by_block: dict[int, list[_Interval]] = {}
@@ -186,30 +207,56 @@ def plan_fences(
                 if not any(_satisfied_by_instruction(iv, k) for k in barriers)
             ]
 
-        # Round 1: intervals that require hardware enforcement.
+        # Round 1: intervals that require hardware enforcement. Each
+        # interval is assigned to the placed gap that covers it (the
+        # greedy guarantees one), and that gap's fence accumulates the
+        # interval's ordering kind in its ``covers`` set — the exact
+        # kill-set a lowered ISA fence flavor must provide.
         full_needed = uncovered(
             [iv for iv in block_intervals if iv.needs_full], full_barriers
         )
         placed_full_gaps: list[int] = []
+        full_covers: dict[int, set[OrderKind]] = {}
         for iv in sorted(full_needed, key=lambda iv: (iv.hi, iv.lo)):
-            if any(iv.lo <= g <= iv.hi for g in placed_full_gaps):
+            covering = [g for g in placed_full_gaps if iv.lo <= g <= iv.hi]
+            if covering:
+                full_covers[covering[0]].add(iv.kind)
                 continue
             placed_full_gaps.append(iv.hi)
-            plan.fences.append(PlannedFence(block.label, iv.hi, FenceKind.FULL))
+            full_covers[iv.hi] = {iv.kind}
+        for gap in placed_full_gaps:
+            plan.fences.append(
+                PlannedFence(
+                    block.label, gap, FenceKind.FULL,
+                    covers=frozenset(full_covers[gap]),
+                )
+            )
 
         # Round 2: compiler-only intervals; full fences placed above and
-        # existing compiler barriers both count as coverage.
+        # existing compiler barriers both count as coverage. (Their
+        # kinds are hardware-enforced already, so they never widen a
+        # full fence's ``covers`` set.)
         compiler_needed = uncovered(
             [iv for iv in block_intervals if not iv.needs_full], any_barriers
         )
         placed_compiler_gaps: list[int] = []
+        compiler_covers: dict[int, set[OrderKind]] = {}
         for iv in sorted(compiler_needed, key=lambda iv: (iv.hi, iv.lo)):
             if any(iv.lo <= g <= iv.hi for g in placed_full_gaps):
                 continue
-            if any(iv.lo <= g <= iv.hi for g in placed_compiler_gaps):
+            covering = [g for g in placed_compiler_gaps if iv.lo <= g <= iv.hi]
+            if covering:
+                compiler_covers[covering[0]].add(iv.kind)
                 continue
             placed_compiler_gaps.append(iv.hi)
-            plan.fences.append(PlannedFence(block.label, iv.hi, FenceKind.COMPILER))
+            compiler_covers[iv.hi] = {iv.kind}
+        for gap in placed_compiler_gaps:
+            plan.fences.append(
+                PlannedFence(
+                    block.label, gap, FenceKind.COMPILER,
+                    covers=frozenset(compiler_covers[gap]),
+                )
+            )
 
     return plan
 

@@ -75,4 +75,22 @@ RMO = MemoryModel(
     rmw_is_full_fence=False,
 )
 
-MODELS: dict[str, MemoryModel] = {m.name: m for m in (SC, X86_TSO, PSO, RMO)}
+# ARMv7-style relaxed: all four program-order kinds are reorderable and
+# exclusive-access RMWs carry no implicit barrier (DMBs do the work).
+ARM = MemoryModel(
+    name="arm",
+    enforced=frozenset(),
+    rmw_is_full_fence=False,
+)
+
+# POWER: equally relaxed in program order; larger/flavored fence ISA
+# (sync vs lwsync) — the flavor catalog lives in :mod:`repro.arch`.
+POWER = MemoryModel(
+    name="power",
+    enforced=frozenset(),
+    rmw_is_full_fence=False,
+)
+
+MODELS: dict[str, MemoryModel] = {
+    m.name: m for m in (SC, X86_TSO, PSO, RMO, ARM, POWER)
+}

@@ -75,6 +75,11 @@ class ProgramAnalysis:
     variant: PipelineVariant
     model: MemoryModel
     functions: dict[str, FunctionAnalysis] = field(default_factory=dict)
+    #: Per-function :class:`~repro.arch.lowering.LoweredPlan`s, filled
+    #: by :func:`insert_planned_fences` when an arch backend lowered
+    #: this analysis's plans on insertion — lets reporting summarize
+    #: the flavors actually inserted without lowering a second time.
+    lowered_plans: "dict[str, object] | None" = None
 
     # --- aggregates used by the experiments -----------------------------
     @property
@@ -128,6 +133,29 @@ class ProgramAnalysis:
         )
 
 
+def insert_planned_fences(result: ProgramAnalysis, backend=None) -> None:
+    """Insert every function's planned fences into its IR.
+
+    With an arch ``backend`` (:class:`~repro.arch.backend.ArchBackend`)
+    each plan is lowered to the cheapest sufficient fence flavors
+    first; otherwise generic full fences go in. Shared by
+    :meth:`FencePlacer.place` and the null-detector path of
+    :class:`repro.registry.variants.DetectionVariant`.
+    """
+    if backend is not None:
+        from repro.arch.lowering import apply_lowered_plan, lower_plan
+
+        result.lowered_plans = {
+            name: lower_plan(fa.plan, backend)
+            for name, fa in result.functions.items()
+        }
+        for name, fa in result.functions.items():
+            apply_lowered_plan(fa.function, result.lowered_plans[name])
+    else:
+        for fa in result.functions.values():
+            apply_plan(fa.function, fa.plan)
+
+
 class FencePlacer:
     """Configurable pipeline runner.
 
@@ -143,10 +171,15 @@ class FencePlacer:
         variant: PipelineVariant = PipelineVariant.CONTROL,
         model: MemoryModel = X86_TSO,
         interprocedural: bool = False,
+        backend=None,
     ) -> None:
         self.variant = variant
         self.model = model
         self.interprocedural = interprocedural
+        #: Optional :class:`~repro.arch.backend.ArchBackend`: when set,
+        #: :meth:`place` lowers each plan to the cheapest sufficient
+        #: fence flavors instead of inserting generic full fences.
+        self.backend = backend
 
     def _detector_variant(self) -> Variant:
         return (
@@ -232,14 +265,16 @@ class FencePlacer:
     ) -> ProgramAnalysis:
         """Run the pipeline and insert the planned fences into ``program``.
 
-        Insertion mutates the IR; a supplied ``context`` is refreshed
-        afterwards, so its query engine evicts exactly the fenced
-        functions' fact subgraphs and the context stays safe to reuse
-        (untouched functions remain cache hits).
+        With an arch ``backend`` configured, plans are lowered to
+        flavored fences (cheapest sufficient flavor per delay cut)
+        before insertion; otherwise generic full fences go in, exactly
+        as before. Insertion mutates the IR; a supplied ``context`` is
+        refreshed afterwards, so its query engine evicts exactly the
+        fenced functions' fact subgraphs and the context stays safe to
+        reuse (untouched functions remain cache hits).
         """
         result = self.analyze(program, context=context)
-        for fa in result.functions.values():
-            apply_plan(fa.function, fa.plan)
+        insert_planned_fences(result, self.backend)
         if context is not None:
             context.refresh()
         return result

@@ -34,14 +34,14 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.core.pipeline import PipelineVariant
 from repro.frontend import compile_source
-from repro.registry.models import get_model, model_keys
+from repro.registry.models import backend_for_model, get_model, model_keys
 from repro.registry.variants import get_variant, pipeline_variant_keys
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 #: Bump when analysis semantics change so stale cache entries miss.
-ENGINE_VERSION = "2"
+ENGINE_VERSION = "3"
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,9 @@ class BatchJob:
     variant: str = PipelineVariant.CONTROL.value
     model: str = "x86-tso"
     source: str | None = None
+    #: Arch backend override for lowering costs; None = the model's
+    #: registered default arch.
+    arch: str | None = None
 
     def resolve_source(self) -> str:
         if self.source is not None:
@@ -68,7 +71,7 @@ class BatchJob:
         """Digest of everything that determines the analysis result."""
         payload = "\x00".join(
             (ENGINE_VERSION, self.program, self.variant, self.model,
-             self.resolve_source())
+             self.arch or "", self.resolve_source())
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -98,6 +101,10 @@ class BatchResult:
     ordering_kinds: dict[str, int]  # pruned counts by OrderKind value
     elapsed: float
     cached: bool = False
+    #: Lowered fence cost + flavor histogram under the model's arch
+    #: backend; None/{} when the model has no registered arch (rmo).
+    fence_cost: int | None = None
+    flavors: dict[str, int] = field(default_factory=dict)
     #: Shared-context memo counters for this cell (cross the process
     #: boundary as plain ints so reports can aggregate them).
     context_hits: int = 0
@@ -215,6 +222,20 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
         kind.value: count
         for kind, count in analysis.ordering_counts(pruned=True).items()
     }
+    fence_cost: int | None = None
+    flavors: dict[str, int] = {}
+    if job.arch is not None:
+        from repro.arch.backend import get_backend
+
+        backend = get_backend(job.arch)
+    else:
+        backend = backend_for_model(job.model)
+    if backend is not None:
+        from repro.arch.lowering import lower_analysis
+
+        _, summary = lower_analysis(analysis, backend)
+        fence_cost = summary.cost
+        flavors = dict(summary.flavors)
     return BatchResult(
         program=job.program,
         variant=job.variant,
@@ -226,6 +247,8 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
         context_hits=context_hits,
         context_misses=context_misses,
         context_by_fact=context_by_fact,
+        fence_cost=fence_cost,
+        flavors=flavors,
     )
 
 
@@ -417,11 +440,13 @@ class BatchRunner:
         programs: Iterable[str] | None = None,
         variants: Iterable[str | PipelineVariant] | None = None,
         models: Iterable[str] | None = None,
+        arch: str | None = None,
     ) -> list[BatchResult]:
         """Cross product in stable (program, variant, model) order.
 
         Defaults: all 17 registry programs × all three variants ×
-        x86-TSO.
+        x86-TSO. ``arch`` overrides the per-model default backend used
+        for flavored lowering costs.
         """
         from repro.programs.registry import all_programs
 
@@ -446,7 +471,7 @@ class BatchRunner:
                     f"unknown model {name!r}; known: {', '.join(model_keys())}"
                 )
         jobs = [
-            BatchJob(program=p, variant=v, model=m)
+            BatchJob(program=p, variant=v, model=m, arch=arch)
             for p in program_names
             for v in variant_values
             for m in model_names

@@ -171,11 +171,16 @@ class Continue(Stmt):
 class FenceStmt(Stmt):
     """``fence;`` (full) or ``cfence;`` (compiler directive).
 
+    A full fence may name an ISA flavor — ``fence lwsync;`` — which the
+    lowering keeps on the IR :class:`~repro.ir.instructions.Fence`
+    (see :mod:`repro.arch` for the flavor catalogs).
+
     These are *manual* fences; the compiler drops them unless asked to
     keep them (the manual-placement variant of the experiments).
     """
 
     full: bool = True
+    flavor: str | None = None
 
 
 @dataclass(frozen=True)

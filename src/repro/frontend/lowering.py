@@ -116,7 +116,7 @@ class FunctionLowerer:
         elif isinstance(stmt, ast.FenceStmt):
             if self.include_manual_fences:
                 kind = FenceKind.FULL if stmt.full else FenceKind.COMPILER
-                b.fence(kind, FenceOrigin.MANUAL)
+                b.fence(kind, FenceOrigin.MANUAL, flavor=stmt.flavor)
         elif isinstance(stmt, ast.ObserveStmt):
             b.observe(stmt.label, self.lower_expr(stmt.expr))
         else:  # pragma: no cover - parser produces no other nodes

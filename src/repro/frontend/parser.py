@@ -209,8 +209,11 @@ class Parser:
                 return ast.Continue(tok.line)
             if tok.text == "fence":
                 self.advance()
+                flavor = None
+                if self.check("ident"):
+                    flavor = self.advance().text
                 self.expect("op", ";")
-                return ast.FenceStmt(tok.line, full=True)
+                return ast.FenceStmt(tok.line, full=True, flavor=flavor)
             if tok.text == "cfence":
                 self.advance()
                 self.expect("op", ";")

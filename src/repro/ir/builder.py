@@ -126,8 +126,9 @@ class IRBuilder:
         self,
         kind: FenceKind = FenceKind.FULL,
         origin: FenceOrigin = FenceOrigin.INSERTED,
+        flavor: Optional[str] = None,
     ) -> None:
-        self._append(Fence(kind, origin))
+        self._append(Fence(kind, origin, flavor))
 
     def cmpxchg(self, addr: Value, expected: Value, new: Value) -> Register:
         dest = self.fresh_reg()

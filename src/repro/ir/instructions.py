@@ -337,23 +337,35 @@ class Call(Instruction):
 
 
 class Fence(Instruction):
-    """Memory fence: ``FULL`` (mfence) or ``COMPILER`` (directive)."""
+    """Memory fence: ``FULL`` (mfence) or ``COMPILER`` (directive).
 
-    __slots__ = ("kind", "origin")
+    ``flavor`` names the ISA fence mnemonic a full fence lowers to
+    (e.g. ``"lwsync"``, ``"dmb"``; see :mod:`repro.arch`). ``None`` is
+    the generic full fence — strongest semantics, and the only shape
+    the pre-arch pipeline ever emitted, so unflavored programs print
+    and behave exactly as before. Compiler directives never carry a
+    flavor (they have no hardware presence to name).
+    """
+
+    __slots__ = ("kind", "origin", "flavor")
 
     def __init__(
         self,
         kind: FenceKind = FenceKind.FULL,
         origin: FenceOrigin = FenceOrigin.INSERTED,
+        flavor: Optional[str] = None,
     ) -> None:
         super().__init__(None)
         self.kind = kind
         self.origin = origin
+        self.flavor = flavor
 
     def is_fence(self) -> bool:
         return True
 
     def mnemonic(self) -> str:
+        if self.flavor is not None:
+            return f"fence.{self.kind.value}[{self.flavor}]"
         return f"fence.{self.kind.value}"
 
 

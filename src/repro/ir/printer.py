@@ -49,7 +49,8 @@ def format_instruction(inst: Instruction) -> str:
         prefix = f"{inst.dest} = " if inst.dest is not None else ""
         return f"{prefix}call @{inst.callee}({args})"
     if isinstance(inst, Fence):
-        return f"fence.{inst.kind.value} ; {inst.origin.value}"
+        flavor = f"[{inst.flavor}]" if inst.flavor is not None else ""
+        return f"fence.{inst.kind.value}{flavor} ; {inst.origin.value}"
     if isinstance(inst, CmpXchg):
         return f"{inst.dest} = cmpxchg {inst.addr}, {inst.expected}, {inst.new}"
     if isinstance(inst, AtomicXchg):

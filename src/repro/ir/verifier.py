@@ -9,7 +9,7 @@ threads pointing at missing entry points.
 from __future__ import annotations
 
 from repro.ir.function import Function, Program
-from repro.ir.instructions import Call, Instruction
+from repro.ir.instructions import Call, Fence, FenceKind, Instruction
 from repro.ir.values import Register
 
 
@@ -34,6 +34,20 @@ def verify_function(func: Function, program: Program | None = None) -> None:
                 raise VerificationError(
                     f"{func.name}/{block.label}: terminator not at block end"
                 )
+            if isinstance(inst, Fence) and inst.flavor is not None:
+                # Flavors are free-form ISA mnemonics (the arch backend
+                # registry owns the catalog), but structurally they must
+                # name something, and only full fences lower to one.
+                if not isinstance(inst.flavor, str) or not inst.flavor:
+                    raise VerificationError(
+                        f"{func.name}/{block.label}: fence flavor must be a "
+                        "non-empty string"
+                    )
+                if inst.kind is not FenceKind.FULL:
+                    raise VerificationError(
+                        f"{func.name}/{block.label}: compiler directives "
+                        "cannot carry a fence flavor"
+                    )
             if inst.dest is not None:
                 if id(inst.dest) in defined:
                     raise VerificationError(

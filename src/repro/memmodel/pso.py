@@ -27,23 +27,13 @@ from repro.memmodel.interpreter import (
     ThreadState,
 )
 from repro.memmodel.sc import ExplorationResult, Outcome, make_outcome
+from repro.memmodel.storebuf import AddrFifoMap, fifo_get, fifo_set
 
 # Per-thread buffer: address -> FIFO of pending values (oldest first).
-PsoBuffer = tuple[tuple[int, tuple[int, ...]], ...]
+PsoBuffer = AddrFifoMap
 
-
-def _buffer_get(buffer: PsoBuffer, addr: int) -> tuple[int, ...]:
-    for entry_addr, values in buffer:
-        if entry_addr == addr:
-            return values
-    return ()
-
-
-def _buffer_set(buffer: PsoBuffer, addr: int, values: tuple[int, ...]) -> PsoBuffer:
-    rest = tuple((a, v) for a, v in buffer if a != addr)
-    if not values:
-        return rest
-    return tuple(sorted(rest + ((addr, values),)))
+_buffer_get = fifo_get
+_buffer_set = fifo_set
 
 
 def _buffer_empty(buffer: PsoBuffer) -> bool:

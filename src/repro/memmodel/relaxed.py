@@ -1,0 +1,377 @@
+"""Exhaustive exploration of ARM/POWER-style relaxed memory models.
+
+The TSO/PSO explorers model store-side relaxation only (FIFO /
+per-address store buffers). ARMv7 and POWER additionally reorder the
+*load* side: a later load may be satisfied before an earlier one
+(``r->r``), which is what makes unfenced message passing break on real
+hardware even though it is TSO-safe. This explorer composes two
+bounded mechanisms:
+
+* **Grouped per-address store buffers** (``w->w`` / ``w->r``): like
+  PSO, each thread buffers stores per address; differently-addressed
+  stores drain in any order *within a group*. A store-ordering fence
+  flavor (``lwsync``, ``dmbst``, ``eieio``) seals the current group —
+  groups drain oldest-first, so pre-fence stores reach memory before
+  post-fence stores — without waiting for a drain the way a full fence
+  (``sync``, ``dmb``, generic FULL) must.
+* **Bounded stale reads** (``r->r`` / ``r->w``): memory keeps one
+  previous value per address, and each thread tracks the addresses it
+  has observed at their current version. A load of an unobserved
+  address may nondeterministically return the previous value — the
+  operational image of a load satisfied early out of a stale cache
+  line. Per-location coherence holds: once a thread reads the current
+  value it can never read the older one. A fence flavor killing
+  ``r->r`` marks every address observed, forcing fresh reads.
+
+Load buffering proper (the LB litmus shape) is *not* producible: a
+load's value is needed to continue executing, so it can never be
+delayed past a dependent store. The model is therefore slightly
+stronger than the ISA on pure ``r->w``; placement still fences those
+delays (the machine model declares them reorderable), the explorer
+just cannot witness their absence — the conservative direction.
+
+RMWs are LL/SC-style: they act on coherent memory (own buffered stores
+to the same address must drain first) but carry no implicit barrier —
+``rmw_is_full_fence=False`` on these models, so the placement
+machinery fences around them rather than leaning on them.
+
+Fence flavors resolve through the explorer's arch backend
+(:mod:`repro.arch.backend`); a flavor the backend does not know (a
+cross-compiled program) conservatively acts as a full fence.
+
+State is bounded like PSO's: buffers are finite because programs are,
+and the stale dimension holds at most one old value per address.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.backend import ALL_KINDS, get_backend
+from repro.core.machine_models import OrderKind
+from repro.ir.function import Program
+from repro.ir.instructions import Fence, FenceKind
+from repro.memmodel.interpreter import (
+    ExecutionError,
+    ThreadExecutor,
+    ThreadState,
+)
+from repro.memmodel.sc import ExplorationResult, Outcome, make_outcome
+
+from repro.memmodel.storebuf import AddrFifoMap, fifo_get, fifo_set
+
+# One group: address -> FIFO of pending values (oldest first), sorted
+# by address for hashability (the shared per-address FIFO-map shape of
+# repro.memmodel.storebuf, which PSO uses as its whole buffer). A
+# thread's buffer is a tuple of groups, oldest group first; only the
+# oldest group drains.
+Group = AddrFifoMap
+GroupedBuffer = tuple[Group, ...]
+
+_group_get = fifo_get
+_group_set = fifo_set
+
+
+def _buffer_lookup(buffer: GroupedBuffer, addr: int) -> Optional[int]:
+    """Newest own-buffered value for ``addr`` (store forwarding)."""
+    for group in reversed(buffer):
+        values = _group_get(group, addr)
+        if values:
+            return values[-1]
+    return None
+
+
+def _buffer_has(buffer: GroupedBuffer, addr: int) -> bool:
+    return any(_group_get(group, addr) for group in buffer)
+
+
+def _buffer_append(buffer: GroupedBuffer, addr: int, value: int) -> GroupedBuffer:
+    if not buffer:
+        buffer = ((),)
+    newest = buffer[-1]
+    newest = _group_set(newest, addr, _group_get(newest, addr) + (value,))
+    return buffer[:-1] + (newest,)
+
+
+def _buffer_empty(buffer: GroupedBuffer) -> bool:
+    return all(not group for group in buffer)
+
+
+def _seal(buffer: GroupedBuffer) -> GroupedBuffer:
+    """Start a new store group (no-op when nothing is buffered)."""
+    if not buffer or not buffer[-1]:
+        return buffer
+    return buffer + ((),)
+
+
+class RelaxedExplorer:
+    """DFS over the relaxed state graph for one arch backend."""
+
+    #: Arch whose flavor catalog gives fences their kill-sets.
+    arch = "arm"
+    #: This explorer gives flavored fences their declared (weaker)
+    #: kill-set semantics, so differential validation of *flavored*
+    #: placements is meaningful here. Flavor-blind explorers (TSO/PSO
+    #: treat every full fence as mfence-strength) must not claim this,
+    #: or the oracle would validate flavor selections it cannot model.
+    HONORS_FLAVORS = True
+
+    def __init__(
+        self,
+        program: Program,
+        max_states: int = 1_000_000,
+        max_steps_per_thread: int = 100_000,
+        observe_globals: Optional[list[str]] = None,
+    ) -> None:
+        self.program = program
+        self.executor = ThreadExecutor(program)
+        self.layout = self.executor.layout
+        self.max_states = max_states
+        self.max_steps = max_steps_per_thread
+        self.observe_globals = observe_globals
+        self.backend = get_backend(self.arch)
+
+    # --- fence semantics --------------------------------------------------
+    def _fence_kills(self, inst: Fence) -> frozenset[OrderKind]:
+        if inst.kind is not FenceKind.FULL:
+            return frozenset()
+        if inst.flavor is None:
+            return ALL_KINDS
+        if self.backend.has_flavor(inst.flavor):
+            return self.backend.flavor(inst.flavor).kills
+        return ALL_KINDS  # foreign flavor: act as a full fence
+
+    # --- state plumbing ---------------------------------------------------
+    def _state_key(
+        self,
+        memory: dict[int, int],
+        prev: dict[int, int],
+        threads: list[ThreadState],
+        buffers: list[GroupedBuffer],
+        fresh: list[frozenset[int]],
+    ) -> tuple:
+        return (
+            tuple(sorted(memory.items())),
+            tuple(sorted(prev.items())),
+            tuple(ts.key() for ts in threads),
+            tuple(buffers),
+            tuple(tuple(sorted(f)) for f in fresh),
+        )
+
+    @staticmethod
+    def _publish(
+        prev: dict[int, int],
+        memory: dict[int, int],
+        fresh: list[frozenset[int]],
+        writer: int,
+        addr: int,
+        value: int,
+    ) -> None:
+        """Make ``value`` the current value of ``addr`` (written by
+        thread ``writer``): the old value becomes the stale candidate,
+        every *other* thread loses its has-seen-current mark, and the
+        writer (who must never read older than its own store) gains it.
+        """
+        prev[addr] = memory.get(addr, 0)
+        memory[addr] = value
+        for t in range(len(fresh)):
+            if t == writer:
+                fresh[t] = fresh[t] | {addr}
+            else:
+                fresh[t] = fresh[t] - {addr}
+
+    def explore(self) -> ExplorationResult:
+        memory = self.layout.initial_memory()
+        threads = self.executor.start_all()
+        buffers: list[GroupedBuffer] = [() for _ in threads]
+        fresh: list[frozenset[int]] = [frozenset() for _ in threads]
+        prev: dict[int, int] = {}
+        outcomes: set[Outcome] = set()
+        visited: set[tuple] = set()
+        stack = [(memory, prev, threads, buffers, fresh)]
+        states = 0
+        complete = True
+
+        while stack:
+            memory, prev, threads, buffers, fresh = stack.pop()
+            key = self._state_key(memory, prev, threads, buffers, fresh)
+            if key in visited:
+                continue
+            visited.add(key)
+            states += 1
+            if states > self.max_states:
+                complete = False
+                break
+
+            progressed = False
+
+            # (a) drain the head of any per-address queue of the OLDEST
+            # group — addresses drain independently (PSO-style), groups
+            # drain in order (store-fence seals).
+            for i, buffer in enumerate(buffers):
+                if not buffer:
+                    continue
+                oldest = buffer[0]
+                for addr, values in oldest:
+                    new_memory = dict(memory)
+                    new_prev = dict(prev)
+                    new_fresh = list(fresh)
+                    self._publish(
+                        new_prev, new_memory, new_fresh, i, addr, values[0]
+                    )
+                    new_group = _group_set(oldest, addr, values[1:])
+                    rest = buffer[1:]
+                    new_buffer = ((new_group,) + rest) if new_group else rest
+                    # Dropping an emptied oldest group may expose an
+                    # empty sealed group; drop those too.
+                    while new_buffer and not new_buffer[0]:
+                        new_buffer = new_buffer[1:]
+                    new_buffers = list(buffers)
+                    new_buffers[i] = new_buffer
+                    stack.append(
+                        (
+                            new_memory,
+                            new_prev,
+                            [t.clone() for t in threads],
+                            new_buffers,
+                            new_fresh,
+                        )
+                    )
+                    progressed = True
+
+            # (b) thread steps.
+            for i, ts in enumerate(threads):
+                if ts.done:
+                    continue
+                for successor in self._step(memory, prev, threads, buffers,
+                                            fresh, i):
+                    stack.append(successor)
+                    progressed = True
+
+            if not progressed:
+                if any(not _buffer_empty(b) for b in buffers):
+                    raise ExecutionError(  # pragma: no cover
+                        "deadlock with non-empty buffer"
+                    )
+                outcomes.add(
+                    make_outcome(self.layout, memory, threads, self.observe_globals)
+                )
+
+        return ExplorationResult(outcomes, states, complete)
+
+    # --- transitions ------------------------------------------------------
+    def _step(
+        self,
+        memory: dict[int, int],
+        prev: dict[int, int],
+        threads: list[ThreadState],
+        buffers: list[GroupedBuffer],
+        fresh: list[frozenset[int]],
+        i: int,
+    ) -> list[tuple]:
+        """Successor states for thread ``i`` taking its next action.
+
+        The interpreter advances through invisible instructions exactly
+        once, on a cloned thread list; a load with several legal values
+        re-clones the already-advanced state per choice instead of
+        replaying the invisible prefix (PSO probes once per step too —
+        this DFS is expensive enough without a constant-factor replay).
+        """
+        advanced = [t.clone() for t in threads]
+        pending = self.executor.next_action(advanced[i], self.max_steps)
+
+        if pending is None:
+            return [(dict(memory), dict(prev), advanced, list(buffers),
+                     list(fresh))]
+
+        buffer = buffers[i]
+
+        if pending.kind == "load":
+            addr = pending.addr
+            forwarded = _buffer_lookup(buffer, addr)
+            choices: list[tuple[int, bool]] = []  # (value, marks_fresh)
+            if forwarded is not None:
+                choices.append((forwarded, False))
+            else:
+                current = memory.get(addr, 0)
+                choices.append((current, True))
+                if (
+                    addr in prev
+                    and addr not in fresh[i]
+                    and prev[addr] != current
+                ):
+                    choices.append((prev[addr], False))
+            successors: list[tuple] = []
+            for n, (value, marks_fresh) in enumerate(choices):
+                # Last choice commits on `advanced` itself; earlier
+                # ones take a fresh copy of the advanced state.
+                new_threads = (
+                    advanced if n == len(choices) - 1
+                    else [t.clone() for t in advanced]
+                )
+                self.executor.commit(new_threads[i], pending, value)
+                new_fresh = list(fresh)
+                if marks_fresh:
+                    new_fresh[i] = new_fresh[i] | {addr}
+                successors.append(
+                    (dict(memory), dict(prev), new_threads, list(buffers),
+                     new_fresh)
+                )
+            return successors
+
+        if pending.kind == "store":
+            new_buffers = list(buffers)
+            new_buffers[i] = _buffer_append(buffer, pending.addr, pending.value)
+            self.executor.commit(advanced[i], pending)
+            return [(dict(memory), dict(prev), advanced, new_buffers,
+                     list(fresh))]
+
+        if pending.kind == "rmw":
+            # LL/SC-style: needs the coherent current value, so own
+            # buffered stores to this address must drain first — but no
+            # implicit barrier: the rest of the buffer stays put.
+            if _buffer_has(buffer, pending.addr):
+                return []
+            new_memory = dict(memory)
+            new_prev = dict(prev)
+            new_fresh = list(fresh)
+            old = new_memory.get(pending.addr, 0)
+            result, new = pending.rmw_result(old)
+            if new is not None:
+                self._publish(
+                    new_prev, new_memory, new_fresh, i, pending.addr, new
+                )
+            else:
+                new_fresh[i] = new_fresh[i] | {pending.addr}
+            self.executor.commit(advanced[i], pending, result)
+            return [(new_memory, new_prev, advanced, list(buffers),
+                     new_fresh)]
+
+        if pending.kind == "fence":
+            kills = self._fence_kills(pending.inst)  # type: ignore[arg-type]
+            if OrderKind.WR in kills and not _buffer_empty(buffer):
+                return []  # full fence: wait for the buffer to drain
+            new_buffers = list(buffers)
+            if OrderKind.WW in kills and OrderKind.WR not in kills:
+                new_buffers[i] = _seal(buffer)
+            new_fresh = list(fresh)
+            if OrderKind.RR in kills or OrderKind.RW in kills:
+                # No pre-fence read may be satisfied stale anymore.
+                new_fresh[i] = new_fresh[i] | frozenset(prev)
+            self.executor.commit(advanced[i], pending)
+            return [(dict(memory), dict(prev), advanced, new_buffers,
+                     new_fresh)]
+
+        raise ExecutionError(f"unknown action {pending.kind}")  # pragma: no cover
+
+
+class ARMExplorer(RelaxedExplorer):
+    """ARMv7-style relaxed exploration (``dmb`` flavor catalog)."""
+
+    arch = "arm"
+
+
+class POWERExplorer(RelaxedExplorer):
+    """POWER relaxed exploration (``sync``/``lwsync``/``eieio`` catalog)."""
+
+    arch = "power"

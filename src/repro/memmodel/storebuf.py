@@ -1,0 +1,27 @@
+"""Per-address store-FIFO helpers shared by the weak-model explorers.
+
+Both PSO and the relaxed ARM/POWER explorers buffer stores per address:
+a hashable, sorted ``((addr, (v0, v1, ...)), ...)`` map from address to
+FIFO of pending values, oldest first. PSO keeps one such map per
+thread; the relaxed explorer keeps a *sequence* of them (groups sealed
+by store fences). The representation and its accessors live here so a
+fix to one explorer's buffer handling reaches the other.
+"""
+
+from __future__ import annotations
+
+AddrFifoMap = tuple[tuple[int, tuple[int, ...]], ...]
+
+
+def fifo_get(buffer: AddrFifoMap, addr: int) -> tuple[int, ...]:
+    for entry_addr, values in buffer:
+        if entry_addr == addr:
+            return values
+    return ()
+
+
+def fifo_set(buffer: AddrFifoMap, addr: int, values: tuple[int, ...]) -> AddrFifoMap:
+    rest = tuple((a, v) for a, v in buffer if a != addr)
+    if not values:
+        return rest
+    return tuple(sorted(rest + ((addr, values),)))

@@ -11,6 +11,7 @@ from repro.registry.models import (
     EXPLORERS,
     MODELS,
     ModelEntry,
+    backend_for_model,
     get_model,
     model_keys,
     register_model,
@@ -44,6 +45,7 @@ __all__ = [
     "ResolvedSource",
     "SOURCE_KINDS",
     "VARIANTS",
+    "backend_for_model",
     "detection_variant_keys",
     "get_model",
     "get_variant",

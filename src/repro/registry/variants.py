@@ -18,9 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.fence_min import apply_plan
 from repro.core.machine_models import X86_TSO, MemoryModel
-from repro.core.pipeline import FencePlacer, PipelineVariant, ProgramAnalysis
+from repro.core.pipeline import (
+    FencePlacer,
+    PipelineVariant,
+    ProgramAnalysis,
+    insert_planned_fences,
+)
 from repro.engine.context import AnalysisContext
 from repro.ir.function import Program
 from repro.registry.core import Registry
@@ -44,9 +48,12 @@ class DetectionVariant:
     description: str = ""
 
     def placer(
-        self, model: MemoryModel = X86_TSO, interprocedural: bool = False
+        self,
+        model: MemoryModel = X86_TSO,
+        interprocedural: bool = False,
+        backend=None,
     ) -> FencePlacer:
-        return FencePlacer(self.pipeline_variant, model, interprocedural)
+        return FencePlacer(self.pipeline_variant, model, interprocedural, backend)
 
     def analyze(
         self,
@@ -73,18 +80,20 @@ class DetectionVariant:
         model: MemoryModel = X86_TSO,
         context: AnalysisContext | None = None,
         interprocedural: bool = False,
+        backend=None,
     ) -> ProgramAnalysis:
         """Run the pipeline and insert the fences (mutates ``program``;
-        a supplied ``context`` is refreshed, so it stays valid)."""
+        a supplied ``context`` is refreshed, so it stays valid). With
+        an arch ``backend``, fences go in flavored (cheapest sufficient
+        flavor per delay cut)."""
         if not self.null_detector:
             # Delegate so the pipeline's post-insertion context refresh
             # applies here too (this is the path Session.place uses).
-            return self.placer(model, interprocedural).place(
+            return self.placer(model, interprocedural, backend).place(
                 program, context=context
             )
         result = self.analyze(program, model, context, interprocedural)
-        for fa in result.functions.values():
-            apply_plan(fa.function, fa.plan)
+        insert_planned_fences(result, backend)
         if context is not None:
             context.refresh()
         return result

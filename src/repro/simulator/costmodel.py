@@ -22,7 +22,13 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class CostModel:
-    """Per-operation cycle costs for the timed simulator."""
+    """Per-operation cycle costs for the timed simulator.
+
+    ``flavor_costs`` prices flavored full fences (see
+    :mod:`repro.arch`): a ``(name, cycles)`` table consulted when an
+    executed fence carries a flavor. Unflavored full fences — the only
+    kind the generic pipeline emits — cost ``mfence`` as always.
+    """
 
     alu: int = 1              # arithmetic / branch / local access step
     load: int = 2             # shared load (L1 hit)
@@ -32,6 +38,17 @@ class CostModel:
     compiler_fence: int = 0   # no presence in the final binary
     drain_period: int = 12    # cycles for one buffer entry to reach memory
     buffer_capacity: int = 8  # store-buffer entries before stores stall
+    #: Per-flavor full-fence base costs; unknown flavors fall back to
+    #: ``mfence`` (conservative full-fence pricing).
+    flavor_costs: tuple[tuple[str, int], ...] = ()
+
+    def fence_cost(self, flavor: str | None) -> int:
+        """Base cycle cost for a full fence of the given flavor."""
+        if flavor is not None:
+            for name, cycles in self.flavor_costs:
+                if name == flavor:
+                    return cycles
+        return self.mfence
 
 
 DEFAULT_COSTS = CostModel()
@@ -39,3 +56,23 @@ DEFAULT_COSTS = CostModel()
 # A machine with free fences: used by ablations to isolate how much of
 # a slowdown is fence cost vs placement-independent work.
 FREE_FENCES = CostModel(mfence=0, rmw=1, drain_period=1)
+
+
+def arch_cost_model(backend) -> CostModel:
+    """A :class:`CostModel` priced with an arch backend's fence ISA.
+
+    The base ``mfence`` slot takes the backend's full-flavor cost (so
+    unflavored FULL fences price as that arch's full fence); every
+    registered flavor gets its own entry. RMWs on backends whose model
+    gives them no fence semantics price as a plain atomic (no drain
+    premium baked in).
+    """
+    from repro.core.machine_models import MODELS
+
+    full = backend.full_flavor()
+    rmw = 45 if MODELS[backend.model_key].rmw_is_full_fence else 20
+    return CostModel(
+        rmw=rmw,
+        mfence=full.cost,
+        flavor_costs=tuple((f.name, f.cost) for f in backend.flavors),
+    )

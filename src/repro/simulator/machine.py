@@ -213,7 +213,9 @@ class TSOSimulator:
                 stats.full_fences_executed += 1
                 clock = self._drain_stall(stats, buffer, clock)
                 self.executor.commit(ts, pending)
-                return clock + costs.mfence
+                return clock + costs.fence_cost(
+                    getattr(pending.inst, "flavor", None)
+                )
             stats.compiler_fences_executed += 1
             self.executor.commit(ts, pending)
             return clock + costs.compiler_fence

@@ -91,7 +91,7 @@ def place_every_delay(program: Program) -> tuple[int, int]:
 
 
 def place_detected_fences(
-    program: Program, variant: str, model: MemoryModel
+    program: Program, variant: str, model: MemoryModel, backend=None
 ) -> tuple[int, int]:
     """Insert ``variant``'s placement; returns (full, compiler) counts.
 
@@ -99,9 +99,12 @@ def place_detected_fences(
     :data:`DETECTION_VARIANTS`). The registry entry carries the whole
     strategy — including which pipeline configuration a null detector
     overrides — so the variant under test is threaded through here
-    instead of being hardcoded per special case.
+    instead of being hardcoded per special case. With an arch
+    ``backend`` the fences go in *flavored* (cheapest sufficient flavor
+    per cut), so the differential exploration validates the flavor
+    selection itself, not just the fence positions.
     """
-    analysis = get_variant(variant).place(program, model)
+    analysis = get_variant(variant).place(program, model, backend=backend)
     return analysis.full_fence_count, analysis.compiler_fence_count
 
 
@@ -192,6 +195,16 @@ def run_oracle(
     if variants is None:  # default: the live trusted set
         variants = trusted_variant_keys()
     explorer_cls, machine = weak_explorer_for(model)
+    # Lower variant placements through the model's arch backend only
+    # when its explorer honors flavors (arm/power): there a too-weak
+    # flavor choice surfaces as a soundness violation. Flavor-blind
+    # explorers (TSO/PSO) keep generic-FULL placements — exploring
+    # e.g. an sfence as if it were an mfence would validate flavor
+    # selections the explorer cannot model. The every-delay upper
+    # bound stays generic-FULL by design.
+    from repro.registry.models import check_backend_for_model
+
+    backend = check_backend_for_model(model)
 
     unfenced = compile_source(source, name)
     sc = EXPLORERS.get("sc")(unfenced, max_states=max_states).explore()
@@ -225,7 +238,7 @@ def run_oracle(
     verdicts = []
     for variant in variants:
         fenced = compile_source(source, name)
-        full, compiler = place_detected_fences(fenced, variant, machine)
+        full, compiler = place_detected_fences(fenced, variant, machine, backend)
         fenced_weak = explorer_cls(fenced, max_states=max_states).explore()
         if not fenced_weak.complete:
             return _skipped(

@@ -31,7 +31,8 @@ def sample_payloads() -> dict:
     """kind -> fixed instance, one per registered wire type."""
     spec = ProgramSpec.inline("global int x;\n", name="sample")
     analyze_request = AnalyzeRequest(
-        program=spec, variant="control", model="x86-tso", annotations=True
+        program=spec, variant="control", model="x86-tso", annotations=True,
+        arch="power",
     )
     analyze_report = AnalyzeReport(
         program="sample",
@@ -54,8 +55,13 @@ def sample_payloads() -> dict:
         cache_stats=CacheStats(
             hits=9, misses=5, by_fact={"acquires": 1, "points_to": 2}
         ),
+        arch="power",
+        fence_cost=113,
+        flavors={"lwsync": 1, "sync": 1},
     )
-    check_request = CheckRequest(program=spec, model="pso", max_states=5000)
+    check_request = CheckRequest(
+        program=spec, model="pso", max_states=5000, arch="x86"
+    )
     check_report = CheckReport(
         program="sample",
         model="pso",
@@ -69,9 +75,11 @@ def sample_payloads() -> dict:
             VariantCheck("pensieve", 2, 1, True),
             VariantCheck("control", 2, 1, True),
         ),
+        arch="x86",
     )
     simulate_request = SimulateRequest(
-        program=spec, placement="manual", observe_globals=("flag",)
+        program=spec, placement="manual", observe_globals=("flag",),
+        arch="arm",
     )
     simulate_report = SimulateReport(
         program="sample",
@@ -85,6 +93,7 @@ def sample_payloads() -> dict:
         observations=((1, (("r", 1),)),),
         final_globals=(("data", 1), ("flag", 1)),
         observe_globals=("flag",),
+        arch="arm",
     )
     batch_request = BatchRequest(programs=("fft",), variants=("control",))
     batch_report = BatchReport(
@@ -109,9 +118,12 @@ def sample_payloads() -> dict:
                 compiler_fences=58,
                 elapsed=0.04,
                 cached=False,
+                fence_cost=240,
+                flavors={"mfence": 4},
             ),
         ),
         cache_stats=None,
+        arch=None,
     )
     fuzz_request = FuzzRequest(
         seeds=2, shapes=("publish",), variants=("vanilla",), budget=30.0

@@ -232,6 +232,7 @@ def test_variants_by_value_shim_warns_once():
 
 def test_weak_explorers_shim_warns_once():
     from repro.memmodel.pso import PSOExplorer
+    from repro.memmodel.relaxed import ARMExplorer, POWERExplorer
     from repro.memmodel.tso import TSOExplorer
     from repro.validate import oracle
 
@@ -239,4 +240,11 @@ def test_weak_explorers_shim_warns_once():
         lambda: (oracle.WEAK_EXPLORERS, oracle.WEAK_EXPLORERS)
     )
     assert len(warned) == 1
-    assert value == {"x86-tso": TSOExplorer, "pso": PSOExplorer}
+    # The shim mirrors the live registry, so backend-registered models
+    # (arm/power) show up here exactly like the built-ins.
+    assert value == {
+        "x86-tso": TSOExplorer,
+        "pso": PSOExplorer,
+        "arm": ARMExplorer,
+        "power": POWERExplorer,
+    }

@@ -1,0 +1,167 @@
+"""Tests for the arch-backend registry (repro.arch.backend)."""
+
+import itertools
+
+import pytest
+
+from repro.arch.backend import (
+    ALL_KINDS,
+    BACKENDS,
+    ArchBackend,
+    FenceFlavor,
+    backend_keys,
+    get_backend,
+    register_backend,
+)
+from repro.core.machine_models import OrderKind
+
+RR, RW, WR, WW = OrderKind.RR, OrderKind.RW, OrderKind.WR, OrderKind.WW
+
+
+def all_kind_subsets():
+    kinds = sorted(OrderKind, key=lambda k: k.value)
+    for n in range(1, len(kinds) + 1):
+        for combo in itertools.combinations(kinds, n):
+            yield frozenset(combo)
+
+
+# --- catalog shape -----------------------------------------------------------
+
+
+def test_backend_catalog_shape():
+    assert backend_keys() == ("x86", "arm", "power")
+    for key in backend_keys():
+        backend = get_backend(key)
+        assert any(f.is_full for f in backend.flavors)
+        assert backend.full_flavor().kills == ALL_KINDS
+
+
+def test_reorderable_follows_machine_model():
+    assert get_backend("x86").reorderable == frozenset({WR})
+    assert get_backend("arm").reorderable == ALL_KINDS
+    assert get_backend("power").reorderable == ALL_KINDS
+
+
+def test_unknown_backend_and_flavor_messages():
+    with pytest.raises(KeyError, match="unknown arch 'mips'"):
+        get_backend("mips")
+    with pytest.raises(KeyError, match="unknown power fence flavor 'dmb'"):
+        get_backend("power").flavor("dmb")
+    assert get_backend("power").has_flavor("lwsync")
+    assert not get_backend("power").has_flavor("dmb")
+
+
+# --- cheapest sufficient flavor, per delay-kind combination ------------------
+
+
+@pytest.mark.parametrize("key", ["x86", "arm", "power"])
+@pytest.mark.parametrize(
+    "kinds", list(all_kind_subsets()), ids=lambda s: "+".join(sorted(k.name for k in s))
+)
+def test_cheapest_flavor_is_minimal_sufficient(key, kinds):
+    """Acceptance: lowering never picks FULL (or any stronger flavor)
+    where a registered cheaper sufficient flavor exists — for every
+    backend and every non-empty delay-kind combination."""
+    backend = get_backend(key)
+    chosen = backend.cheapest_flavor(kinds)
+    assert chosen.sufficient_for(kinds)
+    sufficient = [f for f in backend.flavors if f.sufficient_for(kinds)]
+    assert chosen.cost == min(f.cost for f in sufficient)
+    # Nothing sufficient is strictly cheaper than the choice.
+    assert not any(f.cost < chosen.cost for f in sufficient)
+
+
+def test_power_flavor_selection_table():
+    power = get_backend("power")
+    assert power.cheapest_flavor(frozenset({WW})).name == "eieio"
+    assert power.cheapest_flavor(frozenset({RR})).name == "lwsync"
+    assert power.cheapest_flavor(frozenset({RW})).name == "lwsync"
+    assert power.cheapest_flavor(frozenset({RR, RW, WW})).name == "lwsync"
+    assert power.cheapest_flavor(frozenset({WR})).name == "sync"
+    assert power.cheapest_flavor(ALL_KINDS).name == "sync"
+
+
+def test_arm_flavor_selection_table():
+    arm = get_backend("arm")
+    assert arm.cheapest_flavor(frozenset({WW})).name == "dmbst"
+    for kinds in (frozenset({RR}), frozenset({WR}), frozenset({RR, WW})):
+        assert arm.cheapest_flavor(kinds).name == "dmb"
+
+
+def test_x86_flavor_selection_table():
+    x86 = get_backend("x86")
+    assert x86.cheapest_flavor(frozenset({WW})).name == "sfence"
+    assert x86.cheapest_flavor(frozenset({WR})).name == "mfence"
+    assert x86.cheapest_flavor(ALL_KINDS).name == "mfence"
+
+
+def test_empty_kill_requirement_rejected():
+    with pytest.raises(ValueError, match="no fence needed"):
+        get_backend("power").cheapest_flavor(frozenset())
+
+
+def test_cost_of_defaults_to_full_flavor():
+    power = get_backend("power")
+    assert power.cost_of(None) == power.full_flavor().cost == 80
+    assert power.cost_of("lwsync") == 33
+
+
+# --- registration validation -------------------------------------------------
+
+
+def _flavor(name, kills, cost):
+    return FenceFlavor(name=name, kills=frozenset(kills), cost=cost)
+
+
+def test_register_backend_requires_full_flavor():
+    with pytest.raises(ValueError, match="full fence flavor"):
+        register_backend(
+            ArchBackend(
+                key="weakling", display="W", model_key="rmo",
+                flavors=(_flavor("half", {WW, RR}, 1),),
+            )
+        )
+    assert "weakling" not in BACKENDS
+
+
+def test_register_backend_rejects_unknown_model():
+    with pytest.raises(ValueError, match="unknown machine model"):
+        register_backend(
+            ArchBackend(
+                key="ghost", display="G", model_key="no-such-model",
+                flavors=(_flavor("all", ALL_KINDS, 1),),
+            )
+        )
+
+
+def test_register_backend_rejects_duplicate_flavor_names():
+    with pytest.raises(ValueError, match="duplicate flavor names"):
+        register_backend(
+            ArchBackend(
+                key="twice", display="T", model_key="rmo",
+                flavors=(
+                    _flavor("f", ALL_KINDS, 1),
+                    _flavor("f", {WW}, 1),
+                ),
+            )
+        )
+
+
+def test_registered_backend_is_discoverable_and_lowerable():
+    """A new backend plugs in end to end: registry lookup + selection."""
+    key = "test-risc"
+    try:
+        register_backend(
+            ArchBackend(
+                key=key, display="RISC", model_key="rmo",
+                flavors=(
+                    _flavor("fence-rw", ALL_KINDS, 10),
+                    _flavor("fence-w", {WW}, 2),
+                ),
+            )
+        )
+        backend = get_backend(key)
+        assert backend.cheapest_flavor(frozenset({WW})).name == "fence-w"
+        assert backend.cheapest_flavor(frozenset({RR})).name == "fence-rw"
+    finally:
+        BACKENDS._entries.pop(key, None)  # keep the global catalog clean

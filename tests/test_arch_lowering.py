@@ -1,0 +1,297 @@
+"""Tests for flavored fence lowering (repro.arch.lowering)."""
+
+import itertools
+
+import pytest
+
+from repro.arch.backend import get_backend
+from repro.arch.lowering import (
+    apply_lowered_plan,
+    lower_analysis,
+    lower_fence,
+    lower_plan,
+)
+from repro.core.fence_min import FencePlan, PlannedFence, plan_fences
+from repro.core.machine_models import MODELS, OrderKind
+from repro.core.pipeline import PipelineVariant, analyze_program
+from repro.frontend import compile_source
+from repro.ir.instructions import Fence, FenceKind
+from repro.ir.verifier import verify_program
+from repro.memmodel.litmus import LITMUS_TESTS
+from repro.registry.variants import get_variant
+
+RR, RW, WR, WW = OrderKind.RR, OrderKind.RW, OrderKind.WR, OrderKind.WW
+
+
+def all_kind_subsets():
+    kinds = sorted(OrderKind, key=lambda k: k.value)
+    for n in range(1, len(kinds) + 1):
+        for combo in itertools.combinations(kinds, n):
+            yield frozenset(combo)
+
+
+# --- per-fence lowering ------------------------------------------------------
+
+
+@pytest.mark.parametrize("key", ["x86", "arm", "power"])
+@pytest.mark.parametrize(
+    "kinds", list(all_kind_subsets()), ids=lambda s: "+".join(sorted(k.name for k in s))
+)
+def test_lowered_fence_is_cheapest_sufficient(key, kinds):
+    """Acceptance criterion at the lowering layer: a planned full fence
+    covering ``kinds`` lowers to exactly the backend's cheapest
+    sufficient flavor — never FULL when something cheaper suffices."""
+    backend = get_backend(key)
+    planned = PlannedFence("entry", 1, FenceKind.FULL, covers=kinds)
+    lowered = lower_fence(planned, backend)
+    expected = backend.cheapest_flavor(kinds)
+    assert lowered.flavor == expected.name
+    assert lowered.cost == expected.cost
+    # If any registered flavor cheaper than the full flavor suffices,
+    # the full flavor must not have been picked.
+    cheaper = [
+        f for f in backend.flavors
+        if f.sufficient_for(kinds) and f.cost < backend.full_flavor().cost
+    ]
+    if cheaper:
+        assert lowered.flavor != backend.full_flavor().name
+
+
+def test_compiler_directives_stay_free_and_unflavored():
+    lowered = lower_fence(
+        PlannedFence("b", 2, FenceKind.COMPILER, covers=frozenset({RR})),
+        get_backend("power"),
+    )
+    assert lowered.flavor is None
+    assert lowered.cost == 0
+    assert lowered.kind is FenceKind.COMPILER
+
+
+def test_uncovered_full_fence_lowers_conservatively():
+    """A plan without recorded kill-sets (hand-built / every-delay)
+    takes the full flavor."""
+    lowered = lower_fence(
+        PlannedFence("b", 0, FenceKind.FULL), get_backend("power")
+    )
+    assert lowered.flavor == "sync"
+
+
+def test_entry_fence_lowers_to_full_flavor():
+    source = LITMUS_TESTS["mp"].source
+    program = compile_source(source, "mp")
+    func = program.functions["consumer"]
+    plan = FencePlan(func, entry_fence=True)
+    lowered = lower_plan(plan, get_backend("power"))
+    assert lowered.entry_fence
+    assert lowered.entry_flavor == "sync"
+    assert lowered.entry_cost == 80
+    assert lowered.full_count == 1
+    assert lowered.cost == 80
+
+
+# --- whole-program lowering --------------------------------------------------
+
+
+def _plans_for(model_key: str):
+    program = compile_source(LITMUS_TESTS["mp"].source, "mp")
+    analysis = analyze_program(
+        program, PipelineVariant.ADDRESS_CONTROL, MODELS[model_key]
+    )
+    return program, analysis
+
+
+def test_mp_on_power_uses_eieio_and_lwsync():
+    """The MP producer's w->w cut takes eieio, the consumer's r->r cut
+    takes lwsync; only the entry fence pays for sync."""
+    _, analysis = _plans_for("power")
+    _, summary = lower_analysis(analysis, get_backend("power"))
+    assert summary.flavors == {"eieio": 1, "lwsync": 1, "sync": 1}
+    assert summary.cost == 25 + 33 + 80
+    assert summary.full_fences == 3
+
+
+def test_mp_on_arm_uses_dmbst_for_the_store_cut():
+    _, analysis = _plans_for("arm")
+    _, summary = lower_analysis(analysis, get_backend("arm"))
+    assert summary.flavors == {"dmbst": 1, "dmb": 2}
+    assert summary.cost == 24 + 2 * 48
+
+
+def test_x86_lowering_is_all_mfence():
+    _, analysis = _plans_for("x86-tso")
+    _, summary = lower_analysis(analysis, get_backend("x86"))
+    assert set(summary.flavors) == {"mfence"}
+    assert summary.cost == summary.full_fences * 60
+
+
+# --- applied lowering parity -------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["mp", "dekker", "mp-pointers"])
+@pytest.mark.parametrize("arch", ["x86", "arm", "power"])
+def test_lowered_placement_matches_generic_positions(name, arch):
+    """Flavored insertion puts the same number of fences at the same
+    program points as the generic path; only the flavors differ."""
+    backend = get_backend(arch)
+    model = MODELS[backend.model_key]
+    test = LITMUS_TESTS[name]
+
+    generic = compile_source(test.source, test.name)
+    get_variant("address+control").place(generic, model)
+
+    flavored = compile_source(test.source, test.name)
+    get_variant("address+control").place(flavored, model, backend=backend)
+
+    verify_program(flavored)
+    for fname in generic.functions:
+        g_insts = list(generic.functions[fname].instructions())
+        f_insts = list(flavored.functions[fname].instructions())
+        assert len(g_insts) == len(f_insts)
+        for gi, fi in zip(g_insts, f_insts):
+            assert type(gi) is type(fi)
+            if isinstance(gi, Fence):
+                assert gi.kind is fi.kind
+                assert gi.flavor is None
+                if fi.kind is FenceKind.FULL:
+                    assert backend.has_flavor(fi.flavor)
+                else:
+                    assert fi.flavor is None
+
+
+def test_apply_lowered_plan_inserts_flavors():
+    program = compile_source(LITMUS_TESTS["mp"].source, "mp")
+    backend = get_backend("power")
+    analysis = analyze_program(
+        program, PipelineVariant.ADDRESS_CONTROL, MODELS["power"]
+    )
+    inserted = 0
+    for fa in analysis.functions.values():
+        inserted += apply_lowered_plan(
+            fa.function, lower_plan(fa.plan, backend)
+        )
+    assert inserted == 3
+    flavors = [
+        inst.flavor
+        for func in program.functions.values()
+        for inst in func.instructions()
+        if isinstance(inst, Fence)
+    ]
+    assert sorted(flavors) == ["eieio", "lwsync", "sync"]
+
+
+MANUAL_EIEIO_DEKKER = """
+global int x;
+global int y;
+global int z;
+
+fn left(tid) {
+  local r = 0;
+  x = 1;
+  fence eieio;
+  r = y;
+  if (r == 0) {
+    z = z + 1;
+    observe("in", 1);
+  }
+}
+
+fn right(tid) {
+  local r = 0;
+  y = 1;
+  fence eieio;
+  r = x;
+  if (r == 0) {
+    z = z + 1;
+    observe("in", 1);
+  }
+}
+
+thread left(0);
+thread right(1);
+"""
+
+
+def test_weak_flavored_manual_fence_is_not_a_full_enforcement_point():
+    """A manual ``fence eieio;`` kills only w->w: the planner must not
+    credit it with satisfying the w->r delay cut it happens to sit in
+    (regression: pre-fix the placement skipped the needed sync and the
+    POWER explorer kept a non-SC outcome)."""
+    from repro.memmodel.relaxed import POWERExplorer
+    from repro.memmodel.sc import SCExplorer
+
+    fenced = compile_source(
+        MANUAL_EIEIO_DEKKER, "dekker", include_manual_fences=True
+    )
+    backend = get_backend("power")
+    get_variant("address+control").place(
+        fenced, MODELS["power"], backend=backend
+    )
+    flavors = [
+        inst.flavor
+        for func in fenced.functions.values()
+        for inst in func.instructions()
+        if isinstance(inst, Fence)
+    ]
+    assert "sync" in flavors  # the w->r cut still got its full fence
+    sc = SCExplorer(
+        compile_source(MANUAL_EIEIO_DEKKER, "dekker", include_manual_fences=True)
+    ).explore()
+    weak = POWERExplorer(fenced).explore()
+    assert weak.observation_sets() == sc.observation_sets()
+
+
+def test_check_backend_only_for_flavor_honoring_explorers():
+    """Differential checking lowers through a backend only where the
+    explorer models flavor kill-sets: TSO/PSO treat every full fence
+    as mfence-strength, so they keep generic placements."""
+    from repro.registry.models import backend_for_model, check_backend_for_model
+
+    assert check_backend_for_model("x86-tso") is None
+    assert check_backend_for_model("pso") is None
+    assert check_backend_for_model("rmo") is None
+    assert check_backend_for_model("arm").key == "arm"
+    assert check_backend_for_model("power").key == "power"
+    # ...while cost reporting still prices every arch-backed model.
+    assert backend_for_model("pso").key == "x86"
+
+
+def test_apply_lowered_plan_targets_the_passed_function():
+    """Like apply_plan, the fences must go into the ``func`` argument —
+    a caller may apply an earlier analysis's plan to a fresh compile
+    (regression: they previously went into plan.function)."""
+    backend = get_backend("power")
+    analyzed = compile_source(LITMUS_TESTS["mp"].source, "mp")
+    analysis = analyze_program(
+        analyzed, PipelineVariant.ADDRESS_CONTROL, MODELS["power"]
+    )
+    clone = compile_source(LITMUS_TESTS["mp"].source, "mp")
+    inserted = 0
+    for name, fa in analysis.functions.items():
+        inserted += apply_lowered_plan(
+            clone.functions[name], lower_plan(fa.plan, backend)
+        )
+    assert inserted == 3
+    assert any(
+        isinstance(inst, Fence)
+        for func in clone.functions.values()
+        for inst in func.instructions()
+    )
+    assert not any(  # the analyzed original stays untouched
+        isinstance(inst, Fence)
+        for func in analyzed.functions.values()
+        for inst in func.instructions()
+    )
+
+
+def test_plan_covers_recorded_per_kind():
+    """plan_fences records each stabbed interval's ordering kind on the
+    fence that enforces it."""
+    test = LITMUS_TESTS["mp"]
+    program = compile_source(test.source, test.name)
+    analysis = analyze_program(
+        program, PipelineVariant.ADDRESS_CONTROL, MODELS["power"]
+    )
+    producer_plan = analysis.functions["producer"].plan
+    assert [f.covers for f in producer_plan.full_fences] == [frozenset({WW})]
+    consumer_plan = analysis.functions["consumer"].plan
+    assert all(f.covers for f in consumer_plan.fences)

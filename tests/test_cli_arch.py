@@ -1,0 +1,194 @@
+"""CLI tests for the arch surface: --arch flags, the ``repro models``
+listing, and the weak-only model gating on check/fuzz."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.registry.models import ModelEntry, get_model
+from repro.core.machine_models import MODELS as MACHINE_MODELS
+
+MP = """
+global int flag;
+global int data;
+
+fn producer(tid) { data = 1; flag = 1; }
+fn consumer(tid) {
+  local r = 0;
+  while (flag == 0) { }
+  r = data;
+  observe("r", r);
+}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+
+@pytest.fixture
+def mp_file(tmp_path):
+    path = tmp_path / "mp.c"
+    path.write_text(MP)
+    return str(path)
+
+
+# --- repro models ------------------------------------------------------------
+
+
+def test_models_lists_the_registry(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for key in ("sc", "x86-tso", "pso", "rmo", "arm", "power"):
+        assert key in out
+    assert "reference" in out  # sc is flagged, not merely "no"
+    assert "power" in out
+
+
+# --- is_reference (satellite bugfix) ----------------------------------------
+
+
+def test_reference_model_is_never_checkable_even_with_explorer():
+    """checkable must derive from the explicit is_reference flag, not a
+    string compare on the key: a backend-registered reference model
+    under another name must not become differencable against itself."""
+    entry = ModelEntry(
+        key="sc-lookalike",
+        model=MACHINE_MODELS["sc"],
+        display="SC2",
+        explorer="sc",
+        is_reference=True,
+    )
+    assert not entry.checkable
+    assert get_model("sc").is_reference
+    assert not get_model("sc").checkable
+    assert get_model("arm").checkable and get_model("arm").arch == "arm"
+
+
+# --- --arch on analyze -------------------------------------------------------
+
+
+def test_analyze_arch_reports_flavored_cost(mp_file, capsys):
+    assert main(["analyze", mp_file, "--arch", "power",
+                 "--variant", "address+control"]) == 0
+    out = capsys.readouterr().out
+    assert "arch power" in out
+    assert "lwsync" in out
+
+
+def test_analyze_arch_defaults_model_to_backend(mp_file, capsys):
+    assert main(["analyze", mp_file, "--arch", "power", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["model"] == "power"
+    assert payload["arch"] == "power"
+    assert payload["fence_cost"] > 0
+    assert payload["flavors"]
+
+
+def test_analyze_arch_emit_ir_prints_flavored_fences(mp_file, capsys):
+    assert main(["analyze", mp_file, "--arch", "arm", "--emit-ir",
+                 "--variant", "address+control"]) == 0
+    out = capsys.readouterr().out
+    assert "fence.full[dmb" in out  # dmb or dmbst
+
+
+def test_analyze_without_arch_is_unflavored(mp_file, capsys):
+    assert main(["analyze", mp_file, "--emit-ir"]) == 0
+    out = capsys.readouterr().out
+    assert "fence.full[" not in out
+    assert json.loads("null") is None  # keep json import honest
+
+
+# --- --arch on check / simulate ---------------------------------------------
+
+
+def test_check_arm_restores_sc_with_flavored_fences(mp_file, capsys):
+    assert main(["check", mp_file, "--model", "arm"]) == 0
+    out = capsys.readouterr().out
+    assert "NON-SC BEHAVIOUR" in out  # unfenced MP breaks on ARM
+    assert "SC restored: True" in out
+
+
+def test_check_arch_echoed_in_json(mp_file, capsys):
+    assert main(["check", mp_file, "--model", "power", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["arch"] == "power"
+    assert all(v["restored_sc"] for v in payload["variants"])
+
+
+def test_simulate_arch_prices_flavored_fences(mp_file, capsys):
+    assert main(["simulate", mp_file, "--arch", "power",
+                 "--variant", "address+control", "--json"]) == 0
+    power = json.loads(capsys.readouterr().out)
+    assert main(["simulate", mp_file, "--variant", "address+control",
+                 "--model", "power", "--json"]) == 0
+    generic = json.loads(capsys.readouterr().out)
+    assert power["arch"] == "power" and generic["arch"] is None
+    assert power["full_fences_executed"] > 0
+    # lwsync/eieio are cheaper than the generic mfence pricing, so the
+    # flavored run can never be slower. (Executed-fence counts may
+    # differ: the consumer's spin pace shifts with fence latency.)
+    assert power["cycles"] <= generic["cycles"]
+
+
+# --- batch --arch ------------------------------------------------------------
+
+
+def test_batch_arch_override(capsys):
+    assert main(["batch", "--programs", "fft", "--variants", "control",
+                 "--models", "x86-tso", "--arch", "power", "--serial",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["arch"] == "power"
+    cell = payload["cells"][0]
+    assert cell["fence_cost"] is not None
+    assert set(cell["flavors"]) <= {"sync", "lwsync", "eieio"}
+
+
+def test_batch_per_model_defaults(capsys):
+    assert main(["batch", "--programs", "fft", "--variants", "control",
+                 "--models", "x86-tso", "arm", "--serial", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    by_model = {c["model"]: c for c in payload["cells"]}
+    assert set(by_model["x86-tso"]["flavors"]) <= {"mfence", "sfence"}
+    assert set(by_model["arm"]["flavors"]) <= {"dmb", "dmbst"}
+
+
+# --- weak-only gating (satellite bugfix) -------------------------------------
+
+
+def test_fuzz_rejects_non_checkable_models_cleanly(capsys):
+    """--models is gated by argparse choices now: sc and rmo fail with
+    a usage error instead of deep inside explorer_cls()."""
+    for bogus in ("sc", "rmo"):
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--seeds", "1", "--models", bogus])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+def test_check_refuses_arch_its_explorer_cannot_model(mp_file, capsys):
+    """An explicit --arch whose flavors the model's explorer cannot
+    give kill-set semantics to must be refused, not silently explored
+    at full-fence strength (which would fake-validate the flavors)."""
+    assert main(["check", mp_file, "--model", "pso", "--arch", "x86"]) == 2
+    assert "cannot validate 'x86' fence flavors" in capsys.readouterr().err
+    assert main(["check", mp_file, "--model", "arm", "--arch", "power"]) == 2
+    assert "honors the 'arm' flavor catalog" in capsys.readouterr().err
+    # The matching catalog is accepted (same as the default path).
+    assert main(["check", mp_file, "--model", "arm", "--arch", "arm"]) == 0
+    assert "SC restored: True" in capsys.readouterr().out
+
+
+def test_check_rejects_non_checkable_models_cleanly(mp_file, capsys):
+    for bogus in ("sc", "rmo"):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", mp_file, "--model", bogus])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+def test_fuzz_accepts_arm_and_power_keys():
+    """The new backends are in the fuzz choice set (smoke: tiny run)."""
+    assert main(["fuzz", "--seeds", "1", "--shapes", "publish",
+                 "--models", "arm", "--serial", "--no-shrink"]) == 0

@@ -36,7 +36,7 @@ def test_model_strength_ordering():
 
 
 def test_models_registry():
-    assert set(MODELS) == {"sc", "x86-tso", "pso", "rmo"}
+    assert set(MODELS) == {"sc", "x86-tso", "pso", "rmo", "arm", "power"}
 
 
 def test_needs_any_full_fence():

@@ -1,0 +1,103 @@
+"""Cross-arch oracle soundness (satellite for the repro.arch PR).
+
+Every well-synchronized litmus/generated program must stay
+violation-free after *flavored lowering* on each backend — the oracle
+lowers variant placements through the model's arch backend, so these
+runs exercise lwsync/eieio/dmbst selections end to end — and the
+deliberately-null ``vanilla`` detector must still violate on dekker
+under every weak model (oracle liveness). The slow generator shapes
+(barrier, queue) are covered by the nightly fuzz matrix instead.
+"""
+
+import pytest
+
+from repro.memmodel.litmus import LITMUS_TESTS
+from repro.registry.models import weak_model_keys
+from repro.validate.generator import generate_program
+from repro.validate.oracle import run_oracle
+
+WEAK_MODELS = ("x86-tso", "pso", "arm", "power")
+
+WS_LITMUS = sorted(
+    name for name, t in LITMUS_TESTS.items() if t.well_synchronized
+)
+FAST_SHAPES = ("handoff", "publish", "dekker")
+
+
+def _litmus_oracle(name, variants, model):
+    test = LITMUS_TESTS[name]
+    return run_oracle(
+        test.source,
+        test.name,
+        variants=variants,
+        model=model,
+        sync_globals=test.sync_globals,
+        explore_unfenced=False,
+    )
+
+
+def test_weak_model_registry_covers_the_arch_matrix():
+    assert set(WEAK_MODELS) <= set(weak_model_keys())
+
+
+@pytest.mark.parametrize("model", WEAK_MODELS)
+@pytest.mark.parametrize("name", WS_LITMUS)
+def test_trusted_placements_stay_sound_after_lowering(model, name):
+    """Flavored trusted placements restore SC on every backend for the
+    well-synchronized litmus corpus."""
+    report = _litmus_oracle(name, None, model)  # None = trusted set
+    assert report.complete
+    assert report.well_synchronized
+    assert report.full_restores_sc
+    assert report.violations == ()
+    for verdict in report.verdicts:
+        assert verdict.restores_sc, (model, name, verdict.variant)
+
+
+@pytest.mark.parametrize("model", WEAK_MODELS)
+@pytest.mark.parametrize("shape", FAST_SHAPES)
+def test_generated_programs_stay_sound_after_lowering(model, shape):
+    """Well-synchronized-by-construction generator scaffolds survive
+    flavored lowering on every weak model (seed 0 of each fast shape)."""
+    program = generate_program(0, shape)
+    report = run_oracle(
+        program.source,
+        program.name,
+        variants=("address+control", "pensieve"),
+        model=model,
+        sync_globals=program.sync_globals,
+        explore_unfenced=False,
+    )
+    assert report.complete
+    assert report.violations == ()
+    for verdict in report.verdicts:
+        assert verdict.restores_sc, (model, shape, verdict.variant)
+
+
+@pytest.mark.parametrize("model", WEAK_MODELS)
+def test_vanilla_violates_on_dekker_under_every_weak_model(model):
+    """Oracle liveness cross-arch: the null detector's placement must
+    fail dekker's mutual exclusion on every weak model."""
+    report = _litmus_oracle("dekker", ("vanilla",), model)
+    assert report.complete
+    assert report.contract_applies
+    flagged = [v.variant for v in report.violations]
+    assert flagged == ["vanilla"]
+
+
+@pytest.mark.parametrize("model", ("arm", "power"))
+def test_load_side_relaxation_catches_vanilla_on_mp(model):
+    """TSO never breaks message passing, so vanilla skates there — but
+    the relaxed backends reorder the consumer's loads, and the oracle
+    must catch the missing fence."""
+    report = _litmus_oracle("mp", ("vanilla",), model)
+    assert report.contract_applies
+    assert [v.variant for v in report.violations] == ["vanilla"]
+
+
+def test_tso_mp_stays_out_of_vanillas_reach():
+    """Control: on x86-TSO the same null placement is (accidentally)
+    fine for MP — w->w and r->r come for free."""
+    report = _litmus_oracle("mp", ("vanilla",), "x86-tso")
+    assert report.contract_applies
+    assert report.violations == ()

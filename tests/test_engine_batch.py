@@ -162,8 +162,10 @@ def test_cli_batch_table(capsys):
                  "--serial"]) == 0
     out = capsys.readouterr().out
     assert "fft" in out
-    assert "mfences" in out
-    assert "full fences across" in out
+    assert "fences" in out
+    assert "cost" in out
+    assert "full fences" in out
+    assert "cycles lowered" in out
 
 
 def test_cli_batch_json(capsys):
@@ -171,7 +173,7 @@ def test_cli_batch_json(capsys):
                  "--variants", "control", "--serial", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["kind"] == "batch-report"
-    assert payload["schema_version"] == 2
+    assert payload["schema_version"] == 3
     cells = payload["cells"]
     assert [cell["program"] for cell in cells] == ["fft", "matrix"]
     serial = analyze_program(get_program("fft").compile(), PipelineVariant.CONTROL)
@@ -210,7 +212,7 @@ def test_cli_batch_all_models_accepted():
 
 
 def test_cli_batch_model_names_match_registry():
-    assert set(MODELS) == {"sc", "x86-tso", "pso", "rmo"}
+    assert set(MODELS) == {"sc", "x86-tso", "pso", "rmo", "arm", "power"}
 
 
 def test_run_all_honours_custom_program_under_colliding_name():

@@ -1,0 +1,147 @@
+"""Flavored-fence IR round-tripping and default-output goldens.
+
+Satellite coverage for the arch PR: every registered flavor survives
+the mini-C ``fence <flavor>;`` statement -> frontend lowering ->
+verifier -> printer chain, and the *default* (unflavored, x86 FULL)
+pipeline output is pinned byte-identical to the pre-arch goldens under
+``tests/data/ir/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.arch.backend import BACKENDS
+from repro.core.pipeline import PipelineVariant, place_fences
+from repro.frontend import compile_source
+from repro.frontend.parser import parse
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Program
+from repro.ir.instructions import Fence, FenceKind, FenceOrigin
+from repro.ir.printer import format_instruction, format_program
+from repro.ir.verifier import VerificationError, verify_program
+from repro.memmodel.litmus import LITMUS_TESTS
+
+DATA = Path(__file__).parent / "data" / "ir"
+
+ALL_FLAVORS = sorted(
+    {f.name for backend in BACKENDS.values() for f in backend.flavors}
+)
+
+
+def _flavored_source(flavor: str | None) -> str:
+    stmt = "fence;" if flavor is None else f"fence {flavor};"
+    return (
+        "global int x;\n"
+        f"fn f(tid) {{ x = 1; {stmt} x = 2; }}\n"
+        "thread f(0);\n"
+    )
+
+
+# --- round trip over every registered flavor ---------------------------------
+
+
+@pytest.mark.parametrize("flavor", ALL_FLAVORS)
+def test_flavor_roundtrip_source_to_printed_ir(flavor):
+    """mini-C ``fence <flavor>;`` -> lowering -> verifier -> printer
+    keeps the flavor intact, for every flavor of every backend."""
+    program = compile_source(
+        _flavored_source(flavor), "t", include_manual_fences=True
+    )
+    verify_program(program)
+    fences = [
+        inst
+        for inst in program.functions["f"].instructions()
+        if isinstance(inst, Fence)
+    ]
+    assert len(fences) == 1
+    assert fences[0].flavor == flavor
+    assert fences[0].kind is FenceKind.FULL
+    assert fences[0].origin is FenceOrigin.MANUAL
+    assert f"fence.full[{flavor}] ; manual" in format_program(program)
+
+
+@pytest.mark.parametrize("flavor", ALL_FLAVORS)
+def test_flavor_roundtrip_builder_to_printer(flavor):
+    builder = IRBuilder("g")
+    builder.new_block("entry")
+    builder.fence(FenceKind.FULL, FenceOrigin.INSERTED, flavor=flavor)
+    builder.ret()
+    func = builder.build()
+    fence = func.entry.instructions[0]
+    assert format_instruction(fence) == f"fence.full[{flavor}] ; inserted"
+    assert fence.mnemonic() == f"fence.full[{flavor}]"
+
+
+def test_parse_keeps_flavor_and_bare_fence_stays_unflavored():
+    module = parse(_flavored_source("lwsync"))
+    stmts = [
+        s for s in module.functions[0].body.stmts
+        if type(s).__name__ == "FenceStmt"
+    ]
+    assert [s.flavor for s in stmts] == ["lwsync"]
+
+    program = compile_source(
+        _flavored_source(None), "t", include_manual_fences=True
+    )
+    fences = [
+        inst
+        for inst in program.functions["f"].instructions()
+        if isinstance(inst, Fence)
+    ]
+    assert fences[0].flavor is None
+    assert "fence.full ; manual" in format_program(program)
+
+
+def test_stripped_compilation_drops_flavored_fences_too():
+    program = compile_source(_flavored_source("sync"), "t")
+    assert not any(
+        isinstance(inst, Fence)
+        for inst in program.functions["f"].instructions()
+    )
+
+
+# --- verifier gates ----------------------------------------------------------
+
+
+def _one_fence_program(fence: Fence):
+    builder = IRBuilder("f")
+    builder.new_block("entry")
+    builder.current.append(fence)
+    builder.ret()
+    func = builder.build()
+    program = Program("t")
+    program.add_function(func)
+    return program
+
+
+def test_verifier_rejects_flavored_compiler_directive():
+    fence = Fence(FenceKind.COMPILER, FenceOrigin.INSERTED)
+    fence.flavor = "lwsync"
+    with pytest.raises(VerificationError, match="cannot carry a fence flavor"):
+        verify_program(_one_fence_program(fence))
+
+
+def test_verifier_rejects_empty_flavor():
+    fence = Fence(FenceKind.FULL, FenceOrigin.INSERTED)
+    fence.flavor = ""
+    with pytest.raises(VerificationError, match="non-empty string"):
+        verify_program(_one_fence_program(fence))
+
+
+# --- default-output goldens --------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["mp", "dekker", "mp-pointers"])
+def test_default_x86_fenced_ir_is_byte_identical_to_pre_arch_golden(name):
+    """The arch subsystem must not perturb the default pipeline: the
+    address+control placement on x86-TSO prints byte-for-byte what it
+    printed before flavors existed (goldens captured at the pre-arch
+    commit)."""
+    test = LITMUS_TESTS[name]
+    program = test.compile()
+    place_fences(program, PipelineVariant.ADDRESS_CONTROL)
+    golden = (DATA / f"{name}-address_control-x86-tso.golden").read_text(
+        encoding="utf-8"
+    )
+    assert format_program(program) + "\n" == golden

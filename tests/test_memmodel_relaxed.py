@@ -1,0 +1,231 @@
+"""Tests for the ARM/POWER relaxed explorers (repro.memmodel.relaxed).
+
+The flavor-semantics tests are the load-bearing ones: an *insufficient*
+flavor (lwsync for a w->r cut, a store-only barrier for a load-side
+cut) must leave the weak behaviour observable, while the sufficient
+flavor kills it — that is what makes the cross-arch differential
+oracle meaningful rather than vacuously strong.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.memmodel.relaxed import ARMExplorer, POWERExplorer, RelaxedExplorer
+from repro.memmodel.sc import SCExplorer
+
+MP_TEMPLATE = """
+global int flag;
+global int data;
+
+fn producer(tid) {{
+  data = 1;
+  {producer_fence}
+  flag = 1;
+}}
+
+fn consumer(tid) {{
+  local r = 0;
+  local f = 0;
+  f = flag;
+  {consumer_fence}
+  r = data;
+  observe("f", f);
+  observe("r", r);
+}}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+SB_TEMPLATE = """
+global int x;
+global int y;
+
+fn left(tid) {{
+  local r = 0;
+  x = 1;
+  {fence}
+  r = y;
+  observe("ry", r);
+}}
+
+fn right(tid) {{
+  local r = 0;
+  y = 1;
+  {fence}
+  r = x;
+  observe("rx", r);
+}}
+
+thread left(0);
+thread right(1);
+"""
+
+
+def _obs(explorer_cls, source, name="t"):
+    program = compile_source(source, name, include_manual_fences=True)
+    result = explorer_cls(program, max_states=500_000).explore()
+    assert result.complete
+    return result.observation_sets()
+
+
+def _sc_obs(source, name="t"):
+    return _obs(SCExplorer, source, name)
+
+
+def _mp(producer_fence="", consumer_fence=""):
+    return MP_TEMPLATE.format(
+        producer_fence=producer_fence, consumer_fence=consumer_fence
+    )
+
+
+def _restores_sc(explorer_cls, source):
+    return _obs(explorer_cls, source) == _sc_obs(source)
+
+
+# --- baseline relaxations ----------------------------------------------------
+
+
+@pytest.mark.parametrize("explorer_cls", [ARMExplorer, POWERExplorer])
+def test_mp_breaks_unfenced(explorer_cls):
+    """Unlike TSO, relaxed models break message passing: the stale-read
+    mechanism lets the consumer see flag=1 but data=0."""
+    weak = _obs(explorer_cls, _mp())
+    sc = _sc_obs(_mp())
+    assert sc < weak
+    stale = {(1, "f", 1), (1, "r", 0)}
+    assert any(stale <= set(outcome) for outcome in weak)
+
+
+@pytest.mark.parametrize("explorer_cls", [ARMExplorer, POWERExplorer])
+def test_sb_breaks_unfenced(explorer_cls):
+    """Store buffering (dekker's w->r shape) stays observable."""
+    weak = _obs(explorer_cls, SB_TEMPLATE.format(fence=""))
+    assert _sc_obs(SB_TEMPLATE.format(fence="")) < weak
+
+
+@pytest.mark.parametrize("explorer_cls", [ARMExplorer, POWERExplorer])
+def test_generic_full_fences_restore_sc(explorer_cls):
+    assert _restores_sc(explorer_cls, _mp("fence;", "fence;"))
+    assert _restores_sc(explorer_cls, SB_TEMPLATE.format(fence="fence;"))
+
+
+# --- flavor semantics --------------------------------------------------------
+
+
+def test_lwsync_fixes_mp_on_power():
+    assert _restores_sc(POWERExplorer, _mp("fence lwsync;", "fence lwsync;"))
+
+
+def test_eieio_alone_does_not_fix_mp_on_power():
+    """eieio orders the producer's stores but the consumer's stale read
+    survives: the load-side cut needs lwsync."""
+    weak = _obs(POWERExplorer, _mp("fence eieio;", "fence eieio;"))
+    assert _sc_obs(_mp()) < weak
+
+
+def test_producer_eieio_plus_consumer_lwsync_fixes_mp_on_power():
+    """Exactly the placement the flavored lowering emits for MP."""
+    assert _restores_sc(POWERExplorer, _mp("fence eieio;", "fence lwsync;"))
+
+
+def test_lwsync_does_not_fix_sb_on_power():
+    """lwsync leaves w->r relaxed: dekker-style mutual exclusion still
+    breaks. Only sync kills the store-buffer delay."""
+    weak = _obs(POWERExplorer, SB_TEMPLATE.format(fence="fence lwsync;"))
+    assert _sc_obs(SB_TEMPLATE.format(fence="")) < weak
+    assert _restores_sc(POWERExplorer, SB_TEMPLATE.format(fence="fence sync;"))
+
+
+def test_dmbst_does_not_fix_sb_on_arm():
+    weak = _obs(ARMExplorer, SB_TEMPLATE.format(fence="fence dmbst;"))
+    assert _sc_obs(SB_TEMPLATE.format(fence="")) < weak
+    assert _restores_sc(ARMExplorer, SB_TEMPLATE.format(fence="fence dmb;"))
+
+
+def test_foreign_flavor_acts_as_full_fence():
+    """A flavor the backend does not know (cross-compiled mfence on
+    ARM) conservatively gets full-fence semantics."""
+    assert _restores_sc(ARMExplorer, SB_TEMPLATE.format(fence="fence mfence;"))
+    assert _restores_sc(ARMExplorer, _mp("fence mfence;", "fence mfence;"))
+
+
+def test_cfence_has_no_hardware_effect():
+    weak = _obs(POWERExplorer, _mp("cfence;", "cfence;"))
+    assert _sc_obs(_mp()) < weak
+
+
+# --- coherence and RMW semantics --------------------------------------------
+
+COHERENCE = """
+global int x;
+
+fn writer(tid) {
+  x = 1;
+  x = 2;
+}
+
+fn reader(tid) {
+  local a = 0;
+  local b = 0;
+  a = x;
+  b = x;
+  observe("a", a);
+  observe("b", b);
+}
+
+thread writer(0);
+thread reader(1);
+"""
+
+
+@pytest.mark.parametrize("explorer_cls", [ARMExplorer, POWERExplorer])
+def test_per_location_coherence(explorer_cls):
+    """Same-address reads never go backwards, stale mechanism or not."""
+    for outcome in _obs(explorer_cls, COHERENCE):
+        values = {label: value for _tid, label, value in outcome}
+        assert values["a"] <= values["b"]
+
+
+RMW_SB = """
+global int x;
+global int y;
+global int unrelated;
+
+fn left(tid) {
+  local r = 0;
+  local t = 0;
+  x = 1;
+  t = fadd(unrelated, 1);
+  r = y;
+  observe("ry", r);
+}
+
+fn right(tid) {
+  local r = 0;
+  local t = 0;
+  y = 1;
+  t = fadd(unrelated, 1);
+  r = x;
+  observe("rx", r);
+}
+
+thread left(0);
+thread right(1);
+"""
+
+
+@pytest.mark.parametrize("explorer_cls", [ARMExplorer, POWERExplorer])
+def test_rmw_is_not_an_implicit_fence(explorer_cls):
+    """Unlike x86's LOCK prefix, LL/SC atomics on relaxed models carry
+    no barrier: an unrelated fadd between the store and the load does
+    NOT restore SC for the store-buffering shape."""
+    weak = _obs(explorer_cls, RMW_SB)
+    sc = _sc_obs(RMW_SB)
+    assert sc < weak
+
+
+def test_relaxed_explorer_default_arch_is_arm():
+    program = compile_source(_mp(), "mp")
+    assert RelaxedExplorer(program).backend.key == "arm"
+    assert POWERExplorer(program).backend.key == "power"

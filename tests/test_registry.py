@@ -125,11 +125,15 @@ def test_unknown_variant_message():
 
 
 def test_model_catalog_shape():
-    assert model_keys() == ("sc", "x86-tso", "pso", "rmo")
-    assert weak_model_keys() == ("x86-tso", "pso")
+    from repro.memmodel.relaxed import ARMExplorer, POWERExplorer
+
+    assert model_keys() == ("sc", "x86-tso", "pso", "rmo", "arm", "power")
+    assert weak_model_keys() == ("x86-tso", "pso", "arm", "power")
     assert EXPLORERS.get("sc") is SCExplorer
     assert EXPLORERS.get("x86-tso") is TSOExplorer
     assert EXPLORERS.get("pso") is PSOExplorer
+    assert EXPLORERS.get("arm") is ARMExplorer
+    assert EXPLORERS.get("power") is POWERExplorer
 
 
 def test_model_entries_wrap_machine_models():
