@@ -35,6 +35,8 @@ from repro.api.reports import (
     FuzzReport,
     FuzzRequest,
     FuzzViolation,
+    LintReport,
+    LintRequest,
     SchemaError,
     SimulateReport,
     SimulateRequest,
@@ -43,6 +45,7 @@ from repro.api.reports import (
     load_report,
 )
 from repro.api.session import Session
+from repro.diagnostics.findings import Finding, SourceSpan
 from repro.registry.sources import ProgramSpec
 
 __all__ = [
@@ -54,17 +57,21 @@ __all__ = [
     "CacheStats",
     "CheckReport",
     "CheckRequest",
+    "Finding",
     "FunctionFences",
     "FuzzProblem",
     "FuzzReport",
     "FuzzRequest",
     "FuzzViolation",
+    "LintReport",
+    "LintRequest",
     "ProgramSpec",
     "REPORT_KINDS",
     "SchemaError",
     "Session",
     "SimulateReport",
     "SimulateRequest",
+    "SourceSpan",
     "VariantCheck",
     "diff_payloads",
     "load_report",

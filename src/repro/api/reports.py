@@ -22,11 +22,14 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, ClassVar, Mapping
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Mapping
 
 from repro.registry.core import Registry
 from repro.registry.sources import ProgramSpec
 from repro.util.text import format_table
+
+if TYPE_CHECKING:  # runtime-lazy: repro.diagnostics reaches repro.core
+    from repro.diagnostics.findings import Finding
 
 
 class SchemaError(ValueError):
@@ -660,6 +663,138 @@ class BatchReport(WirePayload):
         if self.cache_stats is not None:
             text += f"\nanalysis {self.cache_stats.render()}"
         return text
+
+
+# =========================================================================
+# lint
+# =========================================================================
+
+
+def _decode_finding(value: Any) -> "Finding":
+    # Runtime-lazy import: repro.diagnostics reaches repro.core, which
+    # must finish initializing before this module's import chain runs.
+    from repro.diagnostics.findings import Finding, SourceSpan
+
+    if not isinstance(value, dict):
+        raise SchemaError(
+            f"expected an object for Finding, got {type(value).__name__}"
+        )
+    data = dict(value)
+    if "spans" in data:
+        data["spans"] = _tuple_of(SourceSpan)(data["spans"])
+    return _construct(Finding, data)
+
+
+def _decode_findings(value: Any) -> tuple:
+    if not isinstance(value, list):
+        raise SchemaError(
+            f"expected an array of Finding objects, got {type(value).__name__}"
+        )
+    return tuple(_decode_finding(item) for item in value)
+
+
+@register_report
+@dataclass(frozen=True)
+class LintRequest(WirePayload):
+    """Run the static DRF gate and lint passes on one program."""
+
+    KIND: ClassVar[str] = "lint-request"
+    SCHEMA_VERSION: ClassVar[int] = 1
+    _DECODERS: ClassVar[dict] = {"program": _decode_spec}
+
+    program: ProgramSpec
+    #: Detection variant whose sync reads refine the race candidates.
+    variant: str = "address+control"
+    model: str = "x86-tso"
+    #: Arch backend resolving fence flavors (enables FENCE102).
+    arch: str | None = None
+    #: () = every registered lint pass, in registration order.
+    passes: tuple[str, ...] = ()
+    #: Audit race candidates against the bounded SC explorer.
+    confirm: bool = True
+    max_traces: int = 400
+    max_actions: int = 400
+    #: Severity threshold for the report's exit code; "never" = always 0.
+    fail_on: str = "error"
+    #: Attach this request's analysis-cache counters to the report.
+    stats: bool = False
+
+
+@register_report
+@dataclass(frozen=True)
+class LintReport(WirePayload):
+    """One program's findings — the DRF verdict — as a wire artifact."""
+
+    KIND: ClassVar[str] = "lint-report"
+    SCHEMA_VERSION: ClassVar[int] = 1
+    _DECODERS: ClassVar[dict] = {
+        "findings": _decode_findings,
+        "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
+    }
+
+    program: str
+    variant: str
+    model: str
+    passes: tuple[str, ...]
+    findings: tuple[Finding, ...]
+    notes: int
+    warnings: int
+    errors: int
+    #: Explorer verdict tally over the race candidates (confirmed
+    #: includes RACE002 missed races).
+    confirmed_races: int
+    refuted_candidates: int
+    unknown_candidates: int
+    #: Whether the witness search exhausted the interleavings; None
+    #: when confirmation was off.
+    explorer_complete: bool | None
+    #: The linted source, attached when the explorer found a race the
+    #: static gate missed — ready to feed the fuzz harness.
+    fuzz_seed: str | None
+    fail_on: str = "error"
+    arch: str | None = None
+    #: Filled only when the request asked for ``stats``.
+    cache_stats: CacheStats | None = None
+
+    @property
+    def exit_code(self) -> int:
+        from repro.diagnostics.findings import severity_rank
+
+        if self.fail_on == "never":
+            return 0
+        floor = severity_rank(self.fail_on)
+        tally = (("note", self.notes), ("warning", self.warnings),
+                 ("error", self.errors))
+        over = sum(n for s, n in tally if severity_rank(s) >= floor)
+        return 1 if over else 0
+
+    def render(self) -> str:
+        total = self.notes + self.warnings + self.errors
+        header = (
+            f"{self.program}: {total} finding{'s' if total != 1 else ''} "
+            f"({self.errors} errors, {self.warnings} warnings, "
+            f"{self.notes} notes) [{self.variant} on {self.model}]"
+        )
+        lines = [header]
+        if self.explorer_complete is not None:
+            verdict = "exhaustive" if self.explorer_complete else "bounded"
+            lines.append(
+                f"explorer ({verdict}): {self.confirmed_races} confirmed, "
+                f"{self.refuted_candidates} refuted, "
+                f"{self.unknown_candidates} unknown"
+            )
+        if total == 0:
+            lines.append("clean: no lint findings; static DRF gate passed")
+        for finding in self.findings:
+            lines.append(finding.render())
+        if self.fuzz_seed is not None:
+            lines.append(
+                "detector gap: program recorded as a fuzz seed "
+                "(see repro.validate.seeds)"
+            )
+        if self.cache_stats is not None:
+            lines.append(self.cache_stats.render())
+        return "\n".join(lines)
 
 
 # =========================================================================

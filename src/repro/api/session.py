@@ -50,6 +50,8 @@ from repro.api.reports import (
     FuzzReport,
     FuzzRequest,
     FuzzViolation,
+    LintReport,
+    LintRequest,
     SimulateReport,
     SimulateRequest,
     VariantCheck,
@@ -515,6 +517,84 @@ class Session:
             arch=request.arch,
             fence_cost=fence_cost,
             flavors=flavors,
+        )
+
+    def lint(self, request: LintRequest) -> LintReport:
+        from repro.diagnostics import run_lint
+        from repro.diagnostics.findings import severity_rank
+
+        self._count("lint")
+        if request.fail_on != "never":
+            severity_rank(request.fail_on)  # unknown threshold: fail early
+        get_variant(request.variant)
+        machine = get_model(request.model).model
+        backend = self._backend(request.arch)
+        # Lint never mutates the IR, so it always runs on the shared
+        # warm program: a re-lint after an edit recomputes only the
+        # spliced functions' query subgraphs. Same retry discipline as
+        # analyze() against concurrent edits of the same program name.
+        attempts = 0
+        while True:
+            attempts += 1
+            reuse = attempts <= 4
+            program, context, source = self._load_spec(request.program, reuse)
+            with context.request_lock:
+                if reuse and not self._still_cached(program, source):
+                    continue
+                # Lint facts flow through engine.get (not the context's
+                # _fact recorder), so meter the query engine itself:
+                # hits = memo hits, misses = real recomputes.
+                before = context.engine.stats.to_payload()
+                result = run_lint(
+                    program,
+                    context,
+                    variant=request.variant,
+                    model=machine,
+                    arch=backend,
+                    passes=tuple(request.passes),
+                    confirm=request.confirm,
+                    max_traces=request.max_traces,
+                    max_actions=request.max_actions,
+                )
+                after = context.engine.stats.to_payload()
+                break
+        if not reuse:
+            self.forget(program)
+        fuzz_seed = None
+        if result.fuzz_seed:
+            from repro.validate.seeds import record_seed
+
+            record_seed(program.name, source)
+            fuzz_seed = source
+        cache_stats = None
+        if request.stats:
+            by_query = {
+                name: count - before["by_query"].get(name, 0)
+                for name, count in after["by_query"].items()
+                if count - before["by_query"].get(name, 0)
+            }
+            cache_stats = CacheStats(
+                hits=after["hits"] - before["hits"],
+                misses=after["computes"] - before["computes"],
+                by_fact=by_query,
+            )
+        return LintReport(
+            program=program.name,
+            variant=result.variant,
+            model=request.model,
+            passes=result.passes,
+            findings=result.findings,
+            notes=result.counts.note,
+            warnings=result.counts.warning,
+            errors=result.counts.error,
+            confirmed_races=result.confirmed_races,
+            refuted_candidates=result.refuted_candidates,
+            unknown_candidates=result.unknown_candidates,
+            explorer_complete=result.explorer_complete,
+            fuzz_seed=fuzz_seed,
+            fail_on=request.fail_on,
+            arch=request.arch,
+            cache_stats=cache_stats,
         )
 
     def check(self, request: CheckRequest) -> CheckReport:

@@ -13,6 +13,9 @@ Commands:
 * ``check FILE``       — exhaustively model-check SC vs a weak model
   (``--model x86-tso|pso``), unfenced and with each variant's fences
 * ``simulate FILE``    — run the timed TSO simulator and report cycles
+* ``lint PROGRAM...``  — static DRF race detection plus fence-hygiene
+  lint passes, each race candidate audited against the SC explorer
+  (``--fail-on`` severity gates the exit code)
 * ``experiments``      — regenerate the paper's tables and figures
 * ``batch``            — analyze a {program × variant × model} matrix in
   parallel on the batch engine
@@ -38,6 +41,7 @@ from repro.api import (
     BatchRequest,
     CheckRequest,
     FuzzRequest,
+    LintRequest,
     ProgramSpec,
     SchemaError,
     Session,
@@ -116,6 +120,71 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     print(report.to_json() if args.json else report.render())
     return 0
+
+
+def _lint_spec(token: str, manual_fences: bool) -> ProgramSpec:
+    """Resolve a lint target: an existing file path, a corpus program
+    name, or a litmus test name — in that order."""
+    import dataclasses
+
+    from repro.memmodel.litmus import LITMUS_TESTS
+    from repro.programs.registry import all_programs
+
+    if Path(token).is_file():
+        spec = ProgramSpec.file(token)
+    elif token in all_programs():
+        spec = ProgramSpec.corpus(token)
+    elif token in LITMUS_TESTS:
+        spec = ProgramSpec.litmus(token)
+    else:
+        known = ", ".join(sorted(set(all_programs()) | set(LITMUS_TESTS)))
+        raise KeyError(
+            f"{token!r} is neither a file, a corpus program, nor a litmus "
+            f"test; known programs: {known}"
+        )
+    if manual_fences:
+        spec = dataclasses.replace(spec, manual_fences=True)
+    return spec
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    session = Session()
+    reports = []
+    exit_code = 0
+    try:
+        for token in args.programs:
+            spec = _lint_spec(token, args.manual_fences)
+            report = session.lint(
+                LintRequest(
+                    program=spec,
+                    variant=args.variant,
+                    model=_resolve_model(args),
+                    arch=args.arch,
+                    passes=tuple(args.passes),
+                    confirm=not args.no_confirm,
+                    max_traces=args.max_traces,
+                    max_actions=args.max_actions,
+                    fail_on=args.fail_on,
+                    stats=args.stats,
+                )
+            )
+            reports.append(report)
+            exit_code = max(exit_code, report.exit_code)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if args.json:
+        if len(reports) == 1:
+            print(reports[0].to_json())
+        else:
+            print(json.dumps(
+                [r.to_payload() for r in reports], indent=2, sort_keys=True
+            ))
+    else:
+        print("\n\n".join(r.render() for r in reports))
+    return exit_code
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -363,6 +432,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the serialized report instead of text")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "lint",
+        help="static DRF race detection and lint passes, explorer-audited",
+    )
+    p.add_argument("programs", nargs="+", metavar="PROGRAM",
+                   help="mini-C file path, corpus program name, or litmus "
+                        "test name (any mix; each is linted separately)")
+    p.add_argument("--variant", default="address+control",
+                   help="detection variant whose sync reads refine the "
+                        "race candidates (default: address+control)")
+    p.add_argument("--model", choices=sorted(model_keys()), default=None,
+                   help="memory model for the fence-hygiene passes "
+                        "(default: x86-tso, or the --arch backend's "
+                        "native model)")
+    p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
+                   help="arch backend resolving fence flavors "
+                        "(enables the weak-flavor pass)")
+    p.add_argument("--passes", nargs="+", default=[],
+                   help="lint passes to run (default: all registered)")
+    p.add_argument("--fail-on", choices=["note", "warning", "error", "never"],
+                   default="error",
+                   help="lowest severity that fails the exit code "
+                        "(default: error)")
+    p.add_argument("--no-confirm", action="store_true",
+                   help="skip the explorer audit of race candidates")
+    p.add_argument("--max-traces", type=int, default=400,
+                   help="SC interleavings to search for witnesses")
+    p.add_argument("--max-actions", type=int, default=400,
+                   help="memory actions per searched interleaving")
+    p.add_argument("--manual-fences", action="store_true",
+                   help="keep the programs' manual fences (lint them too)")
+    p.add_argument("--stats", action="store_true",
+                   help="include analysis-cache hit/miss counters")
+    p.add_argument("--json", action="store_true",
+                   help="emit serialized report(s) instead of text")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("experiments", help="regenerate the paper's evaluation")
     p.add_argument("--quick", action="store_true",

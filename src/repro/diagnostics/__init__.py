@@ -1,0 +1,39 @@
+"""`repro.diagnostics` — the structured lint/diagnostics framework.
+
+Findings (:class:`Finding`) carry stable codes, severities, and IR
+source spans; lint passes are registered in :data:`LINT_PASSES` (the
+same :class:`~repro.registry.core.Registry` machinery as detectors,
+models, and arch backends) and orchestrated by :func:`run_lint`. The
+flagship pass is the static DRF gate from :mod:`repro.races`; the
+fence hygiene passes (redundant fence, weak flavor, unfenced publish)
+ride the same framework. Wire form: ``LintRequest``/``LintReport`` in
+:mod:`repro.api`; CLI: ``repro lint``.
+"""
+
+from repro.diagnostics.findings import (
+    SEVERITIES,
+    Finding,
+    FindingCounts,
+    SourceSpan,
+    severity_rank,
+    sort_findings,
+    span_of,
+)
+from repro.diagnostics.lint import LintResult, run_lint
+from repro.diagnostics.passes import LINT_PASSES, LintContext, LintPass, lint_pass
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "FindingCounts",
+    "LINT_PASSES",
+    "LintContext",
+    "LintPass",
+    "LintResult",
+    "SourceSpan",
+    "lint_pass",
+    "run_lint",
+    "severity_rank",
+    "sort_findings",
+    "span_of",
+]

@@ -23,6 +23,7 @@ from repro.ir.instructions import (
     FenceKind,
     FenceOrigin,
     Gep,
+    Instruction,
     Jump,
     Load,
     Observe,
@@ -65,7 +66,7 @@ class IRBuilder:
         """Create a new block and make it current."""
         return self.set_block(self.block(label))
 
-    def _append(self, inst):
+    def _append(self, inst: Instruction) -> Instruction:
         if self.current is None:
             raise ValueError("no current block; call new_block() first")
         return self.current.append(inst)
@@ -117,7 +118,9 @@ class IRBuilder:
     def ret(self, value: Optional[Value] = None) -> None:
         self._append(Ret(value))
 
-    def call(self, callee: str, args: Sequence[Value], returns: bool = False):
+    def call(
+        self, callee: str, args: Sequence[Value], returns: bool = False
+    ) -> Optional[Register]:
         dest = self.fresh_reg() if returns else None
         self._append(Call(dest, callee, args))
         return dest

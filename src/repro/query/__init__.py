@@ -27,8 +27,10 @@ from repro.query.engine import (
     query,
 )
 
-# Importing the fact definitions registers them in QUERIES.
+# Importing the fact definitions registers them in QUERIES. The race
+# queries live with their package but join the same catalog.
 import repro.query.facts  # noqa: E402,F401  (registration side effect)
+import repro.races.queries  # noqa: E402,F401  (registration side effect)
 
 __all__ = [
     "QUERIES",

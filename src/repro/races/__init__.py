@@ -1,0 +1,52 @@
+"""`repro.races` — the static data-race detector (legacy-DRF gate).
+
+The paper's fence-placement transformation is only sound for legacy
+data-race-free programs; this package checks that precondition
+statically and has the dynamic explorer audit its own answers:
+
+* :mod:`repro.races.mhp` — which functions two distinct thread spawns
+  can execute in parallel;
+* :mod:`repro.races.locksets` — Eraser-style consistent-lock
+  protection;
+* :mod:`repro.races.detector` — conflicting-pair enumeration refined
+  by the pipeline's detected synchronization reads (the release/
+  acquire chain ``a po w(s) con r(s) po b`` discharges a pair), plus
+  explorer-backed confirmation/refutation with concrete witness
+  interleavings;
+* :mod:`repro.races.queries` — the above as incremental queries, so a
+  warm `repro serve` re-lint recomputes only what an edit touched.
+
+Findings are *reported* through :mod:`repro.diagnostics`.
+"""
+
+from repro.races.detector import (
+    AccessSite,
+    AccessSummary,
+    RaceCandidate,
+    StaticRaceReport,
+    VerdictReport,
+    Witness,
+    build_access_summary,
+    confirm_candidates,
+    detect_races,
+)
+from repro.races.locksets import compute_locksets
+from repro.races.mhp import ThreadStructure, callees_of
+
+# Importing the query definitions registers them in the catalog.
+import repro.races.queries  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "AccessSite",
+    "AccessSummary",
+    "RaceCandidate",
+    "StaticRaceReport",
+    "ThreadStructure",
+    "VerdictReport",
+    "Witness",
+    "build_access_summary",
+    "callees_of",
+    "compute_locksets",
+    "confirm_candidates",
+    "detect_races",
+]

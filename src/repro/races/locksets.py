@@ -1,0 +1,111 @@
+"""Eraser-style lockset analysis over the mini-C IR.
+
+Eraser's discipline: every shared access should be protected by at
+least one lock held at *every* access. The IR has no lock primitive,
+so lock acquisition is recognized the way Eraser intercepts a locking
+API:
+
+* a call to a function whose name contains ``acquire`` (the corpus
+  lock runtime's ``lock_acquire(&l)``) acquires the globals its
+  pointer argument may denote;
+* a call whose name contains ``release`` releases them;
+* a ``cmpxchg`` on a global is a CAS-loop acquisition of that global
+  (the spinlock idiom ``while (cas(&l, 0, 1)) {}``), and a plain store
+  to a currently-held global releases it.
+
+The analysis is a forward dataflow over the CFG: the lockset flowing
+into a block is the *intersection* of its predecessors' out-sets
+(Eraser's refinement), instructions transfer gen/kill within a block,
+and every memory access records the set held immediately before it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.aliasing import GlobalObj, PointsTo
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.instructions import Call, CmpXchg, Instruction, Store
+from repro.ir.values import Value
+
+
+def _global_names(points_to: PointsTo, value: Value) -> frozenset[str]:
+    return frozenset(
+        o.name for o in points_to.pointees(value) if isinstance(o, GlobalObj)
+    )
+
+
+def _transfer(
+    inst: Instruction, held: frozenset[str], points_to: PointsTo
+) -> frozenset[str]:
+    """The lockset after executing ``inst`` with ``held`` before it."""
+    if isinstance(inst, CmpXchg):
+        return held | _global_names(points_to, inst.addr)
+    if isinstance(inst, Call):
+        touched: frozenset[str] = frozenset()
+        for arg in inst.args:
+            touched |= _global_names(points_to, arg)
+        if "acquire" in inst.callee:
+            return held | touched
+        if "release" in inst.callee:
+            return held - touched
+        return held
+    if isinstance(inst, Store) and held:
+        return held - _global_names(points_to, inst.addr)
+    return held
+
+
+def compute_locksets(
+    func: Function, points_to: PointsTo
+) -> dict[int, frozenset[str]]:
+    """Lock globals held immediately before each memory access.
+
+    Returns ``{instruction uid -> frozenset of lock global names}`` for
+    every memory access of ``func``. Joins intersect; the fixpoint
+    iterates until block out-sets stabilize (locksets only shrink at
+    joins, so termination is immediate on a finite lock universe).
+    """
+    cfg = CFG(func)
+    preds: dict[str, list[str]] = {b.label: [] for b in func.blocks}
+    for label, succs in cfg.succ.items():
+        for s in succs:
+            preds[s].append(label)
+
+    entry = func.blocks[0].label
+    out_sets: dict[str, frozenset[str] | None] = {
+        b.label: None for b in func.blocks
+    }
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            if block.label == entry:
+                held: frozenset[str] = frozenset()
+            else:
+                incoming = [
+                    out_sets[p] for p in preds[block.label]
+                    if out_sets[p] is not None
+                ]
+                if not incoming:
+                    continue  # unreachable so far this round
+                held = frozenset.intersection(*incoming)
+            for inst in block.instructions:
+                held = _transfer(inst, held, points_to)
+            if out_sets[block.label] != held:
+                out_sets[block.label] = held
+                changed = True
+
+    locksets: dict[int, frozenset[str]] = {}
+    for block in func.blocks:
+        if block.label == entry:
+            held = frozenset()
+        else:
+            incoming = [
+                out_sets[p] for p in preds[block.label]
+                if out_sets[p] is not None
+            ]
+            held = frozenset.intersection(*incoming) if incoming else frozenset()
+        for inst in block.instructions:
+            if inst.is_memory_access():
+                locksets[inst.uid] = held
+            held = _transfer(inst, held, points_to)
+    return locksets

@@ -1,0 +1,387 @@
+"""May-happen-in-parallel analysis over the static thread structure.
+
+The mini-C language spawns a fixed set of threads (``thread f(0);``
+declarations), so the concurrency structure is static: two instructions
+may execute in parallel exactly when they belong to functions reachable
+(through the call graph) from *distinct* thread spawns. A function
+spawned twice — or called from two different thread entries — may run
+in parallel with itself.
+
+This is the cheap half of the static race detector: it prunes access
+pairs that provably share a thread before the lockset and
+happens-before refinements ever look at them.
+
+Corpus programs are *barrier-phased* (SPLASH-style: init, then
+``barrier_wait(n)``, then the next stage), so plain spawn-based MHP
+drowns in cross-phase pairs. The second half of this module is a
+barrier-phase refinement: calls to functions whose name contains
+``barrier`` are intercepted (the same name-level API recognition the
+lockset analysis uses for locks) and every access gets a *phase
+interval* — how many global barriers have completed before it, as a
+``[lo, hi]`` range over paths, with ``hi = inf`` once a barrier sits
+on a CFG cycle. Two accesses whose intervals are disjoint in every
+distinct-thread pairing cannot overlap in time. The refinement assumes
+barrier calls are *global* (every thread participates in every
+barrier), which is the corpus runtime's only barrier idiom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ir.cfg import CFG
+from repro.ir.function import BasicBlock, Function, Program
+from repro.ir.instructions import Br, Call, Cmp, Instruction, Load, Store
+from repro.ir.values import Constant, Register
+
+
+def callees_of(program: Program, func_name: str) -> frozenset[str]:
+    """Function names transitively reachable from ``func_name``
+    (inclusive). Unknown callees (runtime intrinsics) are skipped."""
+    seen: set[str] = set()
+    stack = [func_name]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in program.functions:
+            continue
+        seen.add(name)
+        for inst in program.functions[name].instructions():
+            if isinstance(inst, Call) and inst.callee not in seen:
+                stack.append(inst.callee)
+    return frozenset(seen)
+
+
+#: Substring intercepting the corpus runtime's barrier API by name,
+#: exactly as the lockset analysis intercepts ``acquire``/``release``.
+BARRIER_HINT = "barrier"
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """How many global barriers completed before a point: a path range.
+
+    ``hi`` is ``math.inf`` when a barrier lies on a CFG cycle (the
+    staged-loop idiom ``while (...) { work(); barrier_wait(n); }``).
+    """
+
+    lo: int
+    hi: float
+
+    def shift(self, other: "PhaseInterval") -> "PhaseInterval":
+        return PhaseInterval(self.lo + other.lo, self.hi + other.hi)
+
+    def join(self, other: "PhaseInterval") -> "PhaseInterval":
+        return PhaseInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def before(self, other: "PhaseInterval") -> bool:
+        """Every instance of self is in a strictly earlier phase."""
+        return self.hi < other.lo
+
+
+_ZERO_PHASE = PhaseInterval(0, 0)
+_ONE_BARRIER = PhaseInterval(1, 1)
+
+
+class ThreadStructure:
+    """Which threads can execute each function, and the MHP relation."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: thread index -> functions its entry transitively reaches.
+        self.reachable: tuple[frozenset[str], ...] = tuple(
+            callees_of(program, spec.func_name) for spec in program.threads
+        )
+        #: function name -> indices of threads that may execute it.
+        self.threads_of: dict[str, frozenset[int]] = {}
+        for tid, funcs in enumerate(self.reachable):
+            for name in funcs:
+                current = self.threads_of.get(name, frozenset())
+                self.threads_of[name] = current | {tid}
+        self._summaries: dict[str, PhaseInterval] = {}
+        self._summarizing: set[str] = set()
+        self._callee_reach: dict[str, frozenset[str]] = {}
+        self._phase_maps: dict[str, dict[int, PhaseInterval]] = {}
+        self._smears: dict[tuple[str, str], PhaseInterval | None] = {}
+        self._restrictions: dict[str, dict[int, int]] = {}
+
+    def executed_functions(self) -> tuple[str, ...]:
+        """Functions reachable from at least one thread entry, in
+        program declaration order."""
+        return tuple(
+            name for name in self.program.functions if name in self.threads_of
+        )
+
+    def may_happen_in_parallel(self, f: str, g: str) -> bool:
+        """Can an instance of ``f`` run concurrently with one of ``g``?
+
+        True when two *distinct* thread spawns can execute them — which
+        includes ``f == g`` whenever two threads reach the function.
+        """
+        tf = self.threads_of.get(f, frozenset())
+        tg = self.threads_of.get(g, frozenset())
+        if not tf or not tg:
+            return False
+        if f == g:
+            return len(tf) >= 2
+        # Distinct spawns: any pairing besides "both only thread i".
+        return bool(tf - tg) or bool(tg - tf) or len(tf & tg) >= 2
+
+    # --- barrier phases ---------------------------------------------------
+    def _reach(self, name: str) -> frozenset[str]:
+        if name not in self._callee_reach:
+            self._callee_reach[name] = callees_of(self.program, name)
+        return self._callee_reach[name]
+
+    def _call_delta(self, inst: Instruction) -> PhaseInterval:
+        """Barriers one call executes: the call itself if it targets a
+        barrier-named function, plus any inside the callee's body."""
+        if not isinstance(inst, Call):
+            return _ZERO_PHASE
+        delta = _ONE_BARRIER if BARRIER_HINT in inst.callee else _ZERO_PHASE
+        return delta.shift(self.barrier_summary(inst.callee))
+
+    def barrier_summary(self, name: str) -> PhaseInterval:
+        """Barrier executions in one invocation of ``name`` (its body,
+        excluding the call that invoked it). Recursive cycles are cut
+        optimistically at zero."""
+        if name in self._summaries:
+            return self._summaries[name]
+        func = self.program.functions.get(name)
+        if func is None or name in self._summarizing:
+            return _ZERO_PHASE
+        self._summarizing.add(name)
+        try:
+            ins = self._flow(func)
+            exits = [
+                block.label
+                for block in func.blocks
+                if not block.successor_labels()
+            ] or [block.label for block in func.blocks]
+            summary = _ZERO_PHASE
+            first = True
+            for label in exits:
+                out = ins[label]
+                for inst in self._block_of(func, label).instructions:
+                    out = out.shift(self._call_delta(inst))
+                summary = out if first else summary.join(out)
+                first = False
+        finally:
+            self._summarizing.discard(name)
+        self._summaries[name] = summary
+        return summary
+
+    @staticmethod
+    def _block_of(func: Function, label: str) -> BasicBlock:
+        for block in func.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(label)
+
+    def _flow(self, func: Function) -> dict[str, PhaseInterval]:
+        """Phase interval at each block's entry (Kleene with widening:
+        a still-growing ``hi`` means a barrier on a cycle -> inf)."""
+        cfg = CFG(func)
+        deltas = {
+            block.label: self._block_delta(block) for block in func.blocks
+        }
+        entry = func.blocks[0].label
+        ins: dict[str, PhaseInterval | None] = {
+            block.label: None for block in func.blocks
+        }
+        ins[entry] = _ZERO_PHASE
+        limit = 2 * len(func.blocks) + 8
+        rounds = 0
+        while True:
+            rounds += 1
+            changed = set()
+            for block in func.blocks:
+                if block.label == entry:
+                    continue
+                incoming = [
+                    ins[p].shift(deltas[p])
+                    for p in cfg.pred[block.label]
+                    if ins[p] is not None
+                ]
+                if not incoming:
+                    continue
+                merged = incoming[0]
+                for interval in incoming[1:]:
+                    merged = merged.join(interval)
+                if ins[block.label] is not None:
+                    # Monotone accumulate, so a widened hi=inf sticks.
+                    merged = merged.join(ins[block.label])
+                if merged != ins[block.label]:
+                    ins[block.label] = merged
+                    changed.add(block.label)
+            if not changed:
+                break
+            if rounds >= limit:  # widen: growth past the bound is a cycle
+                for label in changed:
+                    current = ins[label]
+                    ins[label] = PhaseInterval(current.lo, math.inf)
+        return {
+            label: interval if interval is not None else _ZERO_PHASE
+            for label, interval in ins.items()
+        }
+
+    def _block_delta(self, block: BasicBlock) -> PhaseInterval:
+        delta = _ZERO_PHASE
+        for inst in block.instructions:
+            delta = delta.shift(self._call_delta(inst))
+        return delta
+
+    def _phase_map(self, root: str) -> dict[int, PhaseInterval]:
+        """uid -> phase interval immediately before each instruction of
+        ``root`` (the thread entry function)."""
+        if root in self._phase_maps:
+            return self._phase_maps[root]
+        func = self.program.functions[root]
+        ins = self._flow(func)
+        mapping: dict[int, PhaseInterval] = {}
+        for block in func.blocks:
+            interval = ins[block.label]
+            for inst in block.instructions:
+                mapping[inst.uid] = interval
+                interval = interval.shift(self._call_delta(inst))
+        self._phase_maps[root] = mapping
+        return mapping
+
+    def access_interval(
+        self, thread: int, func_name: str, uid: int
+    ) -> PhaseInterval | None:
+        """Phase interval of access ``uid`` of ``func_name`` when thread
+        ``thread`` executes it; None when the placement is unknown."""
+        root = self.program.threads[thread].func_name
+        if root not in self.program.functions:
+            return None
+        if func_name == root:
+            return self._phase_map(root).get(uid)
+        key = (root, func_name)
+        if key not in self._smears:
+            self._smears[key] = self._callee_interval(root, func_name)
+        return self._smears[key]
+
+    def _callee_interval(
+        self, root: str, func_name: str
+    ) -> PhaseInterval | None:
+        """Joined interval over every call site in ``root`` that can
+        reach ``func_name``, smeared by barriers inside the callee."""
+        phase_map = self._phase_map(root)
+        result: PhaseInterval | None = None
+        for inst in self.program.functions[root].instructions():
+            if not isinstance(inst, Call):
+                continue
+            if func_name != inst.callee and (
+                func_name not in self._reach(inst.callee)
+            ):
+                continue
+            site = phase_map[inst.uid]
+            smeared = PhaseInterval(
+                site.lo, site.hi + self._call_delta(inst).hi
+            )
+            result = smeared if result is None else result.join(smeared)
+        return result
+
+    # --- master-thread guards ---------------------------------------------
+    def _tid_guards(self, func_name: str) -> dict[int, int]:
+        """uid -> required spawn id, for accesses dominated by an
+        ``if (tid == k)`` guard (the master-thread-init idiom). The
+        thread-id is recognized as the first parameter when it is named
+        ``tid`` — the corpus convention, threaded through call chains
+        verbatim — plus loads from the local slot it is spilled to."""
+        if func_name in self._restrictions:
+            return self._restrictions[func_name]
+        func = self.program.functions[func_name]
+        result: dict[int, int] = {}
+        self._restrictions[func_name] = result
+        if not func.params or func.params[0].name.lstrip("%") != "tid":
+            return result
+        tid_regs = {func.params[0].name}
+        # Slots holding only the tid: stored exactly once, from it.
+        stores: dict[str, list] = {}
+        for inst in func.instructions():
+            if isinstance(inst, Store) and isinstance(inst.addr, Register):
+                stores.setdefault(inst.addr.name, []).append(inst.value)
+        tid_slots = {
+            slot
+            for slot, values in stores.items()
+            if len(values) == 1
+            and isinstance(values[0], Register)
+            and values[0].name in tid_regs
+        }
+        for inst in func.instructions():
+            if (
+                isinstance(inst, Load)
+                and isinstance(inst.addr, Register)
+                and inst.addr.name in tid_slots
+            ):
+                tid_regs.add(inst.dest.name)
+
+        cfg = CFG(func)
+        doms = cfg.dominators()
+        guarded: dict[str, int] = {}  # then-block label -> required id
+        for block in func.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, Br):
+                    continue
+                cond = inst.cond
+                if not isinstance(cond, Register):
+                    continue
+                defining = cond.defining_inst
+                if not (isinstance(defining, Cmp) and defining.op == "=="):
+                    continue
+                operands = (defining.lhs, defining.rhs)
+                spawn_id = None
+                for x, y in (operands, operands[::-1]):
+                    if (
+                        isinstance(x, Register)
+                        and x.name in tid_regs
+                        and isinstance(y, Constant)
+                    ):
+                        spawn_id = y.value
+                if spawn_id is None:
+                    continue
+                target = inst.true_label
+                # Domination by the then-block implies the guard held —
+                # valid only while the branch is its sole entry.
+                if len(cfg.pred.get(target, ())) == 1:
+                    guarded[target] = spawn_id
+        if guarded:
+            for block in func.blocks:
+                for target, spawn_id in guarded.items():
+                    if target in doms[block.label]:
+                        for inst in block.instructions:
+                            result[inst.uid] = spawn_id
+        return result
+
+    def _may_execute(self, thread: int, func_name: str, uid: int) -> bool:
+        required = self._tid_guards(func_name).get(uid)
+        if required is None:
+            return True
+        args = self.program.threads[thread].args
+        return not args or args[0] == required
+
+    def may_overlap(
+        self, a_func: str, a_uid: int, b_func: str, b_uid: int
+    ) -> bool:
+        """Can the two accesses overlap in time on distinct threads?
+
+        False when every distinct-thread pairing is either excluded by
+        an ``if (tid == k)`` guard or separated by global barrier
+        phases."""
+        for t1 in self.threads_of.get(a_func, frozenset()):
+            if not self._may_execute(t1, a_func, a_uid):
+                continue
+            ia = self.access_interval(t1, a_func, a_uid)
+            for t2 in self.threads_of.get(b_func, frozenset()):
+                if t1 == t2:
+                    continue
+                if not self._may_execute(t2, b_func, b_uid):
+                    continue
+                ib = self.access_interval(t2, b_func, b_uid)
+                if ia is None or ib is None:
+                    return True
+                if not (ia.before(ib) or ib.before(ia)):
+                    return True
+        return False

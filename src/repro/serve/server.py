@@ -34,6 +34,7 @@ from repro.api.reports import (
     BatchRequest,
     CheckRequest,
     FuzzRequest,
+    LintRequest,
     SchemaError,
     SimulateRequest,
 )
@@ -46,6 +47,7 @@ REQUEST_DISPATCH = {
     SimulateRequest.KIND: "simulate",
     BatchRequest.KIND: "batch",
     FuzzRequest.KIND: "fuzz",
+    LintRequest.KIND: "lint",
 }
 
 

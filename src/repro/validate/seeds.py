@@ -1,0 +1,58 @@
+"""Fuzz-seed corpus fed by the static race detector's misses.
+
+When ``repro lint`` confirms a dynamic race on a program the static
+DRF gate would have *passed* (a RACE002 finding), the program is
+exactly the kind of counterexample the differential fuzzer should keep
+hammering on: the detector's blind spot, written down as source. This
+module is that corpus — an in-process, insertion-ordered store the
+lint pipeline records into and the validation harness replays from.
+
+The store is content-deduplicated (the same gap reported twice is one
+seed) and bounded, so a long-lived ``repro serve`` daemon linting
+thousands of programs cannot grow it without limit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+_MAX_SEEDS = 256
+
+_lock = threading.Lock()
+_seeds: dict[str, tuple[str, str]] = {}  # digest -> (name, source)
+
+
+def record_seed(name: str, source: str) -> str:
+    """Record a detector-gap program; returns its stable seed key.
+
+    Idempotent on content: re-recording the same source (under any
+    name) returns the existing key. The oldest seed is dropped once
+    the store is full.
+    """
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+    with _lock:
+        if digest not in _seeds:
+            while len(_seeds) >= _MAX_SEEDS:
+                _seeds.pop(next(iter(_seeds)))
+            _seeds[digest] = (name, source)
+    return digest
+
+
+def all_seeds() -> tuple[tuple[str, str, str], ...]:
+    """Every recorded seed as ``(key, name, source)``, oldest first."""
+    with _lock:
+        return tuple(
+            (key, name, source) for key, (name, source) in _seeds.items()
+        )
+
+
+def seed_count() -> int:
+    with _lock:
+        return len(_seeds)
+
+
+def clear_seeds() -> None:
+    """Empty the store (test isolation)."""
+    with _lock:
+        _seeds.clear()

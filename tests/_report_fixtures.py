@@ -15,14 +15,18 @@ from repro.api import (
     CacheStats,
     CheckReport,
     CheckRequest,
+    Finding,
     FunctionFences,
     FuzzProblem,
     FuzzReport,
     FuzzRequest,
     FuzzViolation,
+    LintReport,
+    LintRequest,
     ProgramSpec,
     SimulateReport,
     SimulateRequest,
+    SourceSpan,
     VariantCheck,
 )
 
@@ -169,11 +173,58 @@ def sample_payloads() -> dict:
         ),
         cases=({"seed": 0, "shape": "dekker", "violations": []},),
     )
+    lint_request = LintRequest(
+        program=spec, variant="address+control", model="pso",
+        arch="power", passes=("racy-access-pair",), confirm=True,
+        max_traces=100, max_actions=200, fail_on="warning", stats=True,
+    )
+    lint_report = LintReport(
+        program="sample",
+        variant="address+control",
+        model="pso",
+        passes=("racy-access-pair", "redundant-fence"),
+        findings=(
+            Finding(
+                code="RACE001",
+                severity="error",
+                message="conflicting unsynchronized accesses to 'x' may race",
+                spans=(
+                    SourceSpan("p1", "entry", 4, 7, "store @x, 1"),
+                    SourceSpan("p2", "entry", 5, 12, "%2 = load @x"),
+                ),
+                pass_id="racy-access-pair",
+                verdict="confirmed",
+                witness="* T0 store x = 1\n* T1 load x = 1",
+            ),
+            Finding(
+                code="FENCE101",
+                severity="note",
+                message="redundant fence: no memory access since the "
+                        "previous barrier",
+                spans=(SourceSpan("p1", "entry", 6, 9, "fence"),),
+                pass_id="redundant-fence",
+            ),
+        ),
+        notes=1,
+        warnings=0,
+        errors=1,
+        confirmed_races=1,
+        refuted_candidates=0,
+        unknown_candidates=0,
+        explorer_complete=True,
+        fuzz_seed=None,
+        fail_on="warning",
+        arch="power",
+        cache_stats=CacheStats(
+            hits=4, misses=2, by_fact={"race_candidates": 1}
+        ),
+    )
     samples = [
         analyze_request, analyze_report,
         check_request, check_report,
         simulate_request, simulate_report,
         batch_request, batch_report,
         fuzz_request, fuzz_report,
+        lint_request, lint_report,
     ]
     return {s.KIND: s for s in samples}

@@ -1,0 +1,62 @@
+"""The deprecation-shim grep gate runs clean as a tier-1 test.
+
+The PR-3 compatibility shims survive only for external callers;
+``tools/check_shims.py`` greps the tree so internal usage cannot creep
+back in. This pins both directions: the tree is clean today, and the
+gate actually fires on a violation.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_shims", ROOT / "tools" / "check_shims.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_internal_shim_callers():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_shims.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "shim gate clean" in result.stdout
+
+
+def test_gate_catches_each_banned_pattern(tmp_path):
+    gate = _load_gate()
+    offending = [
+        "x = VARIANTS_BY_VALUE['control']",
+        "table = WEAK_EXPLORERS",
+        "repro.analyze_program(program)",
+        "repro.place_fences(program)",
+        "from repro import analyze_program",
+    ]
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "offender.py").write_text("\n".join(offending) + "\n")
+    original_root = gate.ROOT
+    try:
+        gate.ROOT = tmp_path
+        found = gate.violations()
+    finally:
+        gate.ROOT = original_root
+    assert len(found) == len(offending)
+    assert {lineno for _, lineno, _, _ in found} == set(
+        range(1, len(offending) + 1)
+    )
+
+
+def test_allowlist_covers_only_existing_files():
+    gate = _load_gate()
+    for rel in gate.ALLOWED:
+        assert (ROOT / rel).exists(), f"stale allowlist entry: {rel}"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Deprecation-shim gate: fail when internal code calls a PR-3 shim.
+
+The compatibility shims (`repro.analyze_program` / `repro.place_fences`
+at the top level, `repro.core.pipeline.VARIANTS_BY_VALUE`,
+`repro.validate.oracle.WEAK_EXPLORERS`) exist only for external callers
+mid-migration. Internal code must use the `repro.api` facade or the
+registries directly; this gate greps the tree so shim usage cannot
+creep back in after the cleanup.
+
+    PYTHONPATH=src python tools/check_shims.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: (pattern, what it catches). Plain-text regexes over source lines.
+BANNED: tuple[tuple[str, str], ...] = (
+    (r"\bVARIANTS_BY_VALUE\b", "repro.core.pipeline.VARIANTS_BY_VALUE shim"),
+    (r"\bWEAK_EXPLORERS\b", "repro.validate.oracle.WEAK_EXPLORERS shim"),
+    (r"\brepro\.analyze_program\b", "top-level repro.analyze_program shim"),
+    (r"\brepro\.place_fences\b", "top-level repro.place_fences shim"),
+    (r"from\s+repro\s+import\s+[^\n]*\b(analyze_program|place_fences)\b",
+     "top-level analyze_program/place_fences import"),
+)
+
+#: Files allowed to mention the shims: their definitions, the modules
+#: that re-export them behind __getattr__, the test that pins their
+#: deprecation behavior, and this gate itself.
+ALLOWED: frozenset[str] = frozenset(
+    {
+        "src/repro/__init__.py",
+        "src/repro/api/_compat.py",
+        "src/repro/core/pipeline.py",
+        "src/repro/validate/oracle.py",
+        "src/repro/registry/models.py",  # docstring: why the table died
+        "tests/test_api_reports.py",
+        "tests/test_shim_gate.py",
+        "tools/check_shims.py",
+    }
+)
+
+SCAN_DIRS = ("src", "tests", "tools", "benchmarks", "examples")
+
+
+def violations() -> list[tuple[str, int, str, str]]:
+    found = []
+    for top in SCAN_DIRS:
+        base = ROOT / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(ROOT).as_posix()
+            if rel in ALLOWED:
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                for pattern, label in BANNED:
+                    if re.search(pattern, line):
+                        found.append((rel, lineno, label, line.strip()))
+    return found
+
+
+def main() -> int:
+    found = violations()
+    if found:
+        print("deprecated-shim usage crept back in:", file=sys.stderr)
+        for rel, lineno, label, line in found:
+            print(f"  {rel}:{lineno}: {label}\n      {line}", file=sys.stderr)
+        print(
+            "\nuse the repro.api facade (Session / pipeline_variants()) "
+            "or the registries instead.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"shim gate clean ({len(BANNED)} patterns, "
+          f"{len(ALLOWED)} allowlisted files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
