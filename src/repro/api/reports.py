@@ -420,6 +420,10 @@ class VariantCheck:
     full_fences: int
     weak_outcomes: int
     restored_sc: bool
+    #: Whether this variant's fenced exploration exhausted the state
+    #: space. A bounded run proves nothing: ``restored_sc`` is then
+    #: False by construction, never a truncated-set comparison.
+    complete: bool = True
 
 
 @register_report
@@ -428,7 +432,7 @@ class CheckReport(WirePayload):
     """Differential model-checking verdicts as a wire artifact."""
 
     KIND: ClassVar[str] = "check-report"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
     _DECODERS: ClassVar[dict] = {"variants": _tuple_of(VariantCheck)}
 
     program: str
@@ -445,15 +449,21 @@ class CheckReport(WirePayload):
 
     @property
     def failures(self) -> int:
-        return sum(1 for v in self.variants if not v.restored_sc)
+        return sum(
+            1 for v in self.variants if not (v.complete and v.restored_sc)
+        )
 
     @property
     def all_restored(self) -> bool:
-        return self.complete and self.failures == 0
+        return (
+            self.complete
+            and all(v.complete for v in self.variants)
+            and self.failures == 0
+        )
 
     @property
     def exit_code(self) -> int:
-        if not self.complete:
+        if not self.complete or any(not v.complete for v in self.variants):
             return 2
         return 0 if self.failures == 0 else 1
 
@@ -467,10 +477,13 @@ class CheckReport(WirePayload):
             f"({'NON-SC BEHAVIOUR' if self.weak_breaks_unfenced else 'SC-equal'})",
         ]
         for v in self.variants:
-            lines.append(
+            line = (
                 f"{display} + {v.variant:16s}: {v.full_fences} mfences, "
                 f"SC restored: {v.restored_sc}"
             )
+            if not v.complete:
+                line += " (BOUNDED: state space exceeded --max-states)"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -726,7 +739,7 @@ class LintReport(WirePayload):
     """One program's findings — the DRF verdict — as a wire artifact."""
 
     KIND: ClassVar[str] = "lint-report"
-    SCHEMA_VERSION: ClassVar[int] = 1
+    SCHEMA_VERSION: ClassVar[int] = 2
     _DECODERS: ClassVar[dict] = {
         "findings": _decode_findings,
         "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
@@ -748,6 +761,10 @@ class LintReport(WirePayload):
     #: Whether the witness search exhausted the interleavings; None
     #: when confirmation was off.
     explorer_complete: bool | None
+    #: How many SC traces the witness search actually enumerated; None
+    #: when confirmation was off. Distinguishes "bounded after 400
+    #: traces" from "bounded after 2" when reading saved reports.
+    traces_checked: int | None
     #: The linted source, attached when the explorer found a race the
     #: static gate missed — ready to feed the fuzz harness.
     fuzz_seed: str | None
@@ -778,8 +795,14 @@ class LintReport(WirePayload):
         lines = [header]
         if self.explorer_complete is not None:
             verdict = "exhaustive" if self.explorer_complete else "bounded"
+            traces = (
+                f", {self.traces_checked} traces"
+                if self.traces_checked is not None
+                else ""
+            )
             lines.append(
-                f"explorer ({verdict}): {self.confirmed_races} confirmed, "
+                f"explorer ({verdict}{traces}): "
+                f"{self.confirmed_races} confirmed, "
                 f"{self.refuted_candidates} refuted, "
                 f"{self.unknown_candidates} unknown"
             )

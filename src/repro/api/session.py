@@ -591,6 +591,7 @@ class Session:
             refuted_candidates=result.refuted_candidates,
             unknown_candidates=result.unknown_candidates,
             explorer_complete=result.explorer_complete,
+            traces_checked=result.traces_checked,
             fuzz_seed=fuzz_seed,
             fail_on=request.fail_on,
             arch=request.arch,
@@ -677,12 +678,17 @@ class Session:
                 backend=backend,
             )
             fenced_weak = explorer_cls(fenced, max_states=bound).explore()
+            # A bounded fenced exploration proves nothing: comparing a
+            # truncated outcome set against sc_obs could claim (or
+            # deny) restoration on evidence that isn't there.
             verdicts.append(
                 VariantCheck(
                     variant=key,
                     full_fences=analysis.full_fence_count,
                     weak_outcomes=len(fenced_weak.observation_sets()),
-                    restored_sc=fenced_weak.observation_sets() == sc_obs,
+                    restored_sc=fenced_weak.complete
+                    and fenced_weak.observation_sets() == sc_obs,
+                    complete=fenced_weak.complete,
                 )
             )
         return CheckReport(

@@ -43,6 +43,9 @@ class LintResult:
     #: True when the witness search exhausted the interleavings, False
     #: when it hit its bounds, None when confirmation was off.
     explorer_complete: bool | None
+    #: SC traces the witness search enumerated; None when confirmation
+    #: was off.
+    traces_checked: int | None
     #: The linted source becomes fuzz-seed material when the explorer
     #: found a race the static gate missed.
     fuzz_seed: bool = False
@@ -102,5 +105,6 @@ def run_lint(
         refuted_candidates=ctx.extras.get("refuted_candidates", 0),
         unknown_candidates=ctx.extras.get("unknown_candidates", 0),
         explorer_complete=ctx.extras.get("explorer_complete"),
+        traces_checked=ctx.extras.get("traces_checked"),
         fuzz_seed=bool(ctx.extras.get("fuzz_seed")),
     )

@@ -311,9 +311,123 @@ thread r2(3);
 )
 
 
+MP_CHAIN = LitmusTest(
+    name="mp-chain",
+    description="Two-hop message passing: source hands two slots to a "
+    "relay, which computes derived values into two more slots for a "
+    "sink. Roughly 3x the state space of plain MP — the exploration "
+    "core's scaling workload (and the BENCH_explore.json MP-class "
+    "entry).",
+    source="""
+global int slot0;
+global int slot1;
+global int slot2;
+global int slot3;
+global int flag01;
+global int flag12;
+global int out;
+
+fn source(tid) {
+  slot0 = 11;
+  slot1 = 22;
+  flag01 = 1;
+}
+
+fn relay(tid) {
+  local a = 0;
+  local b = 0;
+  while (flag01 == 0) { }
+  a = slot0;
+  b = slot1;
+  slot2 = a + b;
+  slot3 = a - b;
+  flag12 = 1;
+}
+
+fn sink(tid) {
+  local r = 0;
+  local s = 0;
+  while (flag12 == 0) { }
+  r = slot2;
+  s = slot3;
+  out = r - s;
+  observe("r", r);
+  observe("s", s);
+}
+
+thread source(0);
+thread relay(1);
+thread sink(2);
+""",
+    sync_globals=frozenset({"flag01", "flag12"}),
+    well_synchronized=True,
+    tso_breaks_unfenced=False,  # w->w and r->r stay ordered on TSO
+    notes="breaks on pso/arm/power (store reordering past the flags)",
+)
+
+
+DEKKER_SCOREBOARD = LitmusTest(
+    name="dekker-scoreboard",
+    description="Dekker with per-thread progress tallies written around "
+    "the critical section: the extra non-sync stores multiply the "
+    "buffer interleavings (~4x dekker's TSO state space) without "
+    "changing the protocol. The exploration core's dekker-class "
+    "scaling workload.",
+    source="""
+global int x;
+global int y;
+global int z;
+global int tally0;
+global int tally1;
+
+fn left(tid) {
+  local r = 0;
+  tally0 = 1;
+  x = 1;
+  r = y;
+  if (r == 0) {
+    z = z + 1;
+    tally0 = 2;
+    observe("in", 1);
+  }
+}
+
+fn right(tid) {
+  local r = 0;
+  tally1 = 1;
+  y = 1;
+  r = x;
+  if (r == 0) {
+    z = z + 1;
+    tally1 = 2;
+    observe("in", 1);
+  }
+}
+
+thread left(0);
+thread right(1);
+""",
+    sync_globals=frozenset({"x", "y"}),
+    well_synchronized=True,
+    tso_breaks_unfenced=True,  # both threads can enter, like dekker
+    notes="w->r delays need mfences; vanilla (no acquires) misses them",
+)
+
+
 LITMUS_TESTS: dict[str, LitmusTest] = {
     t.name: t
-    for t in (MP, MP_POINTERS, DEKKER, SB, BENIGN_RACES, LB, MP_STALE, IRIW)
+    for t in (
+        MP,
+        MP_POINTERS,
+        DEKKER,
+        SB,
+        BENIGN_RACES,
+        LB,
+        MP_STALE,
+        IRIW,
+        MP_CHAIN,
+        DEKKER_SCOREBOARD,
+    )
 }
 
 

@@ -1,4 +1,4 @@
-"""Exhaustive PSO (partial store order) operational model exploration.
+"""PSO (partial store order) operational model exploration.
 
 PSO relaxes TSO's ``w->w`` ordering: each thread keeps a FIFO store
 buffer *per address* (same-address stores stay ordered — coherence —
@@ -12,21 +12,19 @@ driven by the PSO machine model must therefore fence the producer side
 (``w -> w_rel`` into the release), which the integration tests verify
 end to end — evidence that the Table-I orderings, not just the TSO
 ``w->r`` subset, are doing their job.
+
+Exploration runs through the shared DPOR core
+(:mod:`repro.memmodel.explore`); per-address flushes of *different*
+addresses from different threads commute unless some thread may still
+access them, so the factorial drain-order blowup collapses.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.ir.function import Program
 from repro.ir.instructions import FenceKind
-from repro.memmodel.interpreter import (
-    ExecutionError,
-    PendingAction,
-    ThreadExecutor,
-    ThreadState,
-)
-from repro.memmodel.sc import ExplorationResult, Outcome, make_outcome
+from repro.memmodel.explore import LOCAL_FP, CoreExplorer, Transition
+from repro.memmodel.interpreter import ExecutionError, ThreadState
+from repro.memmodel.sc import Outcome, make_outcome
 from repro.memmodel.storebuf import AddrFifoMap, fifo_get, fifo_set
 
 # Per-thread buffer: address -> FIFO of pending values (oldest first).
@@ -40,130 +38,118 @@ def _buffer_empty(buffer: PsoBuffer) -> bool:
     return not buffer
 
 
-class PSOExplorer:
-    """DFS over the PSO state graph (threads x per-address buffers)."""
+class PSOExplorer(CoreExplorer):
+    """DPOR DFS over the PSO state graph (threads x per-address
+    buffers). State = (memory, threads, buffers)."""
 
-    def __init__(
-        self,
-        program: Program,
-        max_states: int = 1_000_000,
-        max_steps_per_thread: int = 100_000,
-        observe_globals: Optional[list[str]] = None,
-    ) -> None:
-        self.program = program
-        self.executor = ThreadExecutor(program)
-        self.layout = self.executor.layout
-        self.max_states = max_states
-        self.max_steps = max_steps_per_thread
-        self.observe_globals = observe_globals
-
-    def _state_key(
-        self,
-        memory: dict[int, int],
-        threads: list[ThreadState],
-        buffers: list[PsoBuffer],
-    ) -> tuple:
+    def initial_state(self) -> tuple:
+        threads = tuple(self.executor.start_all())
         return (
-            tuple(sorted(memory.items())),
-            tuple(ts.key() for ts in threads),
-            tuple(buffers),
+            self.layout.initial_memory(),
+            threads,
+            tuple(() for _ in threads),
         )
 
-    def explore(self) -> ExplorationResult:
-        memory = self.layout.initial_memory()
-        threads = self.executor.start_all()
-        buffers: list[PsoBuffer] = [() for _ in threads]
-        outcomes: set[Outcome] = set()
-        visited: set[tuple] = set()
-        stack = [(memory, threads, buffers)]
-        states = 0
-        complete = True
+    def threads_of(self, state: tuple) -> tuple[ThreadState, ...]:
+        return state[1]
 
-        while stack:
-            memory, threads, buffers = stack.pop()
-            key = self._state_key(memory, threads, buffers)
-            if key in visited:
-                continue
-            visited.add(key)
-            states += 1
-            if states > self.max_states:
-                complete = False
-                break
+    def state_parts(self, state: tuple) -> tuple[tuple, tuple]:
+        memory, _threads, buffers = state
+        return tuple(sorted(memory.items())), buffers
 
-            progressed = False
+    def buffered_addrs(self, state: tuple, tid: int) -> frozenset[int]:
+        return frozenset(addr for addr, _values in state[2][tid])
 
-            # (a) flush the oldest entry of ANY per-address queue: this
-            # is where PSO differs from TSO — each address drains
-            # independently, so differently-addressed stores reorder.
-            for i, buffer in enumerate(buffers):
-                for addr, values in buffer:
-                    new_memory = dict(memory)
-                    new_memory[addr] = values[0]
-                    new_buffers = list(buffers)
-                    new_buffers[i] = _buffer_set(buffer, addr, values[1:])
-                    stack.append(
-                        (new_memory, [t.clone() for t in threads], new_buffers)
-                    )
-                    progressed = True
+    def outcome_of(self, state: tuple) -> Outcome:
+        memory, threads, _buffers = state
+        return make_outcome(self.layout, memory, threads, self.observe_globals)
 
-            # (b) thread steps.
-            for i, ts in enumerate(threads):
-                if ts.done:
-                    continue
-                new_threads = [t.clone() for t in threads]
+    def check_final(self, state: tuple) -> None:
+        if any(state[2]):  # pragma: no cover - flushes always enabled
+            raise ExecutionError("deadlock with non-empty buffer")
+
+    def transitions(self, state: tuple) -> list[Transition]:
+        memory, threads, buffers = state
+        out: list[Transition] = []
+
+        # (a) flush the oldest entry of ANY per-address queue: this is
+        # where PSO differs from TSO — each address drains
+        # independently, so differently-addressed stores reorder.
+        for i, buffer in enumerate(buffers):
+            for addr, values in buffer:
                 new_memory = dict(memory)
-                new_buffers = list(buffers)
-                clone = new_threads[i]
-                pending = self.executor.next_action(clone, self.max_steps)
-                if pending is None:
-                    stack.append((new_memory, new_threads, new_buffers))
-                    progressed = True
-                    continue
-                if not self._apply(new_memory, new_buffers, i, clone, pending):
-                    continue
-                stack.append((new_memory, new_threads, new_buffers))
-                progressed = True
-
-            if not progressed:
-                if any(buffers):  # pragma: no cover - flushes always enabled
-                    raise ExecutionError("deadlock with non-empty buffer")
-                outcomes.add(
-                    make_outcome(self.layout, memory, threads, self.observe_globals)
+                new_memory[addr] = values[0]
+                new_buffers = (
+                    buffers[:i]
+                    + (_buffer_set(buffer, addr, values[1:]),)
+                    + buffers[i + 1 :]
+                )
+                out.append(
+                    Transition(
+                        ("f", i, addr),
+                        i,
+                        False,
+                        self._addr_fp(addr, writes=True),
+                        ((new_memory, threads, new_buffers),),
+                    )
                 )
 
-        return ExplorationResult(outcomes, states, complete)
-
-    def _apply(
-        self,
-        memory: dict[int, int],
-        buffers: list[PsoBuffer],
-        i: int,
-        ts: ThreadState,
-        pending: PendingAction,
-    ) -> bool:
-        buffer = buffers[i]
-        if pending.kind == "load":
-            values = _buffer_get(buffer, pending.addr)
-            value = values[-1] if values else memory.get(pending.addr, 0)
-            self.executor.commit(ts, pending, value)
-            return True
-        if pending.kind == "store":
-            values = _buffer_get(buffer, pending.addr)
-            buffers[i] = _buffer_set(buffer, pending.addr, values + (pending.value,))
-            self.executor.commit(ts, pending)
-            return True
-        if pending.kind == "rmw":
-            if not _buffer_empty(buffer):
-                return False
-            old = memory.get(pending.addr, 0)
-            result, new = pending.rmw_result(old)
-            if new is not None:
-                memory[pending.addr] = new
-            self.executor.commit(ts, pending, result)
-            return True
-        if pending.kind == "fence":
-            if pending.fence_kind is FenceKind.FULL and not _buffer_empty(buffer):
-                return False
-            self.executor.commit(ts, pending)
-            return True
-        raise ExecutionError(f"unknown action {pending.kind}")  # pragma: no cover
+        # (b) thread steps.
+        for i, ts in enumerate(threads):
+            if ts.done:
+                continue
+            new_threads, clone, pending = self._advance(threads, i)
+            if pending is None:
+                out.append(
+                    Transition(
+                        ("t", i), i, True, LOCAL_FP, ((memory, new_threads, buffers),)
+                    )
+                )
+                continue
+            buffer = buffers[i]
+            if pending.kind == "load":
+                values = _buffer_get(buffer, pending.addr)
+                if values:
+                    self.executor.commit(clone, pending, values[-1])
+                    # Shared read for reduction purposes (see tso.py):
+                    # forwarding status flips once the own queue drains.
+                    fp = self._addr_fp(pending.addr, reads=True)
+                else:
+                    self.executor.commit(
+                        clone, pending, memory.get(pending.addr, 0)
+                    )
+                    fp = self._addr_fp(pending.addr, reads=True)
+                succ = (memory, new_threads, buffers)
+            elif pending.kind == "store":
+                values = _buffer_get(buffer, pending.addr)
+                new_buffers = (
+                    buffers[:i]
+                    + (_buffer_set(buffer, pending.addr, values + (pending.value,)),)
+                    + buffers[i + 1 :]
+                )
+                self.executor.commit(clone, pending)
+                fp = LOCAL_FP
+                succ = (memory, new_threads, new_buffers)
+            elif pending.kind == "rmw":
+                if not _buffer_empty(buffer):
+                    continue
+                new_memory = dict(memory)
+                old = new_memory.get(pending.addr, 0)
+                result, new = pending.rmw_result(old)
+                if new is not None:
+                    new_memory[pending.addr] = new
+                self.executor.commit(clone, pending, result)
+                fp = self._addr_fp(pending.addr, reads=True, writes=True)
+                succ = (new_memory, new_threads, buffers)
+            elif pending.kind == "fence":
+                if pending.fence_kind is FenceKind.FULL and not _buffer_empty(
+                    buffer
+                ):
+                    continue
+                self.executor.commit(clone, pending)
+                fp = LOCAL_FP
+                succ = (memory, new_threads, buffers)
+            else:  # pragma: no cover
+                raise ExecutionError(f"unknown action {pending.kind}")
+            out.append(Transition(("t", i), i, True, fp, (succ,)))
+        return out

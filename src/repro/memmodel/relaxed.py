@@ -51,12 +51,14 @@ from repro.arch.backend import ALL_KINDS, get_backend
 from repro.core.machine_models import OrderKind
 from repro.ir.function import Program
 from repro.ir.instructions import Fence, FenceKind
-from repro.memmodel.interpreter import (
-    ExecutionError,
-    ThreadExecutor,
-    ThreadState,
+from repro.memmodel.explore import (
+    LOCAL_FP,
+    CoreExplorer,
+    Footprint,
+    Transition,
 )
-from repro.memmodel.sc import ExplorationResult, Outcome, make_outcome
+from repro.memmodel.interpreter import ExecutionError, ThreadState
+from repro.memmodel.sc import Outcome, make_outcome
 
 from repro.memmodel.storebuf import AddrFifoMap, fifo_get, fifo_set
 
@@ -104,8 +106,10 @@ def _seal(buffer: GroupedBuffer) -> GroupedBuffer:
     return buffer + ((),)
 
 
-class RelaxedExplorer:
-    """DFS over the relaxed state graph for one arch backend."""
+class RelaxedExplorer(CoreExplorer):
+    """DPOR DFS over the relaxed state graph for one arch backend.
+
+    State = (memory, prev, threads, buffers, fresh)."""
 
     #: Arch whose flavor catalog gives fences their kill-sets.
     arch = "arm"
@@ -119,16 +123,18 @@ class RelaxedExplorer:
     def __init__(
         self,
         program: Program,
-        max_states: int = 1_000_000,
+        max_states: Optional[int] = None,
         max_steps_per_thread: int = 100_000,
         observe_globals: Optional[list[str]] = None,
+        **core_opts,
     ) -> None:
-        self.program = program
-        self.executor = ThreadExecutor(program)
-        self.layout = self.executor.layout
-        self.max_states = max_states
-        self.max_steps = max_steps_per_thread
-        self.observe_globals = observe_globals
+        super().__init__(
+            program,
+            max_states,
+            max_steps_per_thread,
+            observe_globals,
+            **core_opts,
+        )
         self.backend = get_backend(self.arch)
 
     # --- fence semantics --------------------------------------------------
@@ -142,21 +148,45 @@ class RelaxedExplorer:
         return ALL_KINDS  # foreign flavor: act as a full fence
 
     # --- state plumbing ---------------------------------------------------
-    def _state_key(
-        self,
-        memory: dict[int, int],
-        prev: dict[int, int],
-        threads: list[ThreadState],
-        buffers: list[GroupedBuffer],
-        fresh: list[frozenset[int]],
-    ) -> tuple:
+    def initial_state(self) -> tuple:
+        threads = tuple(self.executor.start_all())
         return (
+            self.layout.initial_memory(),
+            {},  # prev: one stale candidate value per address
+            threads,
+            tuple(() for _ in threads),
+            tuple(frozenset() for _ in threads),
+        )
+
+    def threads_of(self, state: tuple) -> tuple[ThreadState, ...]:
+        return state[2]
+
+    def state_parts(self, state: tuple) -> tuple[tuple, tuple]:
+        memory, prev, _threads, buffers, fresh = state
+        shared = (
             tuple(sorted(memory.items())),
             tuple(sorted(prev.items())),
-            tuple(ts.key() for ts in threads),
-            tuple(buffers),
-            tuple(tuple(sorted(f)) for f in fresh),
         )
+        parts = tuple(
+            (buffers[i], tuple(sorted(fresh[i]))) for i in range(len(buffers))
+        )
+        return shared, parts
+
+    def buffered_addrs(self, state: tuple, tid: int) -> frozenset[int]:
+        return frozenset(
+            addr
+            for group in state[3][tid]
+            for addr, values in group
+            if values
+        )
+
+    def outcome_of(self, state: tuple) -> Outcome:
+        memory, _prev, threads, _buffers, _fresh = state
+        return make_outcome(self.layout, memory, threads, self.observe_globals)
+
+    def check_final(self, state: tuple) -> None:
+        if any(not _buffer_empty(b) for b in state[3]):  # pragma: no cover
+            raise ExecutionError("deadlock with non-empty buffer")
 
     @staticmethod
     def _publish(
@@ -180,109 +210,73 @@ class RelaxedExplorer:
             else:
                 fresh[t] = fresh[t] - {addr}
 
-    def explore(self) -> ExplorationResult:
-        memory = self.layout.initial_memory()
-        threads = self.executor.start_all()
-        buffers: list[GroupedBuffer] = [() for _ in threads]
-        fresh: list[frozenset[int]] = [frozenset() for _ in threads]
-        prev: dict[int, int] = {}
-        outcomes: set[Outcome] = set()
-        visited: set[tuple] = set()
-        stack = [(memory, prev, threads, buffers, fresh)]
-        states = 0
-        complete = True
+    # --- transitions ------------------------------------------------------
+    def transitions(self, state: tuple) -> list[Transition]:
+        memory, prev, threads, buffers, fresh = state
+        out: list[Transition] = []
 
-        while stack:
-            memory, prev, threads, buffers, fresh = stack.pop()
-            key = self._state_key(memory, prev, threads, buffers, fresh)
-            if key in visited:
+        # (a) drain the head of any per-address queue of the OLDEST
+        # group — addresses drain independently (PSO-style), groups
+        # drain in order (store-fence seals).
+        for i, buffer in enumerate(buffers):
+            if not buffer:
                 continue
-            visited.add(key)
-            states += 1
-            if states > self.max_states:
-                complete = False
-                break
-
-            progressed = False
-
-            # (a) drain the head of any per-address queue of the OLDEST
-            # group — addresses drain independently (PSO-style), groups
-            # drain in order (store-fence seals).
-            for i, buffer in enumerate(buffers):
-                if not buffer:
-                    continue
-                oldest = buffer[0]
-                for addr, values in oldest:
-                    new_memory = dict(memory)
-                    new_prev = dict(prev)
-                    new_fresh = list(fresh)
-                    self._publish(
-                        new_prev, new_memory, new_fresh, i, addr, values[0]
-                    )
-                    new_group = _group_set(oldest, addr, values[1:])
-                    rest = buffer[1:]
-                    new_buffer = ((new_group,) + rest) if new_group else rest
-                    # Dropping an emptied oldest group may expose an
-                    # empty sealed group; drop those too.
-                    while new_buffer and not new_buffer[0]:
-                        new_buffer = new_buffer[1:]
-                    new_buffers = list(buffers)
-                    new_buffers[i] = new_buffer
-                    stack.append(
+            oldest = buffer[0]
+            for addr, values in oldest:
+                new_memory = dict(memory)
+                new_prev = dict(prev)
+                new_fresh = list(fresh)
+                self._publish(new_prev, new_memory, new_fresh, i, addr, values[0])
+                new_group = _group_set(oldest, addr, values[1:])
+                rest = buffer[1:]
+                new_buffer = ((new_group,) + rest) if new_group else rest
+                # Dropping an emptied oldest group may expose an
+                # empty sealed group; drop those too.
+                while new_buffer and not new_buffer[0]:
+                    new_buffer = new_buffer[1:]
+                new_buffers = buffers[:i] + (new_buffer,) + buffers[i + 1 :]
+                out.append(
+                    Transition(
+                        ("f", i, addr),
+                        i,
+                        False,
+                        self._addr_fp(addr, writes=True),
                         (
-                            new_memory,
-                            new_prev,
-                            [t.clone() for t in threads],
-                            new_buffers,
-                            new_fresh,
-                        )
+                            (
+                                new_memory,
+                                new_prev,
+                                threads,
+                                new_buffers,
+                                tuple(new_fresh),
+                            ),
+                        ),
                     )
-                    progressed = True
-
-            # (b) thread steps.
-            for i, ts in enumerate(threads):
-                if ts.done:
-                    continue
-                for successor in self._step(memory, prev, threads, buffers,
-                                            fresh, i):
-                    stack.append(successor)
-                    progressed = True
-
-            if not progressed:
-                if any(not _buffer_empty(b) for b in buffers):
-                    raise ExecutionError(  # pragma: no cover
-                        "deadlock with non-empty buffer"
-                    )
-                outcomes.add(
-                    make_outcome(self.layout, memory, threads, self.observe_globals)
                 )
 
-        return ExplorationResult(outcomes, states, complete)
+        # (b) thread steps.
+        for i, ts in enumerate(threads):
+            if ts.done:
+                continue
+            t = self._step(state, i)
+            if t is not None:
+                out.append(t)
+        return out
 
-    # --- transitions ------------------------------------------------------
-    def _step(
-        self,
-        memory: dict[int, int],
-        prev: dict[int, int],
-        threads: list[ThreadState],
-        buffers: list[GroupedBuffer],
-        fresh: list[frozenset[int]],
-        i: int,
-    ) -> list[tuple]:
-        """Successor states for thread ``i`` taking its next action.
-
-        The interpreter advances through invisible instructions exactly
-        once, on a cloned thread list; a load with several legal values
-        re-clones the already-advanced state per choice instead of
-        replaying the invisible prefix (PSO probes once per step too —
-        this DFS is expensive enough without a constant-factor replay).
-        """
-        advanced = [t.clone() for t in threads]
-        pending = self.executor.next_action(advanced[i], self.max_steps)
+    def _step(self, state: tuple, i: int) -> Optional[Transition]:
+        """Thread ``i``'s next action as one transition (several
+        successors for a load with a stale-value choice); None when
+        blocked (RMW/full fence waiting on the buffer)."""
+        memory, prev, threads, buffers, fresh = state
+        advanced, clone, pending = self._advance(threads, i)
 
         if pending is None:
-            return [(dict(memory), dict(prev), advanced, list(buffers),
-                     list(fresh))]
+            return Transition(
+                ("t", i),
+                i,
+                True,
+                LOCAL_FP,
+                ((memory, prev, advanced, buffers, fresh),),
+            )
 
         buffer = buffers[i]
 
@@ -295,43 +289,55 @@ class RelaxedExplorer:
             else:
                 current = memory.get(addr, 0)
                 choices.append((current, True))
-                if (
-                    addr in prev
-                    and addr not in fresh[i]
-                    and prev[addr] != current
-                ):
+                if addr in prev and addr not in fresh[i] and prev[addr] != current:
                     choices.append((prev[addr], False))
-            successors: list[tuple] = []
+            successors = []
             for n, (value, marks_fresh) in enumerate(choices):
-                # Last choice commits on `advanced` itself; earlier
-                # ones take a fresh copy of the advanced state.
-                new_threads = (
-                    advanced if n == len(choices) - 1
-                    else [t.clone() for t in advanced]
-                )
-                self.executor.commit(new_threads[i], pending, value)
-                new_fresh = list(fresh)
+                # Last choice commits on the advanced clone itself;
+                # earlier ones re-clone it instead of replaying the
+                # invisible prefix.
+                if n == len(choices) - 1:
+                    new_threads, target = advanced, clone
+                else:
+                    target = clone.clone()
+                    new_threads = (
+                        advanced[:i] + (target,) + advanced[i + 1 :]
+                    )
+                self.executor.commit(target, pending, value)
+                new_fresh = fresh
                 if marks_fresh:
-                    new_fresh[i] = new_fresh[i] | {addr}
-                successors.append(
-                    (dict(memory), dict(prev), new_threads, list(buffers),
-                     new_fresh)
-                )
-            return successors
+                    new_fresh = (
+                        fresh[:i] + (fresh[i] | {addr},) + fresh[i + 1 :]
+                    )
+                successors.append((memory, prev, new_threads, buffers, new_fresh))
+            # Forwarded loads still count as shared reads for reduction
+            # purposes: forwarding status flips once the own buffer
+            # drains, so an "invisible" classification would hide the
+            # dependence on rival writes landing after the drain.
+            fp = self._addr_fp(addr, reads=True)
+            return Transition(("t", i), i, True, fp, tuple(successors))
 
         if pending.kind == "store":
-            new_buffers = list(buffers)
-            new_buffers[i] = _buffer_append(buffer, pending.addr, pending.value)
-            self.executor.commit(advanced[i], pending)
-            return [(dict(memory), dict(prev), advanced, new_buffers,
-                     list(fresh))]
+            new_buffers = (
+                buffers[:i]
+                + (_buffer_append(buffer, pending.addr, pending.value),)
+                + buffers[i + 1 :]
+            )
+            self.executor.commit(clone, pending)
+            return Transition(
+                ("t", i),
+                i,
+                True,
+                LOCAL_FP,
+                ((memory, prev, advanced, new_buffers, fresh),),
+            )
 
         if pending.kind == "rmw":
             # LL/SC-style: needs the coherent current value, so own
             # buffered stores to this address must drain first — but no
             # implicit barrier: the rest of the buffer stays put.
             if _buffer_has(buffer, pending.addr):
-                return []
+                return None
             new_memory = dict(memory)
             new_prev = dict(prev)
             new_fresh = list(fresh)
@@ -343,24 +349,41 @@ class RelaxedExplorer:
                 )
             else:
                 new_fresh[i] = new_fresh[i] | {pending.addr}
-            self.executor.commit(advanced[i], pending, result)
-            return [(new_memory, new_prev, advanced, list(buffers),
-                     new_fresh)]
+            self.executor.commit(clone, pending, result)
+            return Transition(
+                ("t", i),
+                i,
+                True,
+                self._addr_fp(pending.addr, reads=True, writes=True),
+                ((new_memory, new_prev, advanced, buffers, tuple(new_fresh)),),
+            )
 
         if pending.kind == "fence":
             kills = self._fence_kills(pending.inst)  # type: ignore[arg-type]
             if OrderKind.WR in kills and not _buffer_empty(buffer):
-                return []  # full fence: wait for the buffer to drain
-            new_buffers = list(buffers)
+                return None  # full fence: wait for the buffer to drain
+            new_buffers = buffers
             if OrderKind.WW in kills and OrderKind.WR not in kills:
-                new_buffers[i] = _seal(buffer)
-            new_fresh = list(fresh)
-            if OrderKind.RR in kills or OrderKind.RW in kills:
+                new_buffers = buffers[:i] + (_seal(buffer),) + buffers[i + 1 :]
+            new_fresh = fresh
+            stale_kill = OrderKind.RR in kills or OrderKind.RW in kills
+            if stale_kill:
                 # No pre-fence read may be satisfied stale anymore.
-                new_fresh[i] = new_fresh[i] | frozenset(prev)
-            self.executor.commit(advanced[i], pending)
-            return [(dict(memory), dict(prev), advanced, new_buffers,
-                     new_fresh)]
+                new_fresh = (
+                    fresh[:i] + (fresh[i] | frozenset(prev),) + fresh[i + 1 :]
+                )
+            self.executor.commit(clone, pending)
+            # A stale-killing fence observes the whole previous-value
+            # map, so it orders against every publish; a seal-only or
+            # no-op fence is invisible to other threads.
+            fp = Footprint(global_read=True) if stale_kill else LOCAL_FP
+            return Transition(
+                ("t", i),
+                i,
+                True,
+                fp,
+                ((memory, prev, advanced, new_buffers, new_fresh),),
+            )
 
         raise ExecutionError(f"unknown action {pending.kind}")  # pragma: no cover
 

@@ -1,7 +1,9 @@
-"""Exhaustive sequentially-consistent execution exploration.
+"""Sequentially-consistent execution exploration.
 
-Explores every interleaving of visible actions (with state-key
-memoization, so spin loops terminate) and collects the set of final
+Explores interleavings of visible actions (with dynamic partial-order
+reduction and state-key memoization via
+:class:`repro.memmodel.explore.CoreExplorer`, so spin loops terminate
+and commuting actions are explored once) and collects the set of final
 outcomes. This defines the paper's reference behaviour: "the intended
 behavior of the program [is] the set of data read actions of any
 possible sequentially consistent execution" — exposed here through
@@ -18,10 +20,10 @@ from typing import Callable, Iterable, Optional
 
 from repro.ir.function import Program
 from repro.ir.instructions import Instruction
+from repro.memmodel.explore import LOCAL_FP, CoreExplorer, Transition
 from repro.memmodel.interpreter import (
     ExecutionError,
     GlobalLayout,
-    PendingAction,
     ThreadExecutor,
     ThreadState,
 )
@@ -46,6 +48,17 @@ class ExplorationResult:
     outcomes: set[Outcome]
     states_explored: int
     complete: bool
+    #: "complete" | "bounded:max-states" | "bounded:depth" — why the
+    #: exploration stopped (principled truncation reporting).
+    verdict: str = "complete"
+    #: Whether partial-order reduction was active for this run.
+    reduced: bool = False
+    #: Iterative-deepening passes taken (1 for a plain bounded DFS).
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.complete and self.verdict == "complete":
+            self.verdict = "bounded:max-states"
 
     def observation_sets(self) -> set[tuple[tuple[int, str, int], ...]]:
         return {o.observations for o in self.outcomes}
@@ -70,91 +83,68 @@ def make_outcome(
     return Outcome(observations, tuple(sorted(final.items())))
 
 
-class SCExplorer:
-    """DFS over the SC state graph with memoization."""
+class SCExplorer(CoreExplorer):
+    """DPOR DFS over the SC state graph. State = (memory, threads)."""
 
-    def __init__(
-        self,
-        program: Program,
-        max_states: int = 500_000,
-        max_steps_per_thread: int = 100_000,
-        observe_globals: Optional[list[str]] = None,
-    ) -> None:
-        self.program = program
-        self.executor = ThreadExecutor(program)
-        self.layout = self.executor.layout
-        self.max_states = max_states
-        self.max_steps = max_steps_per_thread
-        self.observe_globals = observe_globals
+    DEFAULT_MAX_STATES = 500_000
 
-    def _state_key(self, memory: dict[int, int], threads: list[ThreadState]) -> tuple:
+    def initial_state(self) -> tuple:
         return (
-            tuple(sorted(memory.items())),
-            tuple(ts.key() for ts in threads),
+            self.layout.initial_memory(),
+            tuple(self.executor.start_all()),
         )
 
-    def explore(self) -> ExplorationResult:
-        memory = self.layout.initial_memory()
-        threads = self.executor.start_all()
-        outcomes: set[Outcome] = set()
-        visited: set[tuple] = set()
-        stack = [(memory, threads)]
-        states = 0
-        complete = True
+    def threads_of(self, state: tuple) -> tuple[ThreadState, ...]:
+        return state[1]
 
-        while stack:
-            memory, threads = stack.pop()
-            key = self._state_key(memory, threads)
-            if key in visited:
+    def state_parts(self, state: tuple) -> tuple[tuple, tuple]:
+        memory, threads = state
+        return tuple(sorted(memory.items())), tuple(() for _ in threads)
+
+    def outcome_of(self, state: tuple) -> Outcome:
+        memory, threads = state
+        return make_outcome(self.layout, memory, threads, self.observe_globals)
+
+    def transitions(self, state: tuple) -> list[Transition]:
+        memory, threads = state
+        out: list[Transition] = []
+        for i, ts in enumerate(threads):
+            if ts.done:
                 continue
-            visited.add(key)
-            states += 1
-            if states > self.max_states:
-                complete = False
-                break
-
-            progressed = False
-            for i, ts in enumerate(threads):
-                if ts.done:
-                    continue
-                new_threads = [t.clone() for t in threads]
-                new_memory = dict(memory)
-                clone = new_threads[i]
-                pending = self.executor.next_action(clone, self.max_steps)
-                if pending is None:
-                    # Thread ran to completion with no more visible actions.
-                    stack.append((new_memory, new_threads))
-                    progressed = True
-                    continue
-                self._apply(new_memory, clone, pending)
-                stack.append((new_memory, new_threads))
-                progressed = True
-
-            if not progressed:
-                outcomes.add(
-                    make_outcome(self.layout, memory, threads, self.observe_globals)
+            new_threads, clone, pending = self._advance(threads, i)
+            if pending is None:
+                # Thread ran to completion with no more visible actions.
+                out.append(
+                    Transition(("t", i), i, True, LOCAL_FP, ((memory, new_threads),))
                 )
-
-        return ExplorationResult(outcomes, states, complete)
-
-    def _apply(
-        self, memory: dict[int, int], ts: ThreadState, pending: PendingAction
-    ) -> None:
-        if pending.kind == "load":
-            self.executor.commit(ts, pending, memory.get(pending.addr, 0))
-        elif pending.kind == "store":
-            memory[pending.addr] = pending.value
-            self.executor.commit(ts, pending)
-        elif pending.kind == "rmw":
-            old = memory.get(pending.addr, 0)
-            result, new = pending.rmw_result(old)
-            if new is not None:
-                memory[pending.addr] = new
-            self.executor.commit(ts, pending, result)
-        elif pending.kind == "fence":
-            self.executor.commit(ts, pending)  # fences are no-ops under SC
-        else:  # pragma: no cover
-            raise ExecutionError(f"unknown action {pending.kind}")
+                continue
+            if pending.kind == "load":
+                self.executor.commit(clone, pending, memory.get(pending.addr, 0))
+                fp = self._addr_fp(pending.addr, reads=True)
+                succ = (memory, new_threads)
+            elif pending.kind == "store":
+                new_memory = dict(memory)
+                new_memory[pending.addr] = pending.value
+                self.executor.commit(clone, pending)
+                fp = self._addr_fp(pending.addr, writes=True)
+                succ = (new_memory, new_threads)
+            elif pending.kind == "rmw":
+                new_memory = dict(memory)
+                old = new_memory.get(pending.addr, 0)
+                result, new = pending.rmw_result(old)
+                if new is not None:
+                    new_memory[pending.addr] = new
+                self.executor.commit(clone, pending, result)
+                fp = self._addr_fp(pending.addr, reads=True, writes=True)
+                succ = (new_memory, new_threads)
+            elif pending.kind == "fence":
+                self.executor.commit(clone, pending)  # no-ops under SC
+                fp = LOCAL_FP
+                succ = (memory, new_threads)
+            else:  # pragma: no cover
+                raise ExecutionError(f"unknown action {pending.kind}")
+            out.append(Transition(("t", i), i, True, fp, (succ,)))
+        return out
 
 
 # --- bounded trace enumeration (no memoization) -----------------------------

@@ -1,4 +1,4 @@
-"""Exhaustive x86-TSO operational model exploration.
+"""x86-TSO operational model exploration.
 
 Standard operational TSO: each thread owns a FIFO store buffer.
 
@@ -9,60 +9,34 @@ Standard operational TSO: each thread owns a FIFO store buffer.
   an empty buffer — RMWs then act directly and atomically on memory;
 * compiler directives have no hardware effect.
 
-The explorer enumerates every interleaving of thread steps and buffer
-flushes. Final outcomes (all threads done, all buffers drained) are
-comparable with :class:`repro.memmodel.sc.SCExplorer` outcomes — the
-reproduction's correctness criterion is exactly the paper's: a fence
-placement is good if the TSO outcome set of the fenced program equals
-the SC outcome set of the original for the data reads.
+The explorer walks interleavings of thread steps and buffer flushes
+through the shared DPOR core (:mod:`repro.memmodel.explore`): buffered
+stores and forwarded loads are thread-local, so the classic TSO blowup
+(every flush point x every remote step) collapses to the orderings
+that conflict. Final outcomes (all threads done, all buffers drained)
+are comparable with :class:`repro.memmodel.sc.SCExplorer` outcomes —
+the reproduction's correctness criterion is exactly the paper's: a
+fence placement is good if the TSO outcome set of the fenced program
+equals the SC outcome set of the original for the data reads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.ir.function import Program
 from repro.ir.instructions import FenceKind
-from repro.memmodel.interpreter import (
-    ExecutionError,
-    PendingAction,
-    ThreadExecutor,
-    ThreadState,
-)
+from repro.memmodel.explore import LOCAL_FP, CoreExplorer, Transition
+from repro.memmodel.interpreter import ExecutionError, ThreadState
 from repro.memmodel.sc import ExplorationResult, Outcome, make_outcome
 
 Buffer = tuple[tuple[int, int], ...]  # FIFO of (addr, value); oldest first
 
 
-class TSOExplorer:
-    """DFS over the TSO state graph (threads x buffers x memory)."""
+class TSOExplorer(CoreExplorer):
+    """DPOR DFS over the TSO state graph (threads x buffers x memory).
 
-    def __init__(
-        self,
-        program: Program,
-        max_states: int = 1_000_000,
-        max_steps_per_thread: int = 100_000,
-        observe_globals: Optional[list[str]] = None,
-    ) -> None:
-        self.program = program
-        self.executor = ThreadExecutor(program)
-        self.layout = self.executor.layout
-        self.max_states = max_states
-        self.max_steps = max_steps_per_thread
-        self.observe_globals = observe_globals
-
-    def _state_key(
-        self,
-        memory: dict[int, int],
-        threads: list[ThreadState],
-        buffers: list[Buffer],
-    ) -> tuple:
-        return (
-            tuple(sorted(memory.items())),
-            tuple(ts.key() for ts in threads),
-            tuple(buffers),
-        )
+    State = (memory, threads, buffers)."""
 
     @staticmethod
     def _buffer_lookup(buffer: Buffer, addr: int) -> Optional[int]:
@@ -72,105 +46,112 @@ class TSOExplorer:
                 return entry_value
         return None
 
-    def explore(self) -> ExplorationResult:
-        memory = self.layout.initial_memory()
-        threads = self.executor.start_all()
-        buffers: list[Buffer] = [() for _ in threads]
-        outcomes: set[Outcome] = set()
-        visited: set[tuple] = set()
-        stack = [(memory, threads, buffers)]
-        states = 0
-        complete = True
+    def initial_state(self) -> tuple:
+        threads = tuple(self.executor.start_all())
+        return (
+            self.layout.initial_memory(),
+            threads,
+            tuple(() for _ in threads),
+        )
 
-        while stack:
-            memory, threads, buffers = stack.pop()
-            key = self._state_key(memory, threads, buffers)
-            if key in visited:
+    def threads_of(self, state: tuple) -> tuple[ThreadState, ...]:
+        return state[1]
+
+    def state_parts(self, state: tuple) -> tuple[tuple, tuple]:
+        memory, _threads, buffers = state
+        return tuple(sorted(memory.items())), buffers
+
+    def buffered_addrs(self, state: tuple, tid: int) -> frozenset[int]:
+        return frozenset(addr for addr, _value in state[2][tid])
+
+    def outcome_of(self, state: tuple) -> Outcome:
+        memory, threads, _buffers = state
+        return make_outcome(self.layout, memory, threads, self.observe_globals)
+
+    def check_final(self, state: tuple) -> None:
+        if any(state[2]):  # pragma: no cover - flushes always enabled
+            raise ExecutionError("deadlock with non-empty buffer")
+
+    def transitions(self, state: tuple) -> list[Transition]:
+        memory, threads, buffers = state
+        out: list[Transition] = []
+
+        # (a) buffer flush transitions (oldest entry drains first).
+        for i, buffer in enumerate(buffers):
+            if not buffer:
                 continue
-            visited.add(key)
-            states += 1
-            if states > self.max_states:
-                complete = False
-                break
-
-            progressed = False
-
-            # (a) buffer flush transitions.
-            for i, buffer in enumerate(buffers):
-                if not buffer:
-                    continue
-                new_memory = dict(memory)
-                (addr, value), rest = buffer[0], buffer[1:]
-                new_memory[addr] = value
-                new_buffers = list(buffers)
-                new_buffers[i] = rest
-                stack.append(
-                    (new_memory, [t.clone() for t in threads], new_buffers)
+            (addr, value), rest = buffer[0], buffer[1:]
+            new_memory = dict(memory)
+            new_memory[addr] = value
+            new_buffers = buffers[:i] + (rest,) + buffers[i + 1 :]
+            out.append(
+                Transition(
+                    ("f", i),
+                    i,
+                    False,
+                    self._addr_fp(addr, writes=True),
+                    ((new_memory, threads, new_buffers),),
                 )
-                progressed = True
+            )
 
-            # (b) thread step transitions.
-            for i, ts in enumerate(threads):
-                if ts.done:
-                    continue
-                new_threads = [t.clone() for t in threads]
-                new_memory = dict(memory)
-                new_buffers = list(buffers)
-                clone = new_threads[i]
-                pending = self.executor.next_action(clone, self.max_steps)
-                if pending is None:
-                    stack.append((new_memory, new_threads, new_buffers))
-                    progressed = True
-                    continue
-                if not self._apply(new_memory, new_buffers, i, clone, pending):
-                    continue  # blocked (fence/RMW with non-empty buffer)
-                stack.append((new_memory, new_threads, new_buffers))
-                progressed = True
-
-            if not progressed:
-                if any(buffers):  # pragma: no cover - flushes always enabled
-                    raise ExecutionError("deadlock with non-empty buffer")
-                outcomes.add(
-                    make_outcome(self.layout, memory, threads, self.observe_globals)
+        # (b) thread step transitions.
+        for i, ts in enumerate(threads):
+            if ts.done:
+                continue
+            new_threads, clone, pending = self._advance(threads, i)
+            if pending is None:
+                out.append(
+                    Transition(
+                        ("t", i), i, True, LOCAL_FP, ((memory, new_threads, buffers),)
+                    )
                 )
-
-        return ExplorationResult(outcomes, states, complete)
-
-    def _apply(
-        self,
-        memory: dict[int, int],
-        buffers: list[Buffer],
-        i: int,
-        ts: ThreadState,
-        pending: PendingAction,
-    ) -> bool:
-        """Perform a thread action; False if the action is blocked."""
-        buffer = buffers[i]
-        if pending.kind == "load":
-            value = self._buffer_lookup(buffer, pending.addr)
-            if value is None:
-                value = memory.get(pending.addr, 0)
-            self.executor.commit(ts, pending, value)
-            return True
-        if pending.kind == "store":
-            buffers[i] = buffer + ((pending.addr, pending.value),)
-            self.executor.commit(ts, pending)
-            return True
-        if pending.kind == "rmw":
-            if buffer:
-                return False  # LOCK-prefixed: drains the buffer first
-            old = memory.get(pending.addr, 0)
-            result, new = pending.rmw_result(old)
-            if new is not None:
-                memory[pending.addr] = new
-            self.executor.commit(ts, pending, result)
-            return True
-        if pending.kind == "fence":
-            if pending.fence_kind is FenceKind.FULL and buffer:
-                return False  # mfence waits for the buffer to drain
-            self.executor.commit(ts, pending)
-            return True
-        raise ExecutionError(f"unknown action {pending.kind}")  # pragma: no cover
+                continue
+            buffer = buffers[i]
+            if pending.kind == "load":
+                forwarded = self._buffer_lookup(buffer, pending.addr)
+                if forwarded is not None:
+                    self.executor.commit(clone, pending, forwarded)
+                    # Still a shared-memory read for reduction purposes:
+                    # whether it forwards depends on the own flush having
+                    # drained, so treating it as invisible would let a
+                    # rival flush slip between "own flush; load" unseen.
+                    fp = self._addr_fp(pending.addr, reads=True)
+                else:
+                    self.executor.commit(
+                        clone, pending, memory.get(pending.addr, 0)
+                    )
+                    fp = self._addr_fp(pending.addr, reads=True)
+                succ = (memory, new_threads, buffers)
+            elif pending.kind == "store":
+                new_buffers = (
+                    buffers[:i]
+                    + (buffer + ((pending.addr, pending.value),),)
+                    + buffers[i + 1 :]
+                )
+                self.executor.commit(clone, pending)
+                fp = LOCAL_FP  # buffered: invisible until flushed
+                succ = (memory, new_threads, new_buffers)
+            elif pending.kind == "rmw":
+                if buffer:
+                    continue  # LOCK-prefixed: drains the buffer first
+                new_memory = dict(memory)
+                old = new_memory.get(pending.addr, 0)
+                result, new = pending.rmw_result(old)
+                if new is not None:
+                    new_memory[pending.addr] = new
+                self.executor.commit(clone, pending, result)
+                fp = self._addr_fp(pending.addr, reads=True, writes=True)
+                succ = (new_memory, new_threads, buffers)
+            elif pending.kind == "fence":
+                if pending.fence_kind is FenceKind.FULL and buffer:
+                    continue  # mfence waits for the buffer to drain
+                self.executor.commit(clone, pending)
+                fp = LOCAL_FP
+                succ = (memory, new_threads, buffers)
+            else:  # pragma: no cover
+                raise ExecutionError(f"unknown action {pending.kind}")
+            out.append(Transition(("t", i), i, True, fp, (succ,)))
+        return out
 
 
 def tso_equals_sc_for_observations(
@@ -190,3 +171,11 @@ def tso_equals_sc_for_observations(
     sc_obs = sc.observation_sets()
     tso_obs = tso.observation_sets()
     return sc_obs == tso_obs, sc_obs - tso_obs, tso_obs - sc_obs
+
+
+__all__ = [
+    "Buffer",
+    "ExplorationResult",
+    "TSOExplorer",
+    "tso_equals_sc_for_observations",
+]

@@ -77,7 +77,7 @@ def sample_payloads() -> dict:
         weak_breaks_unfenced=True,
         variants=(
             VariantCheck("pensieve", 2, 1, True),
-            VariantCheck("control", 2, 1, True),
+            VariantCheck("control", 2, 1, False, complete=False),
         ),
         arch="x86",
     )
@@ -212,6 +212,7 @@ def sample_payloads() -> dict:
         refuted_candidates=0,
         unknown_candidates=0,
         explorer_complete=True,
+        traces_checked=96,
         fuzz_seed=None,
         fail_on="warning",
         arch="power",

@@ -90,7 +90,7 @@ def test_kind_mismatch_rejected(samples):
         AnalyzeReport.from_payload(payload)
     # A kind whose schema version differs trips the version gate first.
     payload = samples["analyze-report"].to_payload()
-    payload["kind"] = "check-report"
+    payload["kind"] = "simulate-report"
     with pytest.raises(SchemaError, match="schema_version"):
         load_report(json.dumps(payload))
 

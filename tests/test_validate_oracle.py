@@ -62,8 +62,8 @@ def test_corpus_trusted_variants_never_violate(name):
 
 def test_corpus_null_detector_violates_exactly_on_dekker():
     """vanilla drops every w->r fence; of the well-synchronized corpus
-    entries only dekker needs one, so the oracle must fire there and
-    only there (racy entries are outside the contract)."""
+    entries only the dekker-class ones need it, so the oracle must fire
+    there and only there (racy entries are outside the contract)."""
     flagged = set()
     for name, test in LITMUS_TESTS.items():
         report = _oracle_for(test, variants=("vanilla",))
@@ -71,7 +71,7 @@ def test_corpus_null_detector_violates_exactly_on_dekker():
             flagged.add(name)
         if not test.well_synchronized:
             assert not report.contract_applies
-    assert flagged == {"dekker"}
+    assert flagged == {"dekker", "dekker-scoreboard"}
 
 
 def test_racy_programs_are_outside_the_contract():
