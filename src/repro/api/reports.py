@@ -276,7 +276,7 @@ class AnalyzeRequest(WirePayload):
     """Run the fence-placement pipeline on one program."""
 
     KIND: ClassVar[str] = "analyze-request"
-    SCHEMA_VERSION: ClassVar[int] = 3
+    SCHEMA_VERSION: ClassVar[int] = 4
     _DECODERS: ClassVar[dict] = {"program": _decode_spec}
 
     program: ProgramSpec
@@ -291,6 +291,9 @@ class AnalyzeRequest(WirePayload):
     #: Arch backend key for flavored fence lowering; None = generic
     #: full fences (the pre-arch behaviour, byte-identical output).
     arch: str | None = None
+    #: "greedy" (count-minimizing, the paper's planner) or "optimal"
+    #: (min-cost synthesis via repro.synth; needs an arch).
+    synthesis: str = "greedy"
 
 
 @dataclass(frozen=True)
@@ -312,7 +315,7 @@ class AnalyzeReport(WirePayload):
     """The pipeline's whole-program result as a wire artifact."""
 
     KIND: ClassVar[str] = "analyze-report"
-    SCHEMA_VERSION: ClassVar[int] = 3
+    SCHEMA_VERSION: ClassVar[int] = 4
     _DECODERS: ClassVar[dict] = {
         "functions": _tuple_of(FunctionFences),
         "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
@@ -339,6 +342,11 @@ class AnalyzeReport(WirePayload):
     fence_cost: int | None = None
     #: flavor name -> count across the program (entry fences included).
     flavors: dict[str, int] | None = None
+    #: Synthesis strategy behind ``fence_cost``/``flavors``.
+    synthesis: str = "greedy"
+    #: The greedy plan's lowered cost, filled alongside an "optimal"
+    #: ``fence_cost`` so reports show the saving.
+    greedy_cost: int | None = None
 
     def render(self) -> str:
         rows = [
@@ -369,10 +377,15 @@ class AnalyzeReport(WirePayload):
                 f"{name}: {count}"
                 for name, count in sorted((self.flavors or {}).items())
             )
-            parts.append(
+            line = (
                 f"arch {self.arch}: lowered cost {self.fence_cost} cycles"
                 + (f" ({detail})" if detail else "")
             )
+            if self.synthesis == "optimal" and self.greedy_cost is not None:
+                line += (
+                    f" [optimal; greedy would cost {self.greedy_cost}]"
+                )
+            parts.append(line)
         if self.cache_stats is not None:
             parts.append(self.cache_stats.render())
         if self.annotations is not None:
@@ -393,7 +406,7 @@ class CheckRequest(WirePayload):
     """Model-check SC vs a weak model, unfenced and per variant."""
 
     KIND: ClassVar[str] = "check-request"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
     _DECODERS: ClassVar[dict] = {"program": _decode_spec}
 
     program: ProgramSpec
@@ -410,6 +423,9 @@ class CheckRequest(WirePayload):
     #: catalog the model's explorer cannot give kill-set semantics to
     #: is refused with a ValueError.
     arch: str | None = None
+    #: Fence synthesis strategy the checked placements use ("greedy"
+    #: or "optimal"); "optimal" only changes flavored placements.
+    synthesis: str = "greedy"
 
 
 @dataclass(frozen=True)
@@ -432,7 +448,7 @@ class CheckReport(WirePayload):
     """Differential model-checking verdicts as a wire artifact."""
 
     KIND: ClassVar[str] = "check-report"
-    SCHEMA_VERSION: ClassVar[int] = 3
+    SCHEMA_VERSION: ClassVar[int] = 4
     _DECODERS: ClassVar[dict] = {"variants": _tuple_of(VariantCheck)}
 
     program: str
@@ -446,6 +462,8 @@ class CheckReport(WirePayload):
     variants: tuple[VariantCheck, ...]
     #: Arch backend the placements were lowered with (None = generic).
     arch: str | None = None
+    #: Synthesis strategy behind the checked placements.
+    synthesis: str = "greedy"
 
     @property
     def failures(self) -> int:
@@ -498,7 +516,7 @@ class SimulateRequest(WirePayload):
     """Run the timed TSO simulator under one fence placement."""
 
     KIND: ClassVar[str] = "simulate-request"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
     _DECODERS: ClassVar[dict] = {"program": _decode_spec}
 
     program: ProgramSpec
@@ -511,6 +529,8 @@ class SimulateRequest(WirePayload):
     #: Arch backend: placements are lowered to its flavors and the
     #: timed machine prices fences with its cost model.
     arch: str | None = None
+    #: Fence synthesis strategy for the simulated placement.
+    synthesis: str = "greedy"
 
 
 @register_report
@@ -519,7 +539,7 @@ class SimulateReport(WirePayload):
     """One timed simulation's counters as a wire artifact."""
 
     KIND: ClassVar[str] = "simulate-report"
-    SCHEMA_VERSION: ClassVar[int] = 2
+    SCHEMA_VERSION: ClassVar[int] = 3
 
     program: str
     placement: str
@@ -537,11 +557,15 @@ class SimulateReport(WirePayload):
     #: Arch backend whose flavors/costs drove the run (None = x86 TSO
     #: defaults).
     arch: str | None = None
+    #: Synthesis strategy behind the simulated placement.
+    synthesis: str = "greedy"
 
     def render(self) -> str:
+        arch_note = ""
+        if self.arch is not None:
+            arch_note = f" (arch {self.arch}, {self.synthesis})"
         lines = [
-            f"placement      : {self.placement}"
-            + (f" (arch {self.arch})" if self.arch is not None else ""),
+            f"placement      : {self.placement}" + arch_note,
             f"cycles         : {self.cycles}",
             f"instructions   : {self.instructions}",
             f"mfences run    : {self.full_fences_executed}",
@@ -569,7 +593,7 @@ class BatchRequest(WirePayload):
     """Analyze a {program x variant x model} matrix."""
 
     KIND: ClassVar[str] = "batch-request"
-    SCHEMA_VERSION: ClassVar[int] = 3
+    SCHEMA_VERSION: ClassVar[int] = 4
 
     #: () = every corpus program / every non-null variant.
     programs: tuple[str, ...] = ()
@@ -580,6 +604,9 @@ class BatchRequest(WirePayload):
     #: Arch backend overriding the per-model default for flavored
     #: lowering costs; None = each model's own registered arch.
     arch: str | None = None
+    #: Which strategy's cost lands in each cell's ``fence_cost``
+    #: ("greedy" or "optimal"); both costs are reported per cell.
+    synthesis: str = "greedy"
 
 
 @dataclass(frozen=True)
@@ -602,8 +629,12 @@ class BatchCell:
     cached: bool
     #: Flavored-lowering cost under the cell's arch backend (None when
     #: the model has no registered arch) and its flavor histogram.
+    #: ``fence_cost`` follows the request's synthesis strategy;
+    #: ``greedy_cost``/``optimal_cost`` carry both for comparison.
     fence_cost: int | None = None
     flavors: dict[str, int] = field(default_factory=dict)
+    greedy_cost: int | None = None
+    optimal_cost: int | None = None
 
 
 @register_report
@@ -612,7 +643,7 @@ class BatchReport(WirePayload):
     """A whole batch run's cells as one wire artifact."""
 
     KIND: ClassVar[str] = "batch-report"
-    SCHEMA_VERSION: ClassVar[int] = 3
+    SCHEMA_VERSION: ClassVar[int] = 4
     _DECODERS: ClassVar[dict] = {
         "cells": _tuple_of(BatchCell),
         "cache_stats": _optional(lambda value: _construct(CacheStats, value)),
@@ -628,6 +659,8 @@ class BatchReport(WirePayload):
     cache_stats: CacheStats | None = None
     #: Arch override the request named (None = per-model defaults).
     arch: str | None = None
+    #: Synthesis strategy behind each cell's ``fence_cost``.
+    synthesis: str = "greedy"
 
     @property
     def total_full_fences(self) -> int:
@@ -636,6 +669,14 @@ class BatchReport(WirePayload):
     @property
     def total_fence_cost(self) -> int:
         return sum(c.fence_cost or 0 for c in self.cells)
+
+    @property
+    def total_greedy_cost(self) -> int:
+        return sum(c.greedy_cost or 0 for c in self.cells)
+
+    @property
+    def total_optimal_cost(self) -> int:
+        return sum(c.optimal_cost or 0 for c in self.cells)
 
     @property
     def cache_hits(self) -> int:
@@ -654,7 +695,8 @@ class BatchReport(WirePayload):
                 f"{c.surviving_fraction:.1%}",
                 c.full_fences,
                 c.compiler_fences,
-                "-" if c.fence_cost is None else str(c.fence_cost),
+                "-" if c.greedy_cost is None else str(c.greedy_cost),
+                "-" if c.optimal_cost is None else str(c.optimal_cost),
                 f"{c.elapsed * 1000:.0f}ms",
                 "hit" if c.cached else "",
             ]
@@ -662,15 +704,18 @@ class BatchReport(WirePayload):
         ]
         table = format_table(
             ["program", "variant", "model", "fns", "esc reads", "acquires",
-             "orderings", "surv", "fences", "directives", "cost", "time",
-             "cache"],
+             "orderings", "surv", "fences", "directives", "greedy",
+             "optimal", "time", "cache"],
             rows,
             title=f"batch: {len(self.cells)} analyses "
             f"({'pool' if self.used_pool else 'serial'}, {self.wall:.2f}s wall)",
         )
+        saved = self.total_greedy_cost - self.total_optimal_cost
         text = (
             f"{table}\n\ntotal: {self.total_full_fences} full fences "
-            f"({self.total_fence_cost} cycles lowered) across "
+            f"({self.total_fence_cost} cycles lowered via {self.synthesis}; "
+            f"greedy {self.total_greedy_cost} vs optimal "
+            f"{self.total_optimal_cost}, {saved} cycles saved) across "
             f"{len(self.cells)} cells, {self.cache_hits} cache hits"
         )
         if self.cache_stats is not None:

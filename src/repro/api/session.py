@@ -351,11 +351,14 @@ class Session:
         interprocedural: bool | None = None,
         context: AnalysisContext | None = None,
         backend=None,
+        synthesis: str = "greedy",
     ) -> ProgramAnalysis:
         """Run the pipeline and insert the fences (mutates ``program``;
         the context refreshes itself, so it stays valid for reuse —
         only the fenced functions' facts recompute). With an arch
-        ``backend``, fences are lowered to its flavors on insertion."""
+        ``backend``, fences are lowered to its flavors on insertion;
+        ``synthesis="optimal"`` places the min-cost plans of
+        :mod:`repro.synth` instead of the greedy ones."""
         entry = get_variant(self._variant_key(variant))
         inter = self.interprocedural if interprocedural is None else interprocedural
         if context is None:
@@ -372,6 +375,7 @@ class Session:
             return entry.place(
                 program, self._machine(model),
                 context=context, interprocedural=inter, backend=backend,
+                synthesis=synthesis,
             )
 
     def explore(
@@ -409,9 +413,21 @@ class Session:
 
         return get_backend(arch)
 
+    @staticmethod
+    def _check_synthesis(synthesis: str) -> str:
+        from repro.core.pipeline import SYNTHESIS_MODES
+
+        if synthesis not in SYNTHESIS_MODES:
+            raise ValueError(
+                f"unknown synthesis {synthesis!r}; "
+                f"known: {', '.join(SYNTHESIS_MODES)}"
+            )
+        return synthesis
+
     def analyze(self, request: AnalyzeRequest) -> AnalyzeReport:
         self._count("analyze")
         backend = self._backend(request.arch)
+        synthesis = self._check_synthesis(request.synthesis)
         interprocedural = (
             request.interprocedural
             if request.interprocedural is not None
@@ -436,7 +452,7 @@ class Session:
                     analysis = self.place(
                         program, request.variant, request.model,
                         interprocedural=interprocedural, context=context,
-                        backend=backend,
+                        backend=backend, synthesis=synthesis,
                     )
                 else:
                     analysis = self.analysis(
@@ -473,6 +489,7 @@ class Session:
             )
         fence_cost = None
         flavors = None
+        greedy_cost = None
         if backend is not None:
             from repro.arch.lowering import lower_analysis, summarize_lowerings
 
@@ -482,10 +499,17 @@ class Session:
                 summary = summarize_lowerings(
                     backend.key, analysis.lowered_plans
                 )
+            elif synthesis == "optimal":
+                from repro.synth import synthesize_analysis
+
+                _, summary = synthesize_analysis(analysis, backend)
             else:
                 _, summary = lower_analysis(analysis, backend)
             fence_cost = summary.cost
             flavors = dict(summary.flavors)
+            if synthesis == "optimal":
+                _, greedy_summary = lower_analysis(analysis, backend)
+                greedy_cost = greedy_summary.cost
         functions = tuple(
             FunctionFences(
                 name=name,
@@ -517,6 +541,8 @@ class Session:
             arch=request.arch,
             fence_cost=fence_cost,
             flavors=flavors,
+            synthesis=synthesis,
+            greedy_cost=greedy_cost,
         )
 
     def lint(self, request: LintRequest) -> LintReport:
@@ -613,6 +639,7 @@ class Session:
         from repro.registry.models import check_backend_for_model
 
         backend = check_backend_for_model(request.model)
+        synthesis = self._check_synthesis(request.synthesis)
         if request.arch is not None:
             self._backend(request.arch)  # unknown arch: KeyError early
             if backend is None or backend.key != request.arch:
@@ -652,6 +679,7 @@ class Session:
                 weak_breaks_unfenced=False,
                 variants=(),
                 arch=backend.key if backend is not None else None,
+                synthesis=synthesis,
             )
 
         from repro.registry.models import EXPLORERS
@@ -675,8 +703,14 @@ class Session:
             fenced = fresh()
             analysis = entry.place(
                 fenced, machine, interprocedural=interprocedural,
-                backend=backend,
+                backend=backend, synthesis=synthesis,
             )
+            if synthesis == "optimal" and analysis.lowered_plans is not None:
+                full_fences = sum(
+                    p.full_count for p in analysis.lowered_plans.values()
+                )
+            else:
+                full_fences = analysis.full_fence_count
             fenced_weak = explorer_cls(fenced, max_states=bound).explore()
             # A bounded fenced exploration proves nothing: comparing a
             # truncated outcome set against sc_obs could claim (or
@@ -684,7 +718,7 @@ class Session:
             verdicts.append(
                 VariantCheck(
                     variant=key,
-                    full_fences=analysis.full_fence_count,
+                    full_fences=full_fences,
                     weak_outcomes=len(fenced_weak.observation_sets()),
                     restored_sc=fenced_weak.complete
                     and fenced_weak.observation_sets() == sc_obs,
@@ -702,18 +736,23 @@ class Session:
             weak_breaks_unfenced=weak_obs != sc_obs,
             variants=tuple(verdicts),
             arch=backend.key if backend is not None else None,
+            synthesis=synthesis,
         )
 
     def simulate(self, request: SimulateRequest) -> SimulateReport:
         self._count("simulate")
         backend = self._backend(request.arch)
+        synthesis = self._check_synthesis(request.synthesis)
         resolved = resolve_spec(request.program)
         manual = request.placement == "manual" or request.program.manual_fences
         program = compile_source(
             resolved.source, resolved.name, include_manual_fences=manual
         )
         if request.placement != "manual":
-            self.place(program, request.placement, request.model, backend=backend)
+            self.place(
+                program, request.placement, request.model,
+                backend=backend, synthesis=synthesis,
+            )
             self.forget(program)  # per-request compile: keep the LRU warm
         costs = None
         if backend is not None:
@@ -738,6 +777,7 @@ class Session:
             final_globals=tuple(sorted(stats.final_globals.items())),
             observe_globals=tuple(request.observe_globals),
             arch=request.arch,
+            synthesis=synthesis,
         )
 
     def batch(self, request: BatchRequest) -> BatchReport:
@@ -759,10 +799,12 @@ class Session:
             runner = self._batch_runner
         if request.arch is not None:
             self._backend(request.arch)  # unknown arch: KeyError early
+        synthesis = self._check_synthesis(request.synthesis)
         with self._batch_lock:
             start = time.perf_counter()
             results = runner.run_matrix(
-                programs, variants, models, arch=request.arch
+                programs, variants, models, arch=request.arch,
+                synthesis=synthesis,
             )
             wall = time.perf_counter() - start
             used_pool = runner.used_pool
@@ -799,6 +841,8 @@ class Session:
                 cached=r.cached,
                 fence_cost=r.fence_cost,
                 flavors=dict(r.flavors),
+                greedy_cost=r.greedy_cost,
+                optimal_cost=r.optimal_cost,
             )
             for r in results
         )
@@ -811,6 +855,7 @@ class Session:
             cells=cells,
             cache_stats=cache_stats,
             arch=request.arch,
+            synthesis=synthesis,
         )
 
     def fuzz(self, request: FuzzRequest) -> FuzzReport:

@@ -80,6 +80,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             annotations=args.annotations,
             emit_ir=args.emit_ir,
             arch=args.arch,
+            synthesis=args.synthesis,
         )
     )
     print(report.to_json() if args.json else report.render())
@@ -96,6 +97,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 model=_resolve_model(args),
                 max_states=args.max_states,
                 arch=args.arch,
+                synthesis=args.synthesis,
             )
         )
     except ValueError as exc:
@@ -116,6 +118,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             model=_resolve_model(args),
             observe_globals=tuple(args.globals),
             arch=args.arch,
+            synthesis=args.synthesis,
         )
     )
     print(report.to_json() if args.json else report.render())
@@ -221,7 +224,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     try:
         report = session.batch(
             BatchRequest(programs=programs, variants=variants, models=models,
-                         stats=args.stats, arch=args.arch)
+                         stats=args.stats, arch=args.arch,
+                         synthesis=args.synthesis)
         )
     except KeyError as exc:
         print(exc.args[0])
@@ -247,13 +251,34 @@ def cmd_models(args: argparse.Namespace) -> int:
                 entry.description,
             ]
         )
-    print(
+    parts = [
         format_table(
             ["key", "display", "checkable", "arch", "description"],
             rows,
             title=f"{len(rows)} registered memory models",
         )
-    )
+    ]
+    for arch_key in sorted(backend_keys()):
+        backend = get_backend(arch_key)
+        flavor_rows = [
+            [
+                flavor.name,
+                flavor.cost,
+                "/".join(kind.value for kind in sorted(
+                    flavor.kills, key=lambda k: k.value
+                )),
+                flavor.description,
+            ]
+            for flavor in backend.flavors
+        ]
+        parts.append(
+            format_table(
+                ["flavor", "cost", "kills", "description"],
+                flavor_rows,
+                title=f"{backend.display} ({arch_key}) fence flavors",
+            )
+        )
+    print("\n\n".join(parts))
     return 0
 
 
@@ -388,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
                    help="arch backend for flavored fence lowering "
                         "(adds per-flavor counts and cycle cost)")
+    p.add_argument("--synthesis", choices=["greedy", "optimal"],
+                   default="greedy",
+                   help="fence synthesis strategy: the paper's greedy "
+                        "count-minimizer or min-cost optimal (needs "
+                        "--arch to differ)")
     p.add_argument("--interprocedural", action="store_true",
                    help="use the whole-program acquire fixpoint")
     p.add_argument("--annotations", action="store_true",
@@ -408,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
                    help="arch backend lowering each variant's placement "
                         "before exploration (default: the model's own)")
+    p.add_argument("--synthesis", choices=["greedy", "optimal"],
+                   default="greedy",
+                   help="fence synthesis strategy the checked placements "
+                        "use (optimal differs only on flavored backends)")
     p.add_argument("--max-states", type=int, default=1_000_000)
     p.add_argument("--json", action="store_true",
                    help="emit the serialized report instead of text")
@@ -427,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
                    help="arch backend: placements lower to its flavors "
                         "and fences are priced with its cost model")
+    p.add_argument("--synthesis", choices=["greedy", "optimal"],
+                   default="greedy",
+                   help="fence synthesis strategy for the simulated "
+                        "placement")
     p.add_argument("--globals", nargs="*", default=[],
                    help="global variables to print after the run")
     p.add_argument("--json", action="store_true",
@@ -494,6 +532,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", choices=sorted(backend_keys()), default=None,
                    help="arch backend overriding each model's default "
                         "for flavored-lowering costs")
+    p.add_argument("--synthesis", choices=["greedy", "optimal"],
+                   default="greedy",
+                   help="strategy whose cost fills each cell's fence_cost "
+                        "(greedy and optimal costs are both reported)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: CPU count)")
     p.add_argument("--serial", action="store_true",

@@ -42,7 +42,14 @@ from dataclasses import dataclass, field
 from repro.core.machine_models import MemoryModel, OrderKind
 from repro.core.orderings import Ordering, OrderingSet
 from repro.ir.function import Function
-from repro.ir.instructions import Fence, FenceKind, FenceOrigin, Instruction
+from repro.ir.instructions import (
+    Fence,
+    FenceKind,
+    FenceOrigin,
+    Instruction,
+    Load,
+    Store,
+)
 
 
 @dataclass(frozen=True)
@@ -63,8 +70,14 @@ class PlannedFence:
 
 
 @dataclass
-class _Interval:
-    """Gap interval [lo, hi] in one block, tagged with its ordering kind."""
+class DelayInterval:
+    """Gap interval [lo, hi] in one block, tagged with its ordering kind.
+
+    The shared currency of the greedy planner below and the optimal
+    synthesizer (:mod:`repro.synth`): both consume the exact same
+    intervals via :func:`collect_intervals`, so their plans differ only
+    in *where* they stab, never in *what* must be stabbed.
+    """
 
     block_index: int
     lo: int
@@ -101,24 +114,24 @@ class FencePlan:
 
 def _ordering_interval(
     func: Function, ordering: Ordering, model: MemoryModel, projection: str
-) -> _Interval:
+) -> DelayInterval:
     u_block, u_index = func.position(ordering.src.inst)
     v_block, v_index = func.position(ordering.dst.inst)
     kind = ordering.kind
     needs_full = model.needs_full_fence(kind)
     if u_block == v_block and u_index < v_index:
-        return _Interval(u_block, u_index + 1, v_index, needs_full, kind)
+        return DelayInterval(u_block, u_index + 1, v_index, needs_full, kind)
     if projection == "source":
         # Fence between u and its block's end: sound, since every path
         # from u to v leaves through the end of u's block.
         terminator_index = len(func.blocks[u_block].instructions) - 1
-        return _Interval(u_block, u_index + 1, terminator_index, needs_full, kind)
+        return DelayInterval(u_block, u_index + 1, terminator_index, needs_full, kind)
     # Target-side projection: fence between v's block entry and v —
     # equally sound (every path into v enters through its block start).
-    return _Interval(v_block, 0, v_index, needs_full, kind)
+    return DelayInterval(v_block, 0, v_index, needs_full, kind)
 
 
-def _barrier_indices(
+def barrier_indices(
     block_insts: list[Instruction], model: MemoryModel, for_full: bool
 ) -> list[int]:
     """Indices of instructions that already act as enforcement points.
@@ -146,10 +159,82 @@ def _barrier_indices(
     return indices
 
 
-def _satisfied_by_instruction(interval: _Interval, barrier_index: int) -> bool:
+def satisfied_by_instruction(interval: DelayInterval, barrier_index: int) -> bool:
     # An instruction at index k separates indices < k from indices > k,
     # which covers gap interval [lo, hi] iff lo <= k <= hi - 1.
     return interval.lo <= barrier_index <= interval.hi - 1
+
+
+def discharged_by_qualifier(ordering: Ordering) -> bool:
+    """True when a C11-style access qualifier already enforces ``ordering``.
+
+    A ``release`` store kills every ordering *into* its write part
+    (those are exactly the ``r->w``/``w->w`` obligations a store-release
+    discharges); an ``acquire`` load kills every ordering *out of* its
+    read part (``r->r``/``r->w``). Discharged orderings never reach the
+    delay graph, so qualified code needs fewer (often zero) fences —
+    this is an analysis-level fact shared by the greedy planner and the
+    optimal synthesizer alike.
+    """
+    dst = ordering.dst
+    if (
+        isinstance(dst.inst, Store)
+        and dst.inst.ordering == "release"
+        and dst.part == "w"
+    ):
+        return True
+    src = ordering.src
+    if (
+        isinstance(src.inst, Load)
+        and src.inst.ordering == "acquire"
+        and src.part == "r"
+    ):
+        return True
+    return False
+
+
+def collect_intervals(
+    func: Function,
+    orderings: OrderingSet,
+    model: MemoryModel,
+    projection: str = "source",
+) -> dict[int, list[DelayInterval]]:
+    """Project the surviving orderings onto per-block gap intervals.
+
+    This is the single delay-graph construction both planners share:
+    RMW-enforced and qualifier-discharged orderings are filtered out,
+    each survivor is projected to a :class:`DelayInterval`, and
+    duplicates (distinct orderings landing on the same span *and* kind)
+    are collapsed. Returns ``{block_index: [intervals]}``.
+    """
+    if projection not in ("source", "target"):
+        raise ValueError(f"unknown projection {projection!r}")
+    # An ordering whose endpoint is itself a locked RMW is enforced by
+    # that instruction's own barrier semantics (x86 LOCK prefix); one
+    # whose endpoint is a suitably-qualified atomic access is enforced
+    # by the access itself.
+    relevant = [
+        o
+        for o in orderings
+        if not (
+            model.rmw_is_full_fence
+            and (o.src.inst.is_atomic_rmw() or o.dst.inst.is_atomic_rmw())
+        )
+        and not discharged_by_qualifier(o)
+    ]
+    intervals = [_ordering_interval(func, o, model, projection) for o in relevant]
+    # Deduplicate: distinct orderings frequently project to one interval.
+    # The ordering kind stays in the key — same-span intervals of
+    # different kinds place the same fences (spans drive the stabbing)
+    # but each kind must be recorded in the fence's ``covers`` set.
+    unique: dict[tuple[int, int, int, OrderKind], DelayInterval] = {}
+    for iv in intervals:
+        unique.setdefault((iv.block_index, iv.lo, iv.hi, iv.kind), iv)
+
+    by_block: dict[int, list[DelayInterval]] = {}
+    for iv in unique.values():
+        by_block.setdefault(iv.block_index, []).append(iv)
+    return by_block
 
 
 def plan_fences(
@@ -165,46 +250,21 @@ def plan_fences(
     lands in: ``"source"`` (Fang-style, the default) or ``"target"`` —
     both sound; the ablation benchmark compares the static counts.
     """
-    if projection not in ("source", "target"):
-        raise ValueError(f"unknown projection {projection!r}")
     plan = FencePlan(func, entry_fence=entry_fence)
-
-    # An ordering whose endpoint is itself a locked RMW is enforced by
-    # that instruction's own barrier semantics (x86 LOCK prefix).
-    relevant = [
-        o
-        for o in orderings
-        if not (
-            model.rmw_is_full_fence
-            and (o.src.inst.is_atomic_rmw() or o.dst.inst.is_atomic_rmw())
-        )
-    ]
-    intervals = [_ordering_interval(func, o, model, projection) for o in relevant]
-    # Deduplicate: distinct orderings frequently project to one interval.
-    # The ordering kind stays in the key — same-span intervals of
-    # different kinds place the same fences (spans drive the stabbing)
-    # but each kind must be recorded in the fence's ``covers`` set.
-    unique: dict[tuple[int, int, int, OrderKind], _Interval] = {}
-    for iv in intervals:
-        unique.setdefault((iv.block_index, iv.lo, iv.hi, iv.kind), iv)
-    intervals = list(unique.values())
-
-    by_block: dict[int, list[_Interval]] = {}
-    for iv in intervals:
-        by_block.setdefault(iv.block_index, []).append(iv)
+    by_block = collect_intervals(func, orderings, model, projection)
 
     for block_index in sorted(by_block):
         block = func.blocks[block_index]
         block_intervals = by_block[block_index]
 
-        full_barriers = _barrier_indices(block.instructions, model, for_full=True)
-        any_barriers = _barrier_indices(block.instructions, model, for_full=False)
+        full_barriers = barrier_indices(block.instructions, model, for_full=True)
+        any_barriers = barrier_indices(block.instructions, model, for_full=False)
 
-        def uncovered(ivs: list[_Interval], barriers: list[int]) -> list[_Interval]:
+        def uncovered(ivs: list[DelayInterval], barriers: list[int]) -> list[DelayInterval]:
             return [
                 iv
                 for iv in ivs
-                if not any(_satisfied_by_instruction(iv, k) for k in barriers)
+                if not any(satisfied_by_instruction(iv, k) for k in barriers)
             ]
 
         # Round 1: intervals that require hardware enforcement. Each

@@ -133,7 +133,24 @@ class ProgramAnalysis:
         )
 
 
-def insert_planned_fences(result: ProgramAnalysis, backend=None) -> None:
+#: Fence-synthesis strategies: ``greedy`` is the paper's per-block
+#: count-minimizing stabbing, ``optimal`` the min-cost synthesis of
+#: :mod:`repro.synth` (flavored-cost objective, never costlier).
+SYNTHESIS_MODES = ("greedy", "optimal")
+
+
+def _check_synthesis(synthesis: str) -> str:
+    if synthesis not in SYNTHESIS_MODES:
+        raise ValueError(
+            f"unknown synthesis {synthesis!r}; "
+            f"known: {', '.join(SYNTHESIS_MODES)}"
+        )
+    return synthesis
+
+
+def insert_planned_fences(
+    result: ProgramAnalysis, backend=None, synthesis: str = "greedy"
+) -> None:
     """Insert every function's planned fences into its IR.
 
     With an arch ``backend`` (:class:`~repro.arch.backend.ArchBackend`)
@@ -141,17 +158,30 @@ def insert_planned_fences(result: ProgramAnalysis, backend=None) -> None:
     first; otherwise generic full fences go in. Shared by
     :meth:`FencePlacer.place` and the null-detector path of
     :class:`repro.registry.variants.DetectionVariant`.
+
+    ``synthesis="optimal"`` (requires a backend) replaces the greedy
+    plans with :mod:`repro.synth`'s min-cost placements — the same
+    delay intervals, re-stabbed and re-flavored for minimum cycle
+    cost.
     """
+    _check_synthesis(synthesis)
     if backend is not None:
         from repro.arch.lowering import apply_lowered_plan, lower_plan
 
-        result.lowered_plans = {
-            name: lower_plan(fa.plan, backend)
-            for name, fa in result.functions.items()
-        }
+        if synthesis == "optimal":
+            from repro.synth import synthesize_analysis
+
+            result.lowered_plans, _ = synthesize_analysis(result, backend)
+        else:
+            result.lowered_plans = {
+                name: lower_plan(fa.plan, backend)
+                for name, fa in result.functions.items()
+            }
         for name, fa in result.functions.items():
             apply_lowered_plan(fa.function, result.lowered_plans[name])
     else:
+        # Without a flavor catalog every full fence costs the same, and
+        # the greedy count-minimal plan is already cost-minimal.
         for fa in result.functions.values():
             apply_plan(fa.function, fa.plan)
 
@@ -172,6 +202,7 @@ class FencePlacer:
         model: MemoryModel = X86_TSO,
         interprocedural: bool = False,
         backend=None,
+        synthesis: str = "greedy",
     ) -> None:
         self.variant = variant
         self.model = model
@@ -180,6 +211,9 @@ class FencePlacer:
         #: :meth:`place` lowers each plan to the cheapest sufficient
         #: fence flavors instead of inserting generic full fences.
         self.backend = backend
+        #: Fence synthesis strategy (:data:`SYNTHESIS_MODES`); only
+        #: ``optimal`` changes behavior, and only with a backend.
+        self.synthesis = _check_synthesis(synthesis)
 
     def _detector_variant(self) -> Variant:
         return (
@@ -274,7 +308,7 @@ class FencePlacer:
         reuse (untouched functions remain cache hits).
         """
         result = self.analyze(program, context=context)
-        insert_planned_fences(result, self.backend)
+        insert_planned_fences(result, self.backend, synthesis=self.synthesis)
         if context is not None:
             context.refresh()
         return result

@@ -23,6 +23,10 @@ FENCE102   error    flavored fence too weak for the orderings crossing
 FENCE103   warning  pointer publish without a fence between the
                     pointee's initialization and the publishing store,
                     on a model that reorders ``w->w``
+FENCE104   note     the greedy count-minimizing fence plan is strictly
+                    costlier than the min-cost synthesis on the
+                    requested arch (the finding carries the optimizer's
+                    witness cut)
 ========== ======== ====================================================
 """
 

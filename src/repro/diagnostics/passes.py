@@ -17,7 +17,11 @@ The shipped passes:
   arch backend to resolve the flavor);
 * ``unfenced-publish`` — a pointer published without a barrier after
   the pointee's initialization, on a model that reorders ``w->w``
-  (FENCE103).
+  (FENCE103);
+* ``suboptimal-fence-cost`` — the greedy count-minimizing plan is
+  strictly costlier than the min-cost synthesis of :mod:`repro.synth`
+  on the requested arch (FENCE104; reports the optimizer's witness
+  cut).
 """
 
 from __future__ import annotations
@@ -368,4 +372,50 @@ def _unfenced_publish(ctx: LintContext) -> Iterable[Finding]:
                             )
                         )
                         break
+    return findings
+
+
+# --- FENCE104: greedy plan strictly costlier than optimal ---------------
+
+
+@lint_pass(
+    "suboptimal-fence-cost",
+    ("FENCE104",),
+    "greedy fence plans strictly costlier than the min-cost synthesis",
+)
+def _suboptimal_fence_cost(ctx: LintContext) -> Iterable[Finding]:
+    if ctx.arch is None or ctx.model is None:
+        return ()  # cost is only defined against a flavor catalog
+    from repro.registry.variants import get_variant
+    from repro.synth import synthesize_plan
+
+    analysis = get_variant(ctx.variant).analyze(
+        ctx.program, ctx.model, context=ctx.context
+    )
+    findings = []
+    for name, fa in analysis.functions.items():
+        plan = synthesize_plan(
+            fa.function, fa.pruned, ctx.model, ctx.arch,
+            entry_fence=fa.plan.entry_fence,
+        )
+        if plan.cost >= plan.greedy_cost:
+            continue
+        cut = ", ".join(
+            f"{label}@{gap}" for label, gap in plan.witness_cut
+        )
+        findings.append(
+            Finding(
+                code="FENCE104",
+                severity="note",
+                message=(
+                    f"greedy fence plan for '{name}' costs "
+                    f"{plan.greedy_cost} cycles on '{ctx.arch.key}'; "
+                    f"min-cost synthesis achieves {plan.cost} "
+                    f"({plan.savings} saved"
+                    + (f"; witness cut: {cut}" if cut else "")
+                    + ")"
+                ),
+                pass_id="suboptimal-fence-cost",
+            )
+        )
     return findings

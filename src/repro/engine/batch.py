@@ -41,7 +41,7 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 #: Bump when analysis semantics change so stale cache entries miss.
-ENGINE_VERSION = "3"
+ENGINE_VERSION = "4"
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,10 @@ class BatchJob:
     #: Arch backend override for lowering costs; None = the model's
     #: registered default arch.
     arch: str | None = None
+    #: Which synthesis strategy's cost lands in ``fence_cost``/
+    #: ``flavors`` ("greedy" or "optimal"); both costs are always
+    #: reported side by side when an arch backend applies.
+    synthesis: str = "greedy"
 
     def resolve_source(self) -> str:
         if self.source is not None:
@@ -71,7 +75,7 @@ class BatchJob:
         """Digest of everything that determines the analysis result."""
         payload = "\x00".join(
             (ENGINE_VERSION, self.program, self.variant, self.model,
-             self.arch or "", self.resolve_source())
+             self.arch or "", self.synthesis, self.resolve_source())
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -103,8 +107,13 @@ class BatchResult:
     cached: bool = False
     #: Lowered fence cost + flavor histogram under the model's arch
     #: backend; None/{} when the model has no registered arch (rmo).
+    #: ``fence_cost`` reflects the job's selected synthesis strategy;
+    #: ``greedy_cost``/``optimal_cost`` always carry both for
+    #: comparison (``optimal_cost <= greedy_cost`` by construction).
     fence_cost: int | None = None
     flavors: dict[str, int] = field(default_factory=dict)
+    greedy_cost: int | None = None
+    optimal_cost: int | None = None
     #: Shared-context memo counters for this cell (cross the process
     #: boundary as plain ints so reports can aggregate them).
     context_hits: int = 0
@@ -224,6 +233,8 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
     }
     fence_cost: int | None = None
     flavors: dict[str, int] = {}
+    greedy_cost: int | None = None
+    optimal_cost: int | None = None
     if job.arch is not None:
         from repro.arch.backend import get_backend
 
@@ -232,8 +243,15 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
         backend = backend_for_model(job.model)
     if backend is not None:
         from repro.arch.lowering import lower_analysis
+        from repro.synth import synthesize_analysis
 
-        _, summary = lower_analysis(analysis, backend)
+        _, greedy_summary = lower_analysis(analysis, backend)
+        _, optimal_summary = synthesize_analysis(analysis, backend)
+        greedy_cost = greedy_summary.cost
+        optimal_cost = optimal_summary.cost
+        summary = (
+            optimal_summary if job.synthesis == "optimal" else greedy_summary
+        )
         fence_cost = summary.cost
         flavors = dict(summary.flavors)
     return BatchResult(
@@ -249,6 +267,8 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
         context_by_fact=context_by_fact,
         fence_cost=fence_cost,
         flavors=flavors,
+        greedy_cost=greedy_cost,
+        optimal_cost=optimal_cost,
     )
 
 
@@ -441,12 +461,15 @@ class BatchRunner:
         variants: Iterable[str | PipelineVariant] | None = None,
         models: Iterable[str] | None = None,
         arch: str | None = None,
+        synthesis: str = "greedy",
     ) -> list[BatchResult]:
         """Cross product in stable (program, variant, model) order.
 
         Defaults: all 17 registry programs × all three variants ×
         x86-TSO. ``arch`` overrides the per-model default backend used
-        for flavored lowering costs.
+        for flavored lowering costs; ``synthesis`` selects which
+        strategy's cost lands in each cell's ``fence_cost`` (both are
+        reported regardless).
         """
         from repro.programs.registry import all_programs
 
@@ -470,8 +493,15 @@ class BatchRunner:
                 raise KeyError(
                     f"unknown model {name!r}; known: {', '.join(model_keys())}"
                 )
+        from repro.core.pipeline import SYNTHESIS_MODES
+
+        if synthesis not in SYNTHESIS_MODES:
+            raise KeyError(
+                f"unknown synthesis {synthesis!r}; "
+                f"known: {', '.join(SYNTHESIS_MODES)}"
+            )
         jobs = [
-            BatchJob(program=p, variant=v, model=m, arch=arch)
+            BatchJob(program=p, variant=v, model=m, arch=arch, synthesis=synthesis)
             for p in program_names
             for v in variant_values
             for m in model_names

@@ -94,6 +94,19 @@ class FaddExpr(Expr):
     value: Expr
 
 
+@dataclass(frozen=True)
+class AtomicLoadExpr(Expr):
+    """``atomic_load(addr, acquire|relaxed)`` — a qualified atomic read.
+
+    ``acquire`` discharges the ``r->r``/``r->w`` ordering obligations
+    out of the load; ``relaxed`` marks the access atomic but orders
+    nothing (it still needs fences like a plain access).
+    """
+
+    addr: Expr
+    ordering: str
+
+
 # --- statements --------------------------------------------------------------
 
 
@@ -181,6 +194,19 @@ class FenceStmt(Stmt):
 
     full: bool = True
     flavor: str | None = None
+
+
+@dataclass(frozen=True)
+class AtomicStoreStmt(Stmt):
+    """``atomic_store(addr, value, release|relaxed);``.
+
+    ``release`` discharges the ``r->w``/``w->w`` ordering obligations
+    into the store; ``relaxed`` orders nothing.
+    """
+
+    addr: Expr
+    value: Expr
+    ordering: str
 
 
 @dataclass(frozen=True)

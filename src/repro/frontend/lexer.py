@@ -21,6 +21,8 @@ KEYWORDS = {
     "cas",
     "xchg",
     "fadd",
+    "atomic_load",
+    "atomic_store",
     "observe",
     "break",
     "continue",

@@ -117,6 +117,10 @@ class FunctionLowerer:
             if self.include_manual_fences:
                 kind = FenceKind.FULL if stmt.full else FenceKind.COMPILER
                 b.fence(kind, FenceOrigin.MANUAL, flavor=stmt.flavor)
+        elif isinstance(stmt, ast.AtomicStoreStmt):
+            value = self.lower_expr(stmt.value)
+            addr = self.lower_expr(stmt.addr)
+            b.store(addr, value, ordering=stmt.ordering)
         elif isinstance(stmt, ast.ObserveStmt):
             b.observe(stmt.label, self.lower_expr(stmt.expr))
         else:  # pragma: no cover - parser produces no other nodes
@@ -269,6 +273,8 @@ class FunctionLowerer:
             return b.xchg(self.lower_expr(expr.addr), self.lower_expr(expr.value))
         if isinstance(expr, ast.FaddExpr):
             return b.fetch_add(self.lower_expr(expr.addr), self.lower_expr(expr.value))
+        if isinstance(expr, ast.AtomicLoadExpr):
+            return b.load(self.lower_expr(expr.addr), ordering=expr.ordering)
         raise LoweringError(f"unknown expression {type(expr).__name__}")
 
     def _lower_binary(self, expr: ast.Binary) -> Value:

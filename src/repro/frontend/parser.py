@@ -7,9 +7,12 @@ Grammar (informal):
     func     := "fn" IDENT "(" params? ")" block
     thread   := "thread" IDENT "(" int_args? ")" ";"
     stmt     := local | assign | if | while | for | return | break
-              | continue | fence | cfence | observe | expr ";" | block
+              | continue | fence | cfence | observe | atomic_store
+              | expr ";" | block
+    atomic_store := "atomic_store" "(" expr "," expr "," IDENT ")" ";"
     expr     := precedence-climbing over || && | ^ & == != < <= > >=
                 << >> + - * / % with unary - ! * & and postfix [..] (..)
+                and atomic_load "(" expr "," IDENT ")"
 """
 
 from __future__ import annotations
@@ -23,6 +26,9 @@ from repro.frontend.lexer import Token, tokenize
 class ParseError(Exception):
     """Raised on malformed source."""
 
+
+_LOAD_QUALIFIERS = ("acquire", "relaxed")
+_STORE_QUALIFIERS = ("release", "relaxed")
 
 # Binary operator precedence (higher binds tighter).
 _PRECEDENCE = {
@@ -227,7 +233,27 @@ class Parser:
                 self.expect("op", ")")
                 self.expect("op", ";")
                 return ast.ObserveStmt(tok.line, label, expr)
+            if tok.text == "atomic_store":
+                self.advance()
+                self.expect("op", "(")
+                addr = self.parse_expression()
+                self.expect("op", ",")
+                value = self.parse_expression()
+                self.expect("op", ",")
+                ordering = self._parse_qualifier(_STORE_QUALIFIERS)
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.AtomicStoreStmt(tok.line, addr, value, ordering)
         return self.parse_simple_statement()
+
+    def _parse_qualifier(self, allowed: tuple[str, ...]) -> str:
+        tok = self.expect("ident")
+        if tok.text not in allowed:
+            raise ParseError(
+                f"line {tok.line}: bad ordering qualifier {tok.text!r} "
+                f"(want one of {', '.join(allowed)})"
+            )
+        return tok.text
 
     def parse_local(self) -> ast.LocalDecl:
         line = self.expect("kw", "local").line
@@ -370,6 +396,14 @@ class Parser:
             if tok.text == "xchg":
                 return ast.XchgExpr(tok.line, args[0], args[1])
             return ast.FaddExpr(tok.line, args[0], args[1])
+        if tok.kind == "kw" and tok.text == "atomic_load":
+            self.advance()
+            self.expect("op", "(")
+            addr = self.parse_expression()
+            self.expect("op", ",")
+            ordering = self._parse_qualifier(_LOAD_QUALIFIERS)
+            self.expect("op", ")")
+            return ast.AtomicLoadExpr(tok.line, addr, ordering)
         if tok.kind == "ident":
             self.advance()
             if self.accept("op", "("):

@@ -86,13 +86,15 @@ class IRBuilder:
         self._append(Alloca(dest, size, var_name))
         return dest
 
-    def load(self, addr: Value) -> Register:
+    def load(self, addr: Value, ordering: Optional[str] = None) -> Register:
         dest = self.fresh_reg()
-        self._append(Load(dest, addr))
+        self._append(Load(dest, addr, ordering))
         return dest
 
-    def store(self, addr: Value, value: Value) -> None:
-        self._append(Store(addr, value))
+    def store(
+        self, addr: Value, value: Value, ordering: Optional[str] = None
+    ) -> None:
+        self._append(Store(addr, value, ordering))
 
     def binop(self, op: str, lhs: Value, rhs: Value) -> Register:
         dest = self.fresh_reg()

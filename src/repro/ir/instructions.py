@@ -43,6 +43,11 @@ class FenceOrigin(enum.Enum):
 _BINARY_OPS = {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"}
 _CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
 
+#: C11-style ordering qualifiers an atomic load may carry.
+LOAD_ORDERINGS = ("relaxed", "acquire")
+#: C11-style ordering qualifiers an atomic store may carry.
+STORE_ORDERINGS = ("relaxed", "release")
+
 
 class Instruction:
     """Base instruction. Subclasses define ``operands`` and flags.
@@ -143,13 +148,23 @@ class Alloca(Instruction):
 
 
 class Load(Instruction):
-    """``dest = *addr``."""
+    """``dest = *addr``.
 
-    __slots__ = ("addr",)
+    ``ordering`` is the C11-style atomic qualifier: ``None`` for a
+    plain (non-atomic) load, ``"relaxed"`` for an atomic load with no
+    ordering obligations, ``"acquire"`` for one that orders itself
+    before every later access of its thread (kills the ``r->r`` and
+    ``r->w`` delays out of it; see :mod:`repro.core.fence_min`).
+    """
 
-    def __init__(self, dest: Register, addr: Value) -> None:
+    __slots__ = ("addr", "ordering")
+
+    def __init__(
+        self, dest: Register, addr: Value, ordering: Optional[str] = None
+    ) -> None:
         super().__init__(dest)
         self.addr = addr
+        self.ordering = ordering
 
     @property
     def operands(self) -> Sequence[Value]:
@@ -162,18 +177,28 @@ class Load(Instruction):
         return self.addr
 
     def mnemonic(self) -> str:
-        return "load"
+        return "load" if self.ordering is None else f"load.{self.ordering}"
 
 
 class Store(Instruction):
-    """``*addr = value``."""
+    """``*addr = value``.
 
-    __slots__ = ("addr", "value")
+    ``ordering`` mirrors :class:`Load`: ``None`` for a plain store,
+    ``"relaxed"`` for an atomic store with no ordering obligations,
+    ``"release"`` for one that orders every earlier access of its
+    thread before itself (kills the ``r->w`` and ``w->w`` delays into
+    it).
+    """
 
-    def __init__(self, addr: Value, value: Value) -> None:
+    __slots__ = ("addr", "value", "ordering")
+
+    def __init__(
+        self, addr: Value, value: Value, ordering: Optional[str] = None
+    ) -> None:
         super().__init__(None)
         self.addr = addr
         self.value = value
+        self.ordering = ordering
 
     @property
     def operands(self) -> Sequence[Value]:
@@ -186,7 +211,7 @@ class Store(Instruction):
         return self.addr
 
     def mnemonic(self) -> str:
-        return "store"
+        return "store" if self.ordering is None else f"store.{self.ordering}"
 
 
 class BinOp(Instruction):

@@ -29,9 +29,9 @@ def format_instruction(inst: Instruction) -> str:
         suffix = f" ; {inst.var_name}" if inst.var_name else ""
         return f"{inst.dest} = alloca {inst.size}{suffix}"
     if isinstance(inst, Load):
-        return f"{inst.dest} = load {inst.addr}"
+        return f"{inst.dest} = {inst.mnemonic()} {inst.addr}"
     if isinstance(inst, Store):
-        return f"store {inst.addr}, {inst.value}"
+        return f"{inst.mnemonic()} {inst.addr}, {inst.value}"
     if isinstance(inst, BinOp):
         return f"{inst.dest} = {inst.lhs} {inst.op} {inst.rhs}"
     if isinstance(inst, Cmp):

@@ -9,7 +9,16 @@ threads pointing at missing entry points.
 from __future__ import annotations
 
 from repro.ir.function import Function, Program
-from repro.ir.instructions import Call, Fence, FenceKind, Instruction
+from repro.ir.instructions import (
+    LOAD_ORDERINGS,
+    STORE_ORDERINGS,
+    Call,
+    Fence,
+    FenceKind,
+    Instruction,
+    Load,
+    Store,
+)
 from repro.ir.values import Register
 
 
@@ -34,6 +43,18 @@ def verify_function(func: Function, program: Program | None = None) -> None:
                 raise VerificationError(
                     f"{func.name}/{block.label}: terminator not at block end"
                 )
+            if isinstance(inst, Load) and inst.ordering is not None:
+                if inst.ordering not in LOAD_ORDERINGS:
+                    raise VerificationError(
+                        f"{func.name}/{block.label}: bad load ordering "
+                        f"{inst.ordering!r} (want one of {LOAD_ORDERINGS})"
+                    )
+            if isinstance(inst, Store) and inst.ordering is not None:
+                if inst.ordering not in STORE_ORDERINGS:
+                    raise VerificationError(
+                        f"{func.name}/{block.label}: bad store ordering "
+                        f"{inst.ordering!r} (want one of {STORE_ORDERINGS})"
+                    )
             if isinstance(inst, Fence) and inst.flavor is not None:
                 # Flavors are free-form ISA mnemonics (the arch backend
                 # registry owns the catalog), but structurally they must

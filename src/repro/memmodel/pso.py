@@ -121,6 +121,16 @@ class PSOExplorer(CoreExplorer):
                     fp = self._addr_fp(pending.addr, reads=True)
                 succ = (memory, new_threads, buffers)
             elif pending.kind == "store":
+                # A release store orders every earlier store before
+                # itself (the w->w obligation PSO relaxes): it waits for
+                # the whole buffer to drain, then buffers normally — so
+                # the release itself can still be delayed past later
+                # reads (w->r stays relaxed, as on hardware).
+                if (
+                    getattr(pending.inst, "ordering", None) == "release"
+                    and not _buffer_empty(buffer)
+                ):
+                    continue
                 values = _buffer_get(buffer, pending.addr)
                 new_buffers = (
                     buffers[:i]

@@ -282,6 +282,12 @@ class RelaxedExplorer(CoreExplorer):
 
         if pending.kind == "load":
             addr = pending.addr
+            # An acquire load orders itself before every later access
+            # of its thread: like a stale-killing fence immediately
+            # after it, no post-acquire read may be satisfied stale
+            # (r->r / r->w killed). The acquire itself may still read
+            # the stale value — acquire means "ordered", not "latest".
+            acquire = pending.inst.ordering == "acquire"  # type: ignore[union-attr]
             forwarded = _buffer_lookup(buffer, addr)
             choices: list[tuple[int, bool]] = []  # (value, marks_fresh)
             if forwarded is not None:
@@ -305,19 +311,35 @@ class RelaxedExplorer(CoreExplorer):
                     )
                 self.executor.commit(target, pending, value)
                 new_fresh = fresh
+                marks = fresh[i]
                 if marks_fresh:
-                    new_fresh = (
-                        fresh[:i] + (fresh[i] | {addr},) + fresh[i + 1 :]
-                    )
+                    marks = marks | {addr}
+                if acquire:
+                    marks = marks | frozenset(prev)
+                if marks is not fresh[i]:
+                    new_fresh = fresh[:i] + (marks,) + fresh[i + 1 :]
                 successors.append((memory, prev, new_threads, buffers, new_fresh))
             # Forwarded loads still count as shared reads for reduction
             # purposes: forwarding status flips once the own buffer
             # drains, so an "invisible" classification would hide the
             # dependence on rival writes landing after the drain.
             fp = self._addr_fp(addr, reads=True)
+            if acquire and not fp.top:
+                # Like the stale-killing fence: observes the whole
+                # previous-value map, so it orders against every publish.
+                fp = Footprint(reads=fp.reads, global_read=True)
             return Transition(("t", i), i, True, fp, tuple(successors))
 
         if pending.kind == "store":
+            # A release store seals the current store group first, like
+            # a store-ordering fence immediately before it: every
+            # earlier buffered store publishes before this one (w->w
+            # killed). Earlier reads already committed — this machine
+            # cannot delay a satisfied read past a later store (see the
+            # LB note above) — so sealing is the entire obligation; the
+            # release itself stays buffered (w->r remains relaxed).
+            if pending.inst.ordering == "release":  # type: ignore[union-attr]
+                buffer = _seal(buffer)
             new_buffers = (
                 buffers[:i]
                 + (_buffer_append(buffer, pending.addr, pending.value),)

@@ -52,8 +52,11 @@ class DetectionVariant:
         model: MemoryModel = X86_TSO,
         interprocedural: bool = False,
         backend=None,
+        synthesis: str = "greedy",
     ) -> FencePlacer:
-        return FencePlacer(self.pipeline_variant, model, interprocedural, backend)
+        return FencePlacer(
+            self.pipeline_variant, model, interprocedural, backend, synthesis
+        )
 
     def analyze(
         self,
@@ -81,19 +84,21 @@ class DetectionVariant:
         context: AnalysisContext | None = None,
         interprocedural: bool = False,
         backend=None,
+        synthesis: str = "greedy",
     ) -> ProgramAnalysis:
         """Run the pipeline and insert the fences (mutates ``program``;
         a supplied ``context`` is refreshed, so it stays valid). With
         an arch ``backend``, fences go in flavored (cheapest sufficient
-        flavor per delay cut)."""
+        flavor per delay cut); ``synthesis="optimal"`` swaps in the
+        min-cost placements of :mod:`repro.synth`."""
         if not self.null_detector:
             # Delegate so the pipeline's post-insertion context refresh
             # applies here too (this is the path Session.place uses).
-            return self.placer(model, interprocedural, backend).place(
+            return self.placer(model, interprocedural, backend, synthesis).place(
                 program, context=context
             )
         result = self.analyze(program, model, context, interprocedural)
-        insert_planned_fences(result, backend)
+        insert_planned_fences(result, backend, synthesis=synthesis)
         if context is not None:
             context.refresh()
         return result

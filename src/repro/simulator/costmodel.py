@@ -33,6 +33,13 @@ class CostModel:
     alu: int = 1              # arithmetic / branch / local access step
     load: int = 2             # shared load (L1 hit)
     store: int = 1            # shared store issue (into the buffer)
+    #: Premiums for C11-style qualified accesses: an ``acquire`` load /
+    #: ``release`` store discharges an ordering obligation the plain
+    #: access does not carry. Free on x86-TSO (every load is an
+    #: acquire, every store a release already); arch cost models price
+    #: them as the cheapest fence covering the obligation.
+    acquire_load: int = 0
+    release_store: int = 0
     rmw: int = 45             # locked RMW, once the buffer is empty
     mfence: int = 60          # mfence base cost, once the buffer is empty
     compiler_fence: int = 0   # no presence in the final binary
@@ -65,14 +72,27 @@ def arch_cost_model(backend) -> CostModel:
     unflavored FULL fences price as that arch's full fence); every
     registered flavor gets its own entry. RMWs on backends whose model
     gives them no fence semantics price as a plain atomic (no drain
-    premium baked in).
+    premium baked in). Qualified accesses (``atomic_load(...,
+    acquire)`` / ``atomic_store(..., release)``) are charged the
+    cheapest flavor discharging their obligation on this arch — the
+    relaxed subset of {r->r, r->w} after an acquire, {r->w, w->w}
+    before a release — and stay free where the base model already
+    orders those kinds (x86).
     """
-    from repro.core.machine_models import MODELS
+    from repro.core.machine_models import MODELS, OrderKind
 
     full = backend.full_flavor()
     rmw = 45 if MODELS[backend.model_key].rmw_is_full_fence else 20
+    relaxed = backend.reorderable
+
+    def obligation(kinds: frozenset) -> int:
+        needed = kinds & relaxed
+        return backend.cheapest_flavor(needed).cost if needed else 0
+
     return CostModel(
         rmw=rmw,
         mfence=full.cost,
         flavor_costs=tuple((f.name, f.cost) for f in backend.flavors),
+        acquire_load=obligation(frozenset({OrderKind.RR, OrderKind.RW})),
+        release_store=obligation(frozenset({OrderKind.RW, OrderKind.WW})),
     )

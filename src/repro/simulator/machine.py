@@ -179,7 +179,10 @@ class TSOSimulator:
             if value is None:
                 value = memory.get(pending.addr, 0)
             self.executor.commit(ts, pending, value)
-            return clock + costs.load
+            cost = costs.load
+            if getattr(pending.inst, "ordering", "relaxed") == "acquire":
+                cost += costs.acquire_load
+            return clock + cost
 
         if pending.kind == "store":
             stats.shared_stores += 1
@@ -194,7 +197,10 @@ class TSOSimulator:
             visible = buffer.enqueue(clock, pending.addr, pending.value, costs.drain_period)
             self._push_commit(commits, visible, pending.addr, pending.value)
             self.executor.commit(ts, pending)
-            return clock + costs.store
+            cost = costs.store
+            if getattr(pending.inst, "ordering", "relaxed") == "release":
+                cost += costs.release_store
+            return clock + cost
 
         if pending.kind == "rmw":
             stats.rmws += 1

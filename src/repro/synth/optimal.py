@@ -1,0 +1,365 @@
+"""Optimal min-cost fence synthesis over the shared delay graph.
+
+The greedy planner (:func:`repro.core.fence_min.plan_fences`)
+minimizes fence *count* per block and only then prices each placed
+fence with the cheapest sufficient flavor. On flavored ISAs that
+two-step can lose: splitting one expensive full fence into two cheap
+partial fences (two ``lwsync`` at 66 instead of one ``sync`` at 80)
+is never visible to a cardinality objective. This module minimizes
+*cost* directly, over exactly the same
+:class:`~repro.core.fence_min.DelayInterval`s the greedy consumes
+(both call :func:`~repro.core.fence_min.collect_intervals`), so any
+difference between the two plans is purely better stabbing or better
+flavoring — never a different delay graph.
+
+Solver structure, per basic block:
+
+* **Candidate positions** are the interval right endpoints: a fence at
+  any gap can slide right to the smallest ``hi`` among the intervals
+  it stabs without uncovering any of them, and gap costs do not depend
+  on position — so an optimal placement using only right endpoints
+  always exists.
+* **Exact dynamic program** over candidates in left-to-right order.
+  The state is, per ordering kind, the rightmost position where a
+  fence killing that kind has been placed (4-vector); a transition
+  places any subset of the backend's flavors at the current position
+  (same-gap stacking is legal and occasionally modeled, though real
+  catalogs never reward it). When the scan passes an interval's right
+  endpoint the state must already kill its kind within the interval —
+  otherwise the branch dies. Dominated states (pointwise older fences,
+  no cheaper) are pruned. The greedy plan is one feasible point of
+  this program, so the DP result is never costlier than greedy.
+* **Min-cut certificate**: the same intervals also build the
+  :mod:`repro.synth.mincut` delay network; its cut value upper-bounds
+  the DP (equal on laminar families) and its saturated chain edges are
+  the witness placement the ``FENCE104`` lint reports. A single
+  min-cut is *not* exact for crossing interval families — it must pay
+  inside every pairwise overlap, which is the reason Alglave et al.
+  (CAV 2014) use an ILP — hence the DP, which handles crossing
+  families in polynomial time because gap costs are
+  position-independent here.
+
+Compiler-only intervals are stabbed exactly as in the greedy round 2
+(they cost nothing, so cardinality greedy is already optimal), and the
+function-entry fence is priced identically on both sides, so
+``SynthesisPlan.cost <= greedy cost`` holds function-wide, which the
+oracle-gated tests assert across the whole corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.backend import ArchBackend, FenceFlavor
+from repro.arch.lowering import LoweredFence, LoweredPlan, lower_plan, summarize_lowerings
+from repro.core.fence_min import (
+    DelayInterval,
+    barrier_indices,
+    collect_intervals,
+    discharged_by_qualifier,
+    plan_fences,
+    satisfied_by_instruction,
+)
+from repro.core.machine_models import MemoryModel, OrderKind
+from repro.core.orderings import OrderingSet
+from repro.ir.function import Function
+from repro.ir.instructions import FenceKind
+from repro.synth.mincut import INF, FlowNetwork
+
+_KINDS = tuple(OrderKind)
+_KIDX = {kind: i for i, kind in enumerate(_KINDS)}
+
+
+@dataclass
+class SynthesisPlan(LoweredPlan):
+    """An optimal lowered placement, comparable field-by-field with the
+    greedy :class:`~repro.arch.lowering.LoweredPlan` (it *is* one:
+    ``apply_lowered_plan`` and ``summarize_lowerings`` take it as-is).
+    """
+
+    #: Cost of the greedy plan lowered on the same backend — the
+    #: baseline this plan improves on (``cost <= greedy_cost`` always).
+    greedy_cost: int = 0
+    #: Value of the per-block min-cut certificates summed over the
+    #: function (``cost <= mincut_value``; equal on laminar families).
+    mincut_value: int = 0
+    #: ``(block label, gap)`` chain edges of the min cut — the witness
+    #: placement FENCE104 renders when greedy is strictly costlier.
+    witness_cut: tuple[tuple[str, int], ...] = ()
+    #: Orderings discharged by C11-style acquire/release qualifiers
+    #: before the delay graph was built.
+    discharged: int = 0
+
+    @property
+    def savings(self) -> int:
+        """Cycles saved over the greedy placement (>= 0)."""
+        return self.greedy_cost - self.cost
+
+
+def _flavor_options(
+    flavors: tuple[FenceFlavor, ...],
+) -> list[tuple[int, frozenset[OrderKind], tuple[FenceFlavor, ...]]]:
+    """Undominated subsets of the fence ISA placeable at one gap.
+
+    Each option is ``(cost, union kill-set, flavors)``; a subset is
+    dropped when another kills at least as much for no more cost. The
+    empty subset (place nothing) is not an option — the DP models it
+    as a separate transition.
+    """
+    subsets: list[tuple[int, frozenset[OrderKind], tuple[FenceFlavor, ...]]] = []
+    for mask in range(1, 1 << len(flavors)):
+        chosen = tuple(f for i, f in enumerate(flavors) if mask >> i & 1)
+        cost = sum(f.cost for f in chosen)
+        kills = frozenset().union(*(f.kills for f in chosen))
+        subsets.append((cost, kills, chosen))
+    return [
+        (cost, kills, chosen)
+        for cost, kills, chosen in subsets
+        if not any(
+            (o_cost < cost and o_kills >= kills)
+            or (o_cost <= cost and o_kills > kills)
+            for o_cost, o_kills, _ in subsets
+        )
+    ]
+
+
+def _solve_block(
+    intervals: list[DelayInterval], backend: ArchBackend
+) -> tuple[int, list[tuple[int, FenceFlavor]]]:
+    """Exact min-cost placement stabbing every interval.
+
+    Returns ``(cost, [(gap, flavor), ...])`` sorted by gap.
+    """
+    if not intervals:
+        return 0, []
+    options = _flavor_options(backend.flavors)
+    positions = sorted({iv.hi for iv in intervals})
+    deadlines: dict[int, list[DelayInterval]] = {}
+    for iv in intervals:
+        deadlines.setdefault(iv.hi, []).append(iv)
+
+    start = (-1,) * len(_KINDS)
+    # Per position: state -> (cost, predecessor state, flavors placed).
+    states: dict[tuple[int, ...], tuple[int, tuple[int, ...] | None, tuple]] = {
+        start: (0, None, ())
+    }
+    layers: list[dict] = []
+    for pos in positions:
+        due = deadlines[pos]
+        nxt: dict[tuple[int, ...], tuple[int, tuple[int, ...], tuple]] = {}
+
+        def consider(state, cost, prev, placed):
+            if any(state[_KIDX[iv.kind]] < iv.lo for iv in due):
+                return
+            cur = nxt.get(state)
+            if cur is None or cost < cur[0]:
+                nxt[state] = (cost, prev, placed)
+
+        for state, (cost, _prev, _placed) in states.items():
+            consider(state, cost, state, ())
+            for opt_cost, opt_kills, opt_flavors in options:
+                placed_state = tuple(
+                    pos if kind in opt_kills else r
+                    for kind, r in zip(_KINDS, state)
+                )
+                consider(placed_state, cost + opt_cost, state, opt_flavors)
+
+        # Dominance pruning: a state with pointwise-older fences and no
+        # cheaper cost can never win later.
+        if len(nxt) > 1:
+            items = sorted(nxt.items(), key=lambda kv: kv[1][0])
+            kept: list[tuple[tuple[int, ...], tuple]] = []
+            for state, value in items:
+                if not any(
+                    all(ks >= s for ks, s in zip(k_state, state))
+                    for k_state, _ in kept
+                ):
+                    kept.append((state, value))
+            nxt = dict(kept)
+        layers.append(nxt)
+        states = nxt
+
+    best_state = min(states, key=lambda s: states[s][0])
+    best_cost = states[best_state][0]
+
+    # Walk the parent chain backwards to recover the placements.
+    placements: list[tuple[int, FenceFlavor]] = []
+    state = best_state
+    for pos, layer in zip(reversed(positions), reversed(layers)):
+        cost, prev, placed = layer[state]
+        for flavor in placed:
+            placements.append((pos, flavor))
+        state = prev
+    placements.sort(key=lambda pf: (pf[0], pf[1].name))
+    return best_cost, placements
+
+
+def block_cut(
+    intervals: list[DelayInterval], backend: ArchBackend
+) -> tuple[int, list[int]]:
+    """Min-cut certificate for one block's full-fence intervals.
+
+    Builds the delay network of :mod:`repro.synth.mincut` — chain
+    edges per gap priced at the cheapest flavor killing every kind
+    crossing the gap, infinite interval bypasses — and returns
+    ``(cut value, cut gaps)``.
+    """
+    if not intervals:
+        return 0, []
+    lo = min(iv.lo for iv in intervals)
+    hi = max(iv.hi for iv in intervals)
+    net = FlowNetwork()
+    s, t = net.add_node(), net.add_node()
+    # Node per gap boundary: p[g] sits before gap ``lo + g``.
+    nodes = [net.add_node() for _ in range(hi - lo + 2)]
+    for gap in range(lo, hi + 1):
+        crossing = frozenset(
+            iv.kind for iv in intervals if iv.lo <= gap <= iv.hi
+        )
+        price = backend.cheapest_flavor(crossing).cost if crossing else INF
+        net.add_edge(nodes[gap - lo], nodes[gap - lo + 1], price, tag=gap)
+    for iv in intervals:
+        net.add_edge(s, nodes[iv.lo - lo], INF)
+        net.add_edge(nodes[iv.hi + 1 - lo], t, INF)
+    value, tags = net.min_cut(s, t)
+    return value, sorted(tags)
+
+
+def _stab_compiler(
+    intervals: list[DelayInterval],
+    full_gaps: list[int],
+    any_barriers: list[int],
+) -> dict[int, set[OrderKind]]:
+    """Greedy (optimal-cardinality) stabbing of zero-cost intervals,
+    crediting placed full fences and existing barriers — the mirror of
+    the greedy planner's round 2."""
+    needed = [
+        iv
+        for iv in intervals
+        if not any(satisfied_by_instruction(iv, k) for k in any_barriers)
+    ]
+    placed: dict[int, set[OrderKind]] = {}
+    gaps: list[int] = []
+    for iv in sorted(needed, key=lambda iv: (iv.hi, iv.lo)):
+        if any(iv.lo <= g <= iv.hi for g in full_gaps):
+            continue
+        covering = [g for g in gaps if iv.lo <= g <= iv.hi]
+        if covering:
+            placed[covering[0]].add(iv.kind)
+            continue
+        gaps.append(iv.hi)
+        placed[iv.hi] = {iv.kind}
+    return placed
+
+
+def synthesize_plan(
+    func: Function,
+    orderings: OrderingSet,
+    model: MemoryModel,
+    backend: ArchBackend,
+    entry_fence: bool = False,
+    projection: str = "source",
+) -> SynthesisPlan:
+    """Whole-function optimal synthesis; no IR mutation.
+
+    Consumes exactly the inputs :func:`~repro.core.fence_min
+    .plan_fences` consumes and returns a :class:`SynthesisPlan` whose
+    ``cost`` is minimal for the delay graph and never exceeds
+    ``greedy_cost`` (the greedy plan lowered on the same backend).
+    """
+    plan = SynthesisPlan(func, backend.key)
+    plan.discharged = sum(1 for o in orderings if discharged_by_qualifier(o))
+    by_block = collect_intervals(func, orderings, model, projection)
+    witness: list[tuple[str, int]] = []
+
+    for block_index in sorted(by_block):
+        block = func.blocks[block_index]
+        ivs = by_block[block_index]
+        full_barriers = barrier_indices(block.instructions, model, for_full=True)
+        any_barriers = barrier_indices(block.instructions, model, for_full=False)
+        full_needed = [
+            iv
+            for iv in ivs
+            if iv.needs_full
+            and not any(satisfied_by_instruction(iv, k) for k in full_barriers)
+        ]
+        _cost, placements = _solve_block(full_needed, backend)
+        cut_value, cut_gaps = block_cut(full_needed, backend)
+        plan.mincut_value += cut_value
+        witness.extend((block.label, gap) for gap in cut_gaps)
+
+        # Assign every interval to one placed fence that enforces it,
+        # to report each fence's kill-set the same way greedy does.
+        covers: dict[int, set[OrderKind]] = {}
+        for gap, flavor in placements:
+            covers.setdefault(gap, set())
+        for iv in full_needed:
+            for gap, flavor in placements:
+                if iv.lo <= gap <= iv.hi and iv.kind in flavor.kills:
+                    covers[gap].add(iv.kind)
+                    break
+        for gap, flavor in placements:
+            plan.fences.append(
+                LoweredFence(
+                    block.label,
+                    gap,
+                    FenceKind.FULL,
+                    flavor.name,
+                    flavor.cost,
+                    covers=frozenset(
+                        k for k in covers[gap] if k in flavor.kills
+                    ),
+                )
+            )
+
+        full_gaps = [gap for gap, _flavor in placements]
+        compiler = _stab_compiler(
+            [iv for iv in ivs if not iv.needs_full], full_gaps, any_barriers
+        )
+        for gap in sorted(compiler):
+            plan.fences.append(
+                LoweredFence(
+                    block.label,
+                    gap,
+                    FenceKind.COMPILER,
+                    None,
+                    0,
+                    covers=frozenset(compiler[gap]),
+                )
+            )
+
+    if entry_fence:
+        full = backend.full_flavor()
+        plan.entry_fence = True
+        plan.entry_flavor = full.name
+        plan.entry_cost = full.cost
+    plan.mincut_value += plan.entry_cost
+    plan.witness_cut = tuple(witness)
+
+    greedy = lower_plan(
+        plan_fences(func, orderings, model, entry_fence, projection), backend
+    )
+    plan.greedy_cost = greedy.cost
+    return plan
+
+
+def synthesize_analysis(analysis, backend: ArchBackend):
+    """Optimal synthesis for a whole
+    :class:`~repro.core.pipeline.ProgramAnalysis` — the drop-in
+    counterpart of :func:`repro.arch.lowering.lower_analysis`.
+
+    Returns ``(per-function SynthesisPlans, ArchLoweringSummary)``; no
+    IR mutation — pair with
+    :func:`~repro.arch.lowering.apply_lowered_plan` to insert.
+    """
+    plans = {
+        name: synthesize_plan(
+            fa.function,
+            fa.pruned,
+            analysis.model,
+            backend,
+            entry_fence=fa.plan.entry_fence,
+        )
+        for name, fa in analysis.functions.items()
+    }
+    return plans, summarize_lowerings(backend.key, plans)

@@ -91,7 +91,11 @@ def place_every_delay(program: Program) -> tuple[int, int]:
 
 
 def place_detected_fences(
-    program: Program, variant: str, model: MemoryModel, backend=None
+    program: Program,
+    variant: str,
+    model: MemoryModel,
+    backend=None,
+    synthesis: str = "greedy",
 ) -> tuple[int, int]:
     """Insert ``variant``'s placement; returns (full, compiler) counts.
 
@@ -103,8 +107,21 @@ def place_detected_fences(
     ``backend`` the fences go in *flavored* (cheapest sufficient flavor
     per cut), so the differential exploration validates the flavor
     selection itself, not just the fence positions.
+    ``synthesis="optimal"`` places :mod:`repro.synth`'s min-cost plans
+    instead of the greedy ones, putting the optimizer itself under the
+    oracle's soundness contract.
     """
-    analysis = get_variant(variant).place(program, model, backend=backend)
+    analysis = get_variant(variant).place(
+        program, model, backend=backend, synthesis=synthesis
+    )
+    if synthesis == "optimal" and analysis.lowered_plans is not None:
+        # The greedy FencePlans no longer describe what went in; count
+        # the optimizer's lowered placements instead.
+        plans = analysis.lowered_plans.values()
+        return (
+            sum(p.full_count for p in plans),
+            sum(p.compiler_count for p in plans),
+        )
     return analysis.full_fence_count, analysis.compiler_fence_count
 
 
@@ -179,6 +196,7 @@ def run_oracle(
     max_states: int = 1_000_000,
     drf_max_traces: int = 600,
     explore_unfenced: bool = True,
+    synthesis: str = "greedy",
 ) -> OracleReport:
     """Run the full differential check on one mini-C source text.
 
@@ -238,7 +256,9 @@ def run_oracle(
     verdicts = []
     for variant in variants:
         fenced = compile_source(source, name)
-        full, compiler = place_detected_fences(fenced, variant, machine, backend)
+        full, compiler = place_detected_fences(
+            fenced, variant, machine, backend, synthesis=synthesis
+        )
         fenced_weak = explorer_cls(fenced, max_states=max_states).explore()
         if not fenced_weak.complete:
             return _skipped(

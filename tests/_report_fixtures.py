@@ -36,7 +36,7 @@ def sample_payloads() -> dict:
     spec = ProgramSpec.inline("global int x;\n", name="sample")
     analyze_request = AnalyzeRequest(
         program=spec, variant="control", model="x86-tso", annotations=True,
-        arch="power",
+        arch="power", synthesis="optimal",
     )
     analyze_report = AnalyzeReport(
         program="sample",
@@ -62,6 +62,8 @@ def sample_payloads() -> dict:
         arch="power",
         fence_cost=113,
         flavors={"lwsync": 1, "sync": 1},
+        synthesis="optimal",
+        greedy_cost=160,
     )
     check_request = CheckRequest(
         program=spec, model="pso", max_states=5000, arch="x86"
@@ -124,10 +126,13 @@ def sample_payloads() -> dict:
                 cached=False,
                 fence_cost=240,
                 flavors={"mfence": 4},
+                greedy_cost=240,
+                optimal_cost=220,
             ),
         ),
         cache_stats=None,
         arch=None,
+        synthesis="greedy",
     )
     fuzz_request = FuzzRequest(
         seeds=2, shapes=("publish",), variants=("vanilla",), budget=30.0

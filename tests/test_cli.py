@@ -202,7 +202,7 @@ def test_analyze_json_is_a_loadable_report(mp_file, capsys):
     out = capsys.readouterr().out
     payload = json.loads(out)
     assert payload["kind"] == "analyze-report"
-    assert payload["schema_version"] == 3
+    assert payload["schema_version"] == 4
     report = load_report(out)
     assert report.full_fences == payload["full_fences"]
 

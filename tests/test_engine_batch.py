@@ -163,7 +163,8 @@ def test_cli_batch_table(capsys):
     out = capsys.readouterr().out
     assert "fft" in out
     assert "fences" in out
-    assert "cost" in out
+    assert "greedy" in out
+    assert "optimal" in out
     assert "full fences" in out
     assert "cycles lowered" in out
 
@@ -173,7 +174,7 @@ def test_cli_batch_json(capsys):
                  "--variants", "control", "--serial", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["kind"] == "batch-report"
-    assert payload["schema_version"] == 3
+    assert payload["schema_version"] == 4
     cells = payload["cells"]
     assert [cell["program"] for cell in cells] == ["fft", "matrix"]
     serial = analyze_program(get_program("fft").compile(), PipelineVariant.CONTROL)

@@ -1,0 +1,116 @@
+"""End-to-end tests for C11-style atomic qualifiers.
+
+``atomic_store(&g, v, release)`` / ``atomic_load(&g, acquire)`` carry
+their ordering in the IR, discharge the matching delay-graph
+obligations (so message-passing needs *zero* fences), and stay SC on
+every explorer model. ``relaxed`` marks the access atomic but orders
+nothing — it needs fences exactly like a plain access.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine_models import MODELS
+from repro.frontend import ParseError, compile_source
+from repro.ir.instructions import Load, Store
+from repro.registry.variants import get_variant
+from repro.validate.oracle import EXPLORERS, run_oracle
+
+WEAK_MODELS = tuple(k for k in sorted(EXPLORERS) if k != "sc")
+
+MP_ATOMIC = """
+global int data;
+global int flag;
+
+fn producer(tid) {
+  data = 1;
+  atomic_store(&flag, 1, release);
+}
+
+fn consumer(tid) {
+  local d = 0;
+  while (atomic_load(&flag, acquire) == 0) { }
+  d = data;
+  observe("r", d);
+}
+
+thread producer(0);
+thread consumer(1);
+"""
+
+MP_RELAXED = MP_ATOMIC.replace("release", "relaxed").replace(
+    "acquire", "relaxed"
+)
+
+
+def test_qualifiers_survive_into_the_ir():
+    program = compile_source(MP_ATOMIC, "mp-atomic")
+    producer = program.functions["producer"]
+    consumer = program.functions["consumer"]
+    stores = [
+        i
+        for b in producer.blocks
+        for i in b.instructions
+        if isinstance(i, Store)
+    ]
+    assert [s.ordering for s in stores if s.ordering] == ["release"]
+    assert None in {s.ordering for s in stores}  # plain data store
+    loads = [
+        i
+        for b in consumer.blocks
+        for i in b.instructions
+        if isinstance(i, Load)
+    ]
+    assert "acquire" in {ld.ordering for ld in loads}
+    # Plain accesses stay unqualified.
+    assert None in {ld.ordering for ld in loads}
+
+
+@pytest.mark.parametrize("model_key", sorted(MODELS))
+def test_acquire_release_mp_needs_zero_fences(model_key):
+    program = compile_source(MP_ATOMIC, "mp-atomic")
+    analysis = get_variant("address+control").analyze(
+        program, MODELS[model_key]
+    )
+    assert (
+        sum(len(fa.plan.full_fences) for fa in analysis.functions.values())
+        == 0
+    )
+
+
+def test_relaxed_atomics_still_need_fences():
+    """``relaxed`` orders nothing: the same MP shape keeps its fences
+    on a model that reorders both sides of the handoff."""
+    program = compile_source(MP_RELAXED, "mp-atomic-relaxed")
+    analysis = get_variant("address+control").analyze(
+        program, MODELS["power"]
+    )
+    assert (
+        sum(len(fa.plan.full_fences) for fa in analysis.functions.values())
+        > 0
+    )
+
+
+@pytest.mark.parametrize("model", WEAK_MODELS)
+@pytest.mark.parametrize("synthesis", ("greedy", "optimal"))
+def test_atomic_mp_stays_sc_unfenced_on_every_model(model, synthesis):
+    """The discharge is sound end-to-end: the qualified handoff passes
+    the differential oracle on every explorer with no fences added."""
+    report = run_oracle(
+        MP_ATOMIC, "mp-atomic", model=model, synthesis=synthesis
+    )
+    assert report.complete, report.skipped
+    assert report.violations == ()
+    assert report.full_restores_sc
+
+
+def test_bad_qualifier_is_a_parse_error():
+    with pytest.raises(ParseError):
+        compile_source(
+            MP_ATOMIC.replace("release", "consume"), "bad-qualifier"
+        )
+    with pytest.raises(ParseError):
+        compile_source(
+            MP_ATOMIC.replace("acquire", "release"), "bad-load-qualifier"
+        )

@@ -26,6 +26,7 @@ DATA_DIR = Path(__file__).parent / "data" / "lint"
 
 LITMUS_GOLDEN = json.loads((DATA_DIR / "litmus_expected.json").read_text())
 CORPUS_GOLDEN = json.loads((DATA_DIR / "corpus_expected.json").read_text())
+ARCH_GOLDEN = json.loads((DATA_DIR / "arch_expected.json").read_text())
 
 
 @pytest.fixture(scope="module")
@@ -33,7 +34,7 @@ def session():
     return Session(parallel=False)
 
 
-def _summarize(report: dict) -> dict:
+def _summarize(report: dict, with_message: bool = False) -> dict:
     return {
         "errors": report["errors"],
         "warnings": report["warnings"],
@@ -47,6 +48,7 @@ def _summarize(report: dict) -> dict:
                 "severity": f["severity"],
                 "verdict": f["verdict"],
                 "spans": [[s["function"], s["uid"]] for s in f["spans"]],
+                **({"message": f["message"]} if with_message else {}),
             }
             for f in report["findings"]
         ],
@@ -103,6 +105,37 @@ def test_corpus_lint_matches_golden(session, name):
         LintRequest(program=ProgramSpec.corpus(name), confirm=False)
     ).to_payload()
     assert _summarize(report) == CORPUS_GOLDEN["programs"][name]
+
+
+@pytest.mark.parametrize("name", sorted(ARCH_GOLDEN["programs"]))
+def test_arch_lint_matches_golden(session, name):
+    """Power-backend lint replay: pins FENCE104 suboptimal-greedy
+    findings with their exact cycle costs and witness cuts."""
+    report = session.lint(
+        LintRequest(
+            program=ProgramSpec.corpus(name),
+            model="power",
+            arch="power",
+            confirm=False,
+        )
+    ).to_payload()
+    assert _summarize(report, with_message=True) == (
+        ARCH_GOLDEN["programs"][name]
+    )
+
+
+def test_fence104_pinned_in_arch_golden():
+    """At least one corpus program must carry a strictly-cheaper
+    optimal plan on Power, surfaced as FENCE104 notes."""
+    f104 = {
+        name: [f for f in s["findings"] if f["code"] == "FENCE104"]
+        for name, s in ARCH_GOLDEN["programs"].items()
+    }
+    assert all(f104.values()), "every arch-golden program pins FENCE104"
+    matrix = " ".join(f["message"] for f in f104["matrix"])
+    for cost in ("3249", "3194", "659", "557", "386", "331"):
+        assert cost in matrix
+    assert "witness cut" in matrix
 
 
 def test_corpus_noise_floor():

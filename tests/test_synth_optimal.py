@@ -1,0 +1,211 @@
+"""Tests for the optimal min-cost fence synthesizer (repro.synth).
+
+Pins the three claims the synthesizer makes:
+
+* on single-cut interval families (and on functions greedy already
+  fences with at most one full fence) the optimal and greedy plans
+  cost the same — the greedy stab is a feasible DP point, and one
+  cheapest covering flavor cannot be beaten by a split;
+* on a hand-built multi-cut family the count-first greedy stab is
+  strictly costlier (exact cycle costs pinned), with the min-cut
+  certificate agreeing with the DP;
+* optimal placements are sound: they pass the SC-vs-weak differential
+  oracle on every explorer model, and never cost more than greedy on
+  any (program, arch) corpus cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import backend_keys, get_backend
+from repro.arch.lowering import lower_plan
+from repro.core.fence_min import DelayInterval
+from repro.core.machine_models import MODELS, OrderKind
+from repro.memmodel.litmus import LITMUS_TESTS
+from repro.programs import get_program
+from repro.registry.variants import get_variant
+from repro.synth import block_cut, synthesize_analysis
+from repro.synth.optimal import _solve_block
+from repro.validate.oracle import EXPLORERS, run_oracle
+
+POWER = get_backend("power")
+WEAK_MODELS = tuple(k for k in sorted(EXPLORERS) if k != "sc")
+
+
+def iv(lo: int, hi: int, kind: OrderKind) -> DelayInterval:
+    return DelayInterval(
+        block_index=0, lo=lo, hi=hi, needs_full=True, kind=kind
+    )
+
+
+# --- hand-built multi-cut fixture -------------------------------------------
+
+#: Two w->w intervals interleaved with two w->r intervals so that the
+#: earliest-deadline greedy stab merges a w->r into *both* groups
+#: (two ``sync``s, 160 cycles on Power), while the optimum routes both
+#: w->r intervals through the single gap they share (gap 6) and covers
+#: the first w->w with an ``eieio``: 25 + 80 = 105 cycles.
+MULTI_CUT = [
+    iv(0, 2, OrderKind.WW),
+    iv(2, 6, OrderKind.WR),
+    iv(4, 6, OrderKind.WW),
+    iv(6, 9, OrderKind.WR),
+]
+
+
+def greedy_stab_cost(intervals, backend) -> int:
+    """The count-first planner's stab (earliest deadline, credit
+    existing stabs) lowered at each stab's cheapest covering flavor —
+    the exact policy of ``plan_fences`` + ``lower_plan``."""
+    gaps: dict[int, set[OrderKind]] = {}
+    for interval in sorted(intervals, key=lambda i: (i.hi, i.lo)):
+        covering = [g for g in gaps if interval.lo <= g <= interval.hi]
+        if covering:
+            gaps[covering[0]].add(interval.kind)
+        else:
+            gaps[interval.hi] = {interval.kind}
+    return sum(
+        backend.cheapest_flavor(frozenset(kinds)).cost
+        for kinds in gaps.values()
+    )
+
+
+def test_multi_cut_fixture_optimal_strictly_beats_greedy():
+    cost, placements = _solve_block(MULTI_CUT, POWER)
+    assert cost == 105
+    assert [(gap, flavor.name) for gap, flavor in placements] == [
+        (2, "eieio"),
+        (6, "sync"),
+    ]
+    assert greedy_stab_cost(MULTI_CUT, POWER) == 160
+
+
+def test_multi_cut_fixture_mincut_bounds_the_dp():
+    """The flow network prices each gap at the cheapest flavor covering
+    *every* kind crossing it, so on this crossing (non-laminar) family
+    the cut overcharges: it lands on the greedy stab's 160, a sound
+    upper bound the DP beats. The certificate contract is only
+    ``dp <= cut``, with equality on laminar families."""
+    value, gaps = block_cut(MULTI_CUT, POWER)
+    assert value == 160 == greedy_stab_cost(MULTI_CUT, POWER)
+    assert gaps == [2, 6]
+    dp_cost, _placements = _solve_block(MULTI_CUT, POWER)
+    assert dp_cost <= value
+
+
+# --- single-cut property ----------------------------------------------------
+
+KINDS = st.sampled_from(list(OrderKind))
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(6, 12), KINDS),
+        min_size=1,
+        max_size=8,
+    ),
+    st.sampled_from(sorted(backend_keys())),
+)
+def test_single_cut_families_cost_one_cheapest_fence(spans, arch_key):
+    """Every interval contains gap 6, so one fence of the cheapest
+    flavor covering the union of kinds is feasible — and on every
+    shipped catalog no split of that kill-set is cheaper, so the DP
+    must land exactly there (the greedy plan for a single cut)."""
+    backend = get_backend(arch_key)
+    intervals = [iv(lo, hi, kind) for lo, hi, kind in spans]
+    cost, _placements = _solve_block(intervals, backend)
+    union = frozenset(kind for _lo, _hi, kind in spans)
+    assert cost == backend.cheapest_flavor(union).cost
+
+
+@pytest.mark.parametrize("arch_key", sorted(backend_keys()))
+def test_single_fence_functions_match_greedy(arch_key):
+    """Functions greedy fences with <= 1 full fence cost the same under
+    optimal synthesis, and optimal never costs more anywhere."""
+    backend = get_backend(arch_key)
+    model = MODELS[backend.model_key]
+    variant = get_variant("address+control")
+    single_cut_seen = 0
+    for name in sorted(LITMUS_TESTS):
+        program = LITMUS_TESTS[name].compile()
+        analysis = variant.analyze(program, model)
+        plans, _summary = synthesize_analysis(analysis, backend)
+        for fname, plan in plans.items():
+            greedy = lower_plan(analysis.functions[fname].plan, backend)
+            assert plan.cost <= greedy.cost
+            assert plan.cost <= plan.mincut_value
+            if greedy.full_count <= 1:
+                single_cut_seen += 1
+                assert plan.cost == greedy.cost, (name, fname)
+    assert single_cut_seen > 0
+
+
+# --- corpus sweep: optimal <= greedy, strictly cheaper somewhere ------------
+
+SWEEP_PROGRAMS = ("fft", "matrix", "raytrace")
+
+
+def test_corpus_cells_optimal_never_costlier():
+    strict: dict[str, int] = {}
+    for arch_key in sorted(backend_keys()):
+        backend = get_backend(arch_key)
+        model = MODELS[backend.model_key]
+        for name in SWEEP_PROGRAMS:
+            analysis = get_variant("address+control").analyze(
+                get_program(name).compile(), model
+            )
+            plans, summary = synthesize_analysis(analysis, backend)
+            greedy_cost = sum(
+                lower_plan(fa.plan, backend).cost
+                for fa in analysis.functions.values()
+            )
+            assert summary.cost <= greedy_cost, (name, arch_key)
+            for plan in plans.values():
+                assert plan.cost <= plan.greedy_cost
+            if summary.cost < greedy_cost:
+                strict[arch_key] = strict.get(arch_key, 0) + 1
+    # Flavored ISAs leave money on the table for greedy; x86's two-entry
+    # catalog (mfence/sfence) never does on these programs.
+    assert strict.get("arm", 0) > 0
+    assert strict.get("power", 0) > 0
+    assert "x86" not in strict
+
+
+def test_matrix_power_exact_costs_pinned():
+    """The corpus's flagship strict-improvement cell, by function."""
+    backend = get_backend("power")
+    analysis = get_variant("address+control").analyze(
+        get_program("matrix").compile(), MODELS["power"]
+    )
+    plans, _summary = synthesize_analysis(analysis, backend)
+    pinned = {
+        "mxx_gather": (3249, 3194),
+        "mx_enqueue": (659, 557),
+        "mx_worker": (386, 331),
+    }
+    for fname, (greedy, optimal) in pinned.items():
+        plan = plans[fname]
+        assert (plan.greedy_cost, plan.cost) == (greedy, optimal), fname
+        assert plan.witness_cut  # certificate travels with the plan
+
+
+# --- oracle gating ----------------------------------------------------------
+
+@pytest.mark.parametrize("model", WEAK_MODELS)
+@pytest.mark.parametrize("name", ("mp", "dekker", "mp-chain"))
+def test_optimal_placements_pass_differential_oracle(model, name):
+    test = LITMUS_TESTS[name]
+    report = run_oracle(
+        test.source,
+        test.name,
+        model=model,
+        sync_globals=test.sync_globals,
+        synthesis="optimal",
+    )
+    assert report.complete, report.skipped
+    assert report.violations == ()
+    assert report.full_restores_sc

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Regenerate the golden expected-findings files under tests/data/lint/.
 
-Two goldens pin the static DRF gate's output:
+Three goldens pin the static DRF gate's output:
 
 * ``litmus_expected.json`` — every litmus test, explorer confirmation
   on: candidate counts, verdict tallies, and per-finding summaries.
 * ``corpus_expected.json`` — all 17 corpus programs, confirmation off
   (they exceed the explorer's bounds): the lint-corpus CI job replays
   ``repro lint`` against this file.
+* ``arch_expected.json`` — selected corpus programs linted with a
+  Power backend, messages included: pins the FENCE104
+  greedy-vs-optimal cost gaps (exact cycle numbers and witness cuts).
 
 Run ``PYTHONPATH=src python tools/gen_lint_goldens.py`` after a
 deliberate detector/pass change, and review the diff like any golden.
@@ -26,8 +29,8 @@ from repro.programs import all_programs  # noqa: E402
 OUT_DIR = Path(__file__).resolve().parent.parent / "tests" / "data" / "lint"
 
 
-def finding_summary(finding) -> dict:
-    return {
+def finding_summary(finding, with_message: bool = False) -> dict:
+    out = {
         "code": finding["code"],
         "severity": finding["severity"],
         "verdict": finding["verdict"],
@@ -35,9 +38,12 @@ def finding_summary(finding) -> dict:
             [span["function"], span["uid"]] for span in finding["spans"]
         ],
     }
+    if with_message:
+        out["message"] = finding["message"]
+    return out
 
 
-def report_summary(report: dict) -> dict:
+def report_summary(report: dict, with_message: bool = False) -> dict:
     return {
         "errors": report["errors"],
         "warnings": report["warnings"],
@@ -45,7 +51,9 @@ def report_summary(report: dict) -> dict:
         "confirmed_races": report["confirmed_races"],
         "refuted_candidates": report["refuted_candidates"],
         "unknown_candidates": report["unknown_candidates"],
-        "findings": [finding_summary(f) for f in report["findings"]],
+        "findings": [
+            finding_summary(f, with_message) for f in report["findings"]
+        ],
     }
 
 
@@ -56,6 +64,26 @@ def lint_all(session: Session, specs: dict, confirm: bool) -> dict:
             LintRequest(program=spec, confirm=confirm)
         ).to_payload()
         out[name] = report_summary(report)
+    return out
+
+
+#: Programs whose greedy plans are strictly suboptimal on Power —
+#: the FENCE104 golden pins their exact cost gaps.
+ARCH_PROGRAMS = ("matrix", "raytrace")
+
+
+def lint_arch(session: Session) -> dict:
+    out = {}
+    for name in ARCH_PROGRAMS:
+        report = session.lint(
+            LintRequest(
+                program=ProgramSpec.corpus(name),
+                model="power",
+                arch="power",
+                confirm=False,
+            )
+        ).to_payload()
+        out[name] = report_summary(report, with_message=True)
     return out
 
 
@@ -81,6 +109,14 @@ def main() -> int:
             "model": "x86-tso",
             "confirm": False,
             "programs": lint_all(session, corpus, confirm=False),
+        },
+        "arch_expected.json": {
+            "schema": 1,
+            "variant": "address+control",
+            "model": "power",
+            "arch": "power",
+            "confirm": False,
+            "programs": lint_arch(session),
         },
     }
     OUT_DIR.mkdir(parents=True, exist_ok=True)
