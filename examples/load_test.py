@@ -1,0 +1,122 @@
+"""Load-test the sharded cluster behind ``repro serve --workers N``.
+
+A runnable miniature of the scaling story:
+
+1. spawns ``repro serve --workers 2`` as a subprocess and reads the
+   announced ephemeral port;
+2. fires a small concurrent load — several client connections cycling
+   through a few corpus programs, with periodic warm edits (modified
+   inline source under the same program name, so the consistent-hash
+   router keeps each program on its warm shard);
+3. asks the cluster for stats and renders the per-worker view: shard
+   map, queue depths, request counters, query-cache hit rates;
+4. shuts the cluster down gracefully and verifies a zero exit status.
+
+Run:  python examples/load_test.py
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro.api import AnalyzeRequest, ProgramSpec  # noqa: E402
+from repro.cluster import render_stats  # noqa: E402
+from repro.programs import get_program  # noqa: E402
+
+PROGRAMS = ("fft", "matrix", "spanningtree", "radix")
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 8
+
+
+def request_line(name: str, iteration: int) -> str:
+    """Steady-state corpus request, with every third one an edit."""
+    if iteration % 3:
+        spec = ProgramSpec(kind="corpus", name=name)
+    else:
+        source = get_program(name).source + (
+            f"\nfn warm_edit_{iteration}(tid) {{ local t = 0; t = t + 1; }}\n"
+        )
+        spec = ProgramSpec.inline(source, name=name)
+    return json.dumps(AnalyzeRequest(program=spec).to_payload())
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    cluster = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workers", "2", "--serial"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    serving = json.loads(cluster.stdout.readline())["serving"]
+    print(
+        f"cluster up at {serving['host']}:{serving['port']} "
+        f"with {serving['workers']} workers"
+    )
+
+    def client(slot: int, counts: list) -> None:
+        with socket.create_connection(
+            (serving["host"], serving["port"]), timeout=300
+        ) as sock:
+            stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+            ok = 0
+            for i in range(REQUESTS_PER_CLIENT):
+                name = PROGRAMS[(slot + i) % len(PROGRAMS)]
+                stream.write(request_line(name, i) + "\n")
+                stream.flush()
+                response = json.loads(stream.readline())
+                assert response["ok"], response
+                ok += 1
+            counts[slot] = ok
+
+    counts = [0] * CLIENTS
+    threads = [
+        threading.Thread(target=client, args=(slot, counts))
+        for slot in range(CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    total = sum(counts)
+    print(
+        f"{total} requests from {CLIENTS} clients in {wall:.2f}s "
+        f"({total / wall:.1f} req/s)"
+    )
+
+    with socket.create_connection(
+        (serving["host"], serving["port"]), timeout=60
+    ) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write('{"op": "stats"}\n')
+        stream.flush()
+        stats = json.loads(stream.readline())
+        assert stats["ok"], stats
+        print(render_stats(stats))
+        stream.write('{"op": "shutdown"}\n')
+        stream.flush()
+        assert json.loads(stream.readline())["bye"]
+
+    returncode = cluster.wait(timeout=60)
+    cluster.stdout.close()
+    assert returncode == 0, f"cluster exited with {returncode}"
+    print("cluster drained and shut down cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

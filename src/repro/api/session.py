@@ -302,6 +302,12 @@ class Session:
             for name, value in payload.items():
                 if isinstance(value, int):
                     query_totals[name] = query_totals.get(name, 0) + value
+        # The persistent query cache's effectiveness, as the serving
+        # layer wants it: restores are disk hits, computes are the work
+        # a better-warmed cache would have avoided.
+        restored = query_totals.get("restored", 0)
+        computes = query_totals.get("computes", 0)
+        attempts = restored + computes
         return {
             "requests": requests,
             "contexts": len(contexts),
@@ -311,6 +317,11 @@ class Session:
                 "misses": sum(c.stats.misses for c in contexts),
             },
             "query_stats": query_totals,
+            "query_cache": {
+                "restored": restored,
+                "computes": computes,
+                "hit_rate": round(restored / attempts, 4) if attempts else 0.0,
+            },
         }
 
     # --- mid-level operations ---------------------------------------------

@@ -25,9 +25,11 @@ Commands:
 * ``models``           — list the memory-model registry (key, display,
   checkable, arch backend)
 * ``report FILE``      — pretty-print or diff any serialized report
-* ``serve``            — long-lived JSON-lines analysis daemon (socket
-  or stdio) dispatching the same request envelopes through one warm,
-  thread-safe session
+* ``serve``            — long-lived JSON-lines analysis service: with
+  ``--workers N`` a sharded multi-process cluster (consistent-hash
+  routing, shared artifact store, backpressure + deadlines), with
+  ``--workers 0`` the single-process threaded daemon, with ``--stdio``
+  a one-client subprocess loop — all answering byte-identical reports
 """
 
 from __future__ import annotations
@@ -332,33 +334,95 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import json
+    import os
+    import signal
+    import threading
 
-    from repro.serve import ReproServer, serve_stdio
-
-    session = Session(
-        jobs=args.jobs,
-        parallel=not args.serial,
-        max_states=args.max_states,
-        cache_dir=args.cache_dir,
-        query_cache_dir=args.query_cache_dir,
-    )
+    session_config = {
+        "jobs": args.jobs,
+        "parallel": not args.serial,
+        "max_states": args.max_states,
+        "cache_dir": args.cache_dir,
+        "query_cache_dir": args.query_cache_dir,
+    }
     if args.stdio:
-        return serve_stdio(session)
-    server = ReproServer(session, host=args.host, port=args.port)
-    # The announcement is itself a protocol line, so scripted clients
-    # can read the ephemeral port without parsing free-form text.
+        from repro.serve import serve_stdio
+
+        return serve_stdio(Session(**session_config))
+
+    workers = args.workers
+    if workers is None:
+        workers = os.cpu_count() or 1
+
+    if workers > 0:
+        import asyncio
+
+        from repro.cluster import ClusterConfig, ClusterServer
+
+        config = ClusterConfig(
+            workers=workers,
+            queue_limit=args.queue_limit,
+            request_timeout=args.request_timeout or None,
+            drain_timeout=args.drain_timeout,
+            artifact_dir=args.query_cache_dir,
+            session=session_config,
+        )
+        cluster = ClusterServer(host=args.host, port=args.port, config=config)
+
+        def announce(server) -> None:
+            # The announcement is itself a protocol line, so scripted
+            # clients read the ephemeral port without parsing prose.
+            print(
+                json.dumps(
+                    {
+                        "ok": True,
+                        "serving": {
+                            "host": server.host,
+                            "port": server.port,
+                            "workers": workers,
+                        },
+                    },
+                    sort_keys=True,
+                ),
+                flush=True,
+            )
+
+        try:
+            return asyncio.run(
+                cluster.run(on_ready=announce, install_signals=True)
+            )
+        except KeyboardInterrupt:  # pragma: no cover - signal race
+            return 0
+
+    from repro.serve import ReproServer
+
+    server = ReproServer(
+        Session(**session_config), host=args.host, port=args.port
+    )
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: server.request_drain())
     print(
         json.dumps(
-            {"ok": True, "serving": {"host": server.host, "port": server.port}},
+            {
+                "ok": True,
+                "serving": {
+                    "host": server.host,
+                    "port": server.port,
+                    "workers": 0,
+                },
+            },
             sort_keys=True,
         ),
         flush=True,
     )
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+    except KeyboardInterrupt:  # pragma: no cover - pre-handler race
+        server.request_drain()
     finally:
+        # In-flight requests finish answering (bounded) before exit 0.
+        server.drain(args.drain_timeout)
         server.close()
     return 0
 
@@ -597,6 +661,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stdio", action="store_true",
                    help="serve a single client over stdin/stdout instead "
                         "of a socket (for subprocess embedding)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="analysis worker processes: N>0 runs the sharded "
+                        "multi-process cluster, 0 the single-process "
+                        "threaded daemon (default: the CPU count)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="max outstanding requests per worker before new "
+                        "ones are refused with an 'overloaded' error")
+    p.add_argument("--request-timeout", type=float, default=300.0,
+                   help="per-request deadline in seconds; 0 disables")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="how long graceful shutdown waits for in-flight "
+                        "requests before force-closing")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for batch/fuzz requests")
     p.add_argument("--serial", action="store_true",

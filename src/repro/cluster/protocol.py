@@ -1,0 +1,125 @@
+"""Length-prefixed JSON framing for the frontend <-> worker links.
+
+Client connections speak the historical JSON-lines protocol; the
+internal links between the async frontend and its analysis workers use
+binary frames instead — a 4-byte big-endian length followed by a JSON
+object — so payloads may embed newlines (fenced IR, mini-C sources)
+without escaping games, and a reader always knows exactly how many
+bytes one message occupies.
+
+Two failure severities matter to callers:
+
+* :class:`FrameDecodeError` — the frame was *delimited* correctly but
+  its body is not a JSON object. The stream is still in sync (exactly
+  ``length`` bytes were consumed), so a server may answer an error and
+  keep going.
+* :class:`ProtocolError` (the base) — framing itself broke: an
+  oversized length word or a truncated body. There is no way back in
+  sync; the connection must be dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame body; a length word beyond this is treated
+#: as stream corruption, not an allocation request.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Fatal framing breakage: the stream cannot be resynchronized."""
+
+
+class FrameDecodeError(ProtocolError):
+    """A well-delimited frame whose body is not a JSON object; the
+    stream is intact and the peer may be answered."""
+
+
+def frame_bytes(payload: dict, max_frame: int = MAX_FRAME) -> bytes:
+    """Serialize one frame (header + key-sorted JSON body)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > max_frame:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_frame}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except ValueError as exc:
+        raise FrameDecodeError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise FrameDecodeError("frame body must be a JSON object")
+    return payload
+
+
+# --- blocking (worker-side) transport ------------------------------------
+def send_frame(sock: socket.socket, payload: dict,
+               max_frame: int = MAX_FRAME) -> None:
+    sock.sendall(frame_bytes(payload, max_frame))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on a clean EOF at byte 0,
+    ``ProtocolError`` on EOF mid-message."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < count:
+        try:
+            chunk = sock.recv(count - got)
+        except (ConnectionError, OSError):
+            chunk = b""
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(f"stream ended {count - got} bytes short")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_frame: int = MAX_FRAME) -> dict | None:
+    """Read one frame; ``None`` on clean EOF between frames."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {max_frame}-byte limit"
+        )
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("stream ended before the frame body")
+    return _decode_body(body)
+
+
+# --- asyncio (frontend-side) transport -----------------------------------
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> dict | None:
+    """Async twin of :func:`recv_frame` over a stream reader."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("stream ended inside a frame header") from None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {max_frame}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("stream ended before the frame body") from None
+    return _decode_body(body)

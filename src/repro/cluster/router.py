@@ -1,0 +1,111 @@
+"""Consistent-hash shard routing: program names -> workers.
+
+Warm analysis state is worker-local — each worker owns one
+:class:`~repro.api.session.Session` whose compiled-program LRU and
+query-engine memos make repeat/edited requests for a program cheap.
+The router's job is to keep every program name pinned to one worker so
+those caches actually get hit, while disturbing as few assignments as
+possible when the worker set changes (death, restart).
+
+A classic consistent-hash ring does exactly that: each worker
+contributes ``replicas`` pseudo-random points on a 64-bit circle, and
+a key routes to the first point clockwise from its own hash. Removing
+a worker reassigns only the keys that pointed at its points; every
+other program keeps its warm shard.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable
+
+
+def _hash64(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over hashable node ids (worker slots)."""
+
+    def __init__(self, nodes: Iterable[Hashable] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: list[int] = []  # sorted point hashes
+        self._owners: dict[int, Hashable] = {}  # point hash -> node
+        self._nodes: set[Hashable] = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    def _node_points(self, node: Hashable) -> list[int]:
+        return [
+            _hash64(f"{node!r}#{replica}") for replica in range(self.replicas)
+        ]
+
+    def add(self, node: Hashable) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            # Collisions between 64-bit points are astronomically rare;
+            # last-add-wins keeps the structure consistent if one lands.
+            if point not in self._owners:
+                bisect.insort(self._points, point)
+            self._owners[point] = node
+
+    def remove(self, node: Hashable) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        for point in self._node_points(node):
+            if self._owners.get(point) == node:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    del self._points[index]
+
+    def locate(self, key: str) -> Hashable | None:
+        """The node owning ``key``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        point = _hash64(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._owners[self._points[index]]
+
+
+def routing_key(payload: dict) -> str | None:
+    """The shard key of one request payload, or ``None`` when the
+    request is not program-addressed (batch/fuzz sweep the corpus and
+    may run on any worker).
+
+    Routing is by *program identity* — the spec's name (or path, or a
+    source digest as a last resort) — NOT by content: an edited source
+    resent under the same name must land on the worker holding the
+    warm context so the splice-and-refresh path does its job.
+    """
+    program = payload.get("program")
+    if not isinstance(program, dict):
+        return None
+    for field in ("name", "path"):
+        value = program.get(field)
+        if isinstance(value, str) and value:
+            return value
+    source = program.get("source")
+    if isinstance(source, str):
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+        return f"inline:{digest}"
+    return None

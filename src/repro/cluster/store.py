@@ -1,0 +1,72 @@
+"""The shared cross-worker artifact store.
+
+Every cluster worker points its session's
+:class:`~repro.query.engine.PersistentQueryCache` at one shared
+directory, so persistable query results (content-fingerprint-keyed)
+written by any worker warm-start every other worker: a freshly
+restarted process, or a sibling that inherited a shard after a
+rebalance, restores facts from disk instead of recomputing them.
+
+Concurrency discipline: the consistent-hash router makes each program
+single-writer in steady state (all requests for a name land on one
+worker), and :meth:`PersistentQueryCache.store` publishes entries with
+an atomic write-to-temp + rename, so the transient multi-writer
+windows around resharding are harmless — readers only ever observe
+complete entries, and same-fingerprint writers race toward identical
+content anyway.
+
+The :class:`ArtifactStore` here owns the *directory lifecycle*: an
+explicit directory is shared and left alone; when none is configured
+the cluster provisions a temporary one and removes it on shutdown.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+
+class ArtifactStore:
+    """Directory lifecycle + observability for the shared store."""
+
+    def __init__(self, directory: str | Path, owned: bool = False) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Whether the cluster provisioned (and must clean up) the dir.
+        self.owned = owned
+
+    @classmethod
+    def create(cls, directory: str | Path | None) -> "ArtifactStore":
+        """An explicitly configured shared directory, or a cluster-owned
+        temporary one so warm-starting works out of the box."""
+        if directory is not None:
+            return cls(directory, owned=False)
+        return cls(
+            tempfile.mkdtemp(prefix="repro-cluster-store-"), owned=True
+        )
+
+    def stats(self) -> dict:
+        """Entry count and byte footprint (best-effort under churn)."""
+        entries = 0
+        size = 0
+        try:
+            for path in self.directory.glob("*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:  # pragma: no cover - raced unlink
+                    continue
+                entries += 1
+        except OSError:  # pragma: no cover - store dir vanished
+            pass
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": size,
+            "owned": self.owned,
+        }
+
+    def close(self) -> None:
+        """Remove a cluster-owned temporary store; keep shared ones."""
+        if self.owned:
+            shutil.rmtree(self.directory, ignore_errors=True)

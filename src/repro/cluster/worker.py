@@ -1,0 +1,202 @@
+"""One analysis worker: a process owning a warm, thread-safe Session.
+
+A worker dials the frontend's internal listener, introduces itself
+with a ``hello`` frame (worker id + shared-secret token + pid), then
+serves framed requests strictly in order — the frontend relies on
+FIFO response matching, and a single-threaded loop per process is the
+whole point: the GIL stops costing anything once every worker has its
+own interpreter.
+
+Request frames carry the exact JSON-lines payloads clients send, and
+responses are produced by the same
+:class:`~repro.serve.server.ServeDispatcher` the threaded daemon uses
+— so cluster-path reports are byte-identical to one-shot CLI reports
+by construction, not by re-implementation.
+
+``run_worker`` is transport-agnostic (any connected socket), so tests
+drive a worker in-process over a socketpair; ``worker_main`` is the
+thin subprocess entry around it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import multiprocessing
+import os
+import signal
+import socket
+from typing import Any
+
+import repro
+from repro.cluster.protocol import (
+    MAX_FRAME,
+    FrameDecodeError,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+#: Fork keeps worker start-up at milliseconds on POSIX; spawn is the
+#: portable fallback (every ``worker_main`` argument is picklable).
+START_METHOD = (
+    "fork"
+    if "fork" in multiprocessing.get_all_start_methods()
+    else "spawn"
+)
+
+
+def _error_response(message: str) -> dict:
+    return {"ok": False, "id": None, "error": message}
+
+
+class WorkerLoop:
+    """The framed request loop around one dispatcher."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        session_config: dict[str, Any] | None = None,
+        artifact_dir: str | None = None,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
+        from repro.api.session import Session
+        from repro.serve.server import ServeDispatcher
+
+        config = dict(session_config or {})
+        if config.get("query_cache_dir") is None:
+            # Point the session's persistent query cache at the shared
+            # artifact store so siblings warm-start each other.
+            config["query_cache_dir"] = artifact_dir
+        self.worker_id = worker_id
+        self.max_frame = max_frame
+        self.dispatcher = ServeDispatcher(Session(**config))
+
+    def handle_frame(self, frame: dict) -> dict:
+        """Answer one decoded frame with one response frame."""
+        kind = frame.get("t")
+        if kind == "op":
+            return {"t": "res", "payload": self._handle_op(frame)}
+        if kind == "req":
+            payload = frame.get("payload")
+            if not isinstance(payload, dict):
+                response = _error_response("'payload' must be a JSON object")
+            else:
+                response, _stop = self.dispatcher.handle_line(
+                    json.dumps(payload)
+                )
+            return {"t": "res", "payload": response}
+        return {
+            "t": "res",
+            "payload": _error_response(f"unknown frame type {kind!r}"),
+        }
+
+    def _handle_op(self, frame: dict) -> dict:
+        op = frame.get("op")
+        if op == "ping":
+            return {
+                "ok": True,
+                "pong": True,
+                "worker": self.worker_id,
+                "pid": os.getpid(),
+                "version": repro.__version__,
+            }
+        if op == "stats":
+            try:
+                session_stats = self.dispatcher.session.stats()
+            except Exception as exc:  # noqa: BLE001 - same daemon
+                # boundary as the dispatcher: stats must never kill the
+                # worker loop.
+                detail = exc.args[0] if exc.args else exc
+                return _error_response(f"{type(exc).__name__}: {detail}")
+            return {
+                "ok": True,
+                "worker": self.worker_id,
+                "pid": os.getpid(),
+                "served": self.dispatcher.served,
+                "errors": self.dispatcher.errors,
+                "session": session_stats,
+            }
+        return _error_response(f"unknown worker op {op!r}")
+
+    def serve(self, sock: socket.socket) -> int:
+        """Serve frames until EOF (the frontend closing the link is the
+        graceful-shutdown signal) or an unrecoverable framing error."""
+        while True:
+            try:
+                frame = recv_frame(sock, self.max_frame)
+            except FrameDecodeError as exc:
+                # The stream is still in sync: answer and keep serving.
+                send_frame(
+                    sock,
+                    {"t": "res", "payload": _error_response(str(exc))},
+                    self.max_frame,
+                )
+                continue
+            except ProtocolError:
+                return 1  # framing broke; no way to resynchronize
+            if frame is None:
+                return 0
+            try:
+                send_frame(sock, self.handle_frame(frame), self.max_frame)
+            except (ConnectionError, OSError):
+                return 0  # frontend went away mid-response
+
+
+def run_worker(
+    sock: socket.socket,
+    worker_id: int,
+    session_config: dict[str, Any] | None = None,
+    artifact_dir: str | None = None,
+    max_frame: int = MAX_FRAME,
+) -> int:
+    """Build a session and serve one connected frontend link."""
+    loop = WorkerLoop(worker_id, session_config, artifact_dir, max_frame)
+    return loop.serve(sock)
+
+
+def worker_main(
+    worker_id: int,
+    host: str,
+    port: int,
+    token: str,
+    session_config: dict[str, Any] | None,
+    artifact_dir: str | None,
+) -> int:  # pragma: no cover - subprocess entry (loop covered in-process)
+    # The frontend owns signal-driven shutdown: it drains and then
+    # closes the link (EOF) or, past the deadline, terminates us.
+    # Reacting to a fleet-wide SIGINT/SIGTERM here would kill workers
+    # mid-request before the frontend's drain finishes.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    sock = socket.create_connection((host, port), timeout=30)
+    sock.settimeout(None)
+    send_frame(
+        sock,
+        {"t": "hello", "worker": worker_id, "token": token, "pid": os.getpid()},
+    )
+    try:
+        return run_worker(sock, worker_id, session_config, artifact_dir)
+    finally:
+        with contextlib.suppress(OSError):
+            sock.close()
+
+
+def spawn_worker(
+    worker_id: int,
+    host: str,
+    port: int,
+    token: str,
+    session_config: dict[str, Any] | None,
+    artifact_dir: str | None,
+) -> multiprocessing.process.BaseProcess:
+    """Start one worker process dialing back to the frontend."""
+    ctx = multiprocessing.get_context(START_METHOD)
+    process = ctx.Process(
+        target=worker_main,
+        args=(worker_id, host, port, token, session_config, artifact_dir),
+        name=f"repro-cluster-worker-{worker_id}",
+        daemon=True,  # never outlive a crashed frontend
+    )
+    process.start()
+    return process

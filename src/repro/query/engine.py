@@ -29,8 +29,11 @@ concurrent requests cannot corrupt each other's dependency frames.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import json
+import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,6 +52,9 @@ QUERY_SCHEMA_VERSION = "1"
 #: A node in the dependency graph: an input ``("fn", Function)`` /
 #: ``("shape",)`` or a derived query key ``(query name, key)``.
 Node = tuple
+
+#: Distinguishes temp files from concurrent stores within one process.
+_store_counter = itertools.count()
 
 
 def fingerprint_function(func: Function) -> str:
@@ -162,6 +168,13 @@ class PersistentQueryCache:
 
     The disk layer is an optimization: unreadable/corrupt entries are
     misses, unwritable directories are ignored.
+
+    Safe for concurrent use from many processes sharing one directory
+    (the cluster's shared artifact store): entries are published with a
+    write-to-temp + atomic rename, so a reader can never observe a
+    half-written file, and same-fingerprint writers racing each other
+    simply replace one complete entry with another complete entry of
+    identical content.
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -182,12 +195,20 @@ class PersistentQueryCache:
             return None
 
     def store(self, name: str, fingerprint: str, payload: Any) -> None:
+        path = self._path(name, fingerprint)
+        # The temp file must live in the target directory: os.replace is
+        # only atomic within one filesystem.
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{next(_store_counter)}.tmp"
+        )
         try:
-            self._path(name, fingerprint).write_text(
+            tmp.write_text(
                 json.dumps(payload, sort_keys=True), encoding="utf-8"
             )
+            os.replace(tmp, path)
         except OSError:
-            pass
+            with contextlib.suppress(OSError):
+                tmp.unlink()
 
 
 class QueryEngine:

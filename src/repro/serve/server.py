@@ -21,10 +21,13 @@ thread-safe session) and a stdio loop for subprocess embedding.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import socket
 import socketserver
 import sys
 import threading
+import time
 from typing import IO
 
 import repro
@@ -142,21 +145,42 @@ class ServeDispatcher:
 
 class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via sockets
-        for raw in self.rfile:
-            line = raw.decode("utf-8", "replace").strip()
-            if not line:
-                continue
-            response, stop = self.server.dispatcher.handle_line(line)
-            try:
-                self.wfile.write(
-                    (encode_response(response) + "\n").encode("utf-8")
-                )
-                self.wfile.flush()
-            except OSError:
-                return  # client went away mid-response
-            if stop:
-                self.server.begin_shutdown()
-                return
+        self.server.track_handler(self)
+        self.busy = False
+        try:
+            for raw in self.rfile:
+                if len(raw) > self.server.max_line:
+                    # The line-buffered reader cannot resynchronize
+                    # after an over-long line: answer, then close.
+                    self._reply(self.server.dispatcher._error(
+                        f"request line exceeds {self.server.max_line} bytes"
+                    ))
+                    return
+                line = raw.decode("utf-8", "replace").strip()
+                if not line:
+                    continue
+                self.busy = True
+                try:
+                    response, stop = self.server.dispatcher.handle_line(line)
+                finally:
+                    self.busy = False
+                if not self._reply(response):
+                    return  # client went away mid-response
+                if stop:
+                    self.server.request_drain()
+                    return
+                if self.server.draining:
+                    return
+        finally:
+            self.server.forget_handler(self)
+
+    def _reply(self, response: dict) -> bool:  # pragma: no cover - above
+        try:
+            self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+        except OSError:
+            return False
+        return True
 
 
 class ReproServer(socketserver.ThreadingTCPServer):
@@ -165,10 +189,18 @@ class ReproServer(socketserver.ThreadingTCPServer):
     ``port=0`` binds an ephemeral port; read the chosen one back from
     :attr:`port`. Every connection is handled in its own thread, so
     N clients analyze concurrently against the shared warm session.
+
+    Shutdown is graceful: :meth:`request_drain` stops the accept loop
+    and nudges idle connections closed, then :meth:`drain` waits (with
+    a bounded deadline) for in-flight requests to finish answering
+    before force-closing whatever remains.
     """
 
     allow_reuse_address = True
     daemon_threads = True
+
+    #: Longest accepted request line, in bytes.
+    max_line = 8 * 1024 * 1024
 
     def __init__(
         self,
@@ -179,6 +211,9 @@ class ReproServer(socketserver.ThreadingTCPServer):
         self.dispatcher = ServeDispatcher(
             session if session is not None else Session()
         )
+        self.draining = False
+        self._handlers: set[_LineHandler] = set()
+        self._handlers_lock = threading.Lock()
         super().__init__((host, port), _LineHandler)
 
     @property
@@ -189,9 +224,53 @@ class ReproServer(socketserver.ThreadingTCPServer):
     def port(self) -> int:
         return self.server_address[1]
 
+    # --- connection tracking (for drain) ---------------------------------
+    def track_handler(self, handler: _LineHandler) -> None:
+        with self._handlers_lock:
+            self._handlers.add(handler)
+
+    def forget_handler(self, handler: _LineHandler) -> None:
+        with self._handlers_lock:
+            self._handlers.discard(handler)
+
     def begin_shutdown(self) -> None:
         """Stop ``serve_forever`` without deadlocking a handler thread."""
         threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown: stop accepting and wake idle
+        connections (idempotent; safe from signal handlers and handler
+        threads alike)."""
+        if self.draining:
+            return
+        self.draining = True
+        self.begin_shutdown()
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            # An idle handler is blocked reading; shutting down the read
+            # side delivers EOF so its loop exits. Busy handlers keep
+            # their sockets: they still owe the client a response.
+            if not getattr(handler, "busy", False):
+                with contextlib.suppress(OSError):  # already closing
+                    handler.connection.shutdown(socket.SHUT_RD)
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish after
+        :meth:`request_drain`; force-close stragglers past ``timeout``.
+        Returns ``True`` when everything finished in time."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._handlers_lock:
+                if not self._handlers:
+                    return True
+            time.sleep(0.02)
+        with self._handlers_lock:
+            stragglers = list(self._handlers)
+        for handler in stragglers:  # pragma: no cover - deadline overrun
+            with contextlib.suppress(OSError):
+                handler.connection.close()
+        return not stragglers
 
     def close(self) -> None:
         self.server_close()

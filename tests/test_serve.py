@@ -4,6 +4,7 @@ import io
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -280,3 +281,180 @@ def test_cli_serve_stdio_smoke(monkeypatch, capsys):
     assert out_lines[0]["ok"]
     assert out_lines[0]["report"]["kind"] == "analyze-report"
     assert out_lines[1]["bye"]
+
+
+# --- graceful drain ----------------------------------------------------------
+
+
+def test_server_drain_waits_for_inflight_requests():
+    srv = ReproServer(Session(parallel=False))
+    original = srv.dispatcher.handle_line
+    started = threading.Event()
+
+    def slow(line):
+        started.set()
+        time.sleep(0.4)  # hold the request in flight across the drain
+        return original(line)
+
+    srv.dispatcher.handle_line = slow
+    server_thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    server_thread.start()
+    result: dict = {}
+
+    def client():
+        result["response"] = _roundtrip(srv, ['{"op": "ping"}'])[0]
+
+    client_thread = threading.Thread(target=client, daemon=True)
+    client_thread.start()
+    assert started.wait(timeout=10)
+    srv.request_drain()
+    # Drain lets the in-flight request finish answering...
+    assert srv.drain(timeout=10)
+    client_thread.join(timeout=10)
+    assert result["response"]["ok"] and result["response"]["pong"]
+    # ...and the accept loop has stopped.
+    server_thread.join(timeout=10)
+    assert not server_thread.is_alive()
+    srv.close()
+
+
+def test_server_drain_closes_idle_connections():
+    srv = ReproServer(Session(parallel=False))
+    server_thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    server_thread.start()
+    with socket.create_connection((srv.host, srv.port), timeout=10) as sock:
+        stream = sock.makefile("r", encoding="utf-8")
+        deadline = time.time() + 10
+        while not srv._handlers and time.time() < deadline:
+            time.sleep(0.01)  # let the handler thread park in its read
+        srv.request_drain()
+        assert srv.request_drain() is None  # idempotent
+        assert stream.readline() == ""  # idle client sees EOF, not a hang
+    assert srv.drain(timeout=10)
+    server_thread.join(timeout=10)
+    srv.close()
+
+
+def test_server_oversized_line_is_answered_then_closed():
+    srv = ReproServer(Session(parallel=False))
+    srv.max_line = 1024
+    server_thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    server_thread.start()
+    try:
+        with socket.create_connection((srv.host, srv.port), timeout=10) as sock:
+            sock.sendall(b'{"pad": "' + b"x" * 4096 + b'"}\n')
+            stream = sock.makefile("r", encoding="utf-8")
+            response = json.loads(stream.readline())
+            assert not response["ok"] and "exceeds" in response["error"]
+            assert stream.readline() == ""  # line reader cannot resync
+    finally:
+        srv.shutdown()
+        srv.close()
+        server_thread.join(timeout=10)
+
+
+def test_cli_serve_sigterm_drains_and_exits_zero():
+    import os
+    import signal
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workers", "0", "--serial"],
+        stdout=subprocess.PIPE,
+        cwd=root,
+        env=env,
+    )
+    try:
+        serving = json.loads(proc.stdout.readline())["serving"]
+        assert serving["workers"] == 0
+        with socket.create_connection(
+            (serving["host"], serving["port"]), timeout=30
+        ) as sock:
+            line = json.dumps(AnalyzeRequest(program=SPEC).to_payload())
+            sock.sendall((line + "\n").encode("utf-8"))
+            time.sleep(0.3)  # let the handler pick the request up, so
+            # the drain sees it in flight rather than still buffered
+            proc.send_signal(signal.SIGTERM)
+            # The in-flight request is still answered before exit.
+            stream = sock.makefile("r", encoding="utf-8")
+            assert json.loads(stream.readline())["ok"]
+        assert proc.wait(timeout=30) == 0
+    finally:
+        proc.kill()
+        proc.stdout.close()
+        proc.wait(timeout=10)
+
+
+# --- CLI front door for both serving modes -----------------------------------
+
+
+def _cli_serve_in_thread(capsys, argv):
+    """Run ``repro serve`` on a thread; return (result dict, serving)."""
+    from repro.cli import main
+
+    result: dict = {}
+
+    def run():
+        result["code"] = main(argv)
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    result["thread"] = thread
+    buffered = ""
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        buffered += capsys.readouterr().out
+        line = buffered.splitlines()[0] if buffered.splitlines() else ""
+        if line.strip():
+            return result, json.loads(line)["serving"]
+        time.sleep(0.05)
+    raise AssertionError("serve never announced its port")
+
+
+def test_cli_serve_cluster_end_to_end(capsys):
+    result, serving = _cli_serve_in_thread(
+        capsys,
+        ["serve", "--workers", "1", "--serial", "--request-timeout", "0"],
+    )
+    assert serving["workers"] == 1
+    with socket.create_connection(
+        (serving["host"], serving["port"]), timeout=60
+    ) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        line = json.dumps(AnalyzeRequest(program=SPEC).to_payload())
+        stream.write(line + "\n")
+        stream.flush()
+        response = json.loads(stream.readline())
+        assert response["ok"]
+        assert response["report"] == (
+            Session(parallel=False).analyze(
+                AnalyzeRequest(program=SPEC)
+            ).to_payload()
+        )
+        stream.write('{"op": "shutdown"}\n')
+        stream.flush()
+        assert json.loads(stream.readline())["bye"]
+    result["thread"].join(timeout=60)
+    assert result.get("code") == 0
+
+
+def test_cli_serve_threaded_mode_shutdown_op(capsys):
+    result, serving = _cli_serve_in_thread(
+        capsys, ["serve", "--workers", "0", "--serial"]
+    )
+    assert serving["workers"] == 0
+    with socket.create_connection(
+        (serving["host"], serving["port"]), timeout=30
+    ) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        stream.write('{"op": "ping"}\n{"op": "shutdown"}\n')
+        stream.flush()
+        assert json.loads(stream.readline())["pong"]
+        assert json.loads(stream.readline())["bye"]
+    result["thread"].join(timeout=60)
+    assert result.get("code") == 0
