@@ -291,17 +291,28 @@ class Session:
 
     def stats(self) -> dict:
         """Observable session state: request counters, the context LRU,
-        and aggregated context/query-engine cache counters."""
+        and aggregated context/query-engine cache counters.
+
+        Schema v2: ``query_stats`` now also aggregates the engines'
+        dict-valued per-query-kind counters (``by_query`` and the
+        ``by_query_hits``/``by_query_misses``/``by_query_evictions``
+        maps the observability layer samples) key-wise; v1 dropped
+        every non-int entry.
+        """
         with self._lock:
             contexts = list(self._contexts.values())
             requests = dict(self._requests)
-        query_totals: dict[str, int] = {}
+        query_totals: dict[str, object] = {}
         for ctx in contexts:
             with ctx.engine.lock:  # stable copy under concurrent writers
                 payload = ctx.engine.stats.to_payload()
             for name, value in payload.items():
                 if isinstance(value, int):
                     query_totals[name] = query_totals.get(name, 0) + value
+                elif isinstance(value, dict):
+                    merged = query_totals.setdefault(name, {})
+                    for kind, count in value.items():
+                        merged[kind] = merged.get(kind, 0) + count
         # The persistent query cache's effectiveness, as the serving
         # layer wants it: restores are disk hits, computes are the work
         # a better-warmed cache would have avoided.
@@ -309,6 +320,7 @@ class Session:
         computes = query_totals.get("computes", 0)
         attempts = restored + computes
         return {
+            "stats_version": 2,
             "requests": requests,
             "contexts": len(contexts),
             "context_cap": self._context_cap,

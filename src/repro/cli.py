@@ -35,6 +35,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -71,20 +72,42 @@ def _resolve_model(args: argparse.Namespace, fallback: str = "x86-tso") -> str:
     return fallback
 
 
+@contextlib.contextmanager
+def _tracing(path: str | None):
+    """Span-trace the wrapped command and write a Chrome ``trace_event``
+    file (viewable in ``chrome://tracing`` / Perfetto) on the way out.
+    No-op when ``path`` is None — the disabled fast path costs one
+    global read per span site."""
+    if path is None:
+        yield
+        return
+    from repro.obs import trace as obs_trace
+
+    tracer = obs_trace.enable()
+    try:
+        with obs_trace.request_scope():
+            yield
+    finally:
+        obs_trace.disable()
+        obs_trace.export_chrome(path, tracer.events())
+        print(f"trace written to {path}", file=sys.stderr)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
-    session = Session()
-    report = session.analyze(
-        AnalyzeRequest(
-            program=ProgramSpec.file(args.file),
-            variant=args.variant,
-            model=_resolve_model(args),
-            interprocedural=args.interprocedural,
-            annotations=args.annotations,
-            emit_ir=args.emit_ir,
-            arch=args.arch,
-            synthesis=args.synthesis,
+    with _tracing(args.trace):
+        session = Session()
+        report = session.analyze(
+            AnalyzeRequest(
+                program=ProgramSpec.file(args.file),
+                variant=args.variant,
+                model=_resolve_model(args),
+                interprocedural=args.interprocedural,
+                annotations=args.annotations,
+                emit_ir=args.emit_ir,
+                arch=args.arch,
+                synthesis=args.synthesis,
+            )
         )
-    )
     print(report.to_json() if args.json else report.render())
     return 0
 
@@ -93,15 +116,16 @@ def cmd_check(args: argparse.Namespace) -> int:
     # The request is the wire artifact: it carries the full
     # configuration, so the session stays at defaults.
     try:
-        report = Session().check(
-            CheckRequest(
-                program=ProgramSpec.file(args.file),
-                model=_resolve_model(args),
-                max_states=args.max_states,
-                arch=args.arch,
-                synthesis=args.synthesis,
+        with _tracing(args.trace):
+            report = Session().check(
+                CheckRequest(
+                    program=ProgramSpec.file(args.file),
+                    model=_resolve_model(args),
+                    max_states=args.max_states,
+                    arch=args.arch,
+                    synthesis=args.synthesis,
+                )
             )
-        )
     except ValueError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -224,11 +248,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
         else tuple(args.models)
     )
     try:
-        report = session.batch(
-            BatchRequest(programs=programs, variants=variants, models=models,
-                         stats=args.stats, arch=args.arch,
-                         synthesis=args.synthesis)
-        )
+        with _tracing(args.trace):
+            report = session.batch(
+                BatchRequest(programs=programs, variants=variants,
+                             models=models, stats=args.stats, arch=args.arch,
+                             synthesis=args.synthesis)
+            )
     except KeyError as exc:
         print(exc.args[0])
         return 2
@@ -345,10 +370,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "cache_dir": args.cache_dir,
         "query_cache_dir": args.query_cache_dir,
     }
+    if args.slow_query is not None:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.SLOW_QUERIES.threshold = args.slow_query
     if args.stdio:
         from repro.serve import serve_stdio
 
-        return serve_stdio(Session(**session_config))
+        with _tracing(args.trace):
+            return serve_stdio(Session(**session_config))
 
     workers = args.workers
     if workers is None:
@@ -366,6 +396,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             drain_timeout=args.drain_timeout,
             artifact_dir=args.query_cache_dir,
             session=session_config,
+            trace=args.trace is not None,
+            slow_query=args.slow_query,
         )
         cluster = ClusterServer(host=args.host, port=args.port, config=config)
 
@@ -387,15 +419,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
 
-        try:
-            return asyncio.run(
-                cluster.run(on_ready=announce, install_signals=True)
-            )
-        except KeyboardInterrupt:  # pragma: no cover - signal race
-            return 0
+        with _tracing(args.trace):
+            try:
+                return asyncio.run(
+                    cluster.run(on_ready=announce, install_signals=True)
+                )
+            except KeyboardInterrupt:  # pragma: no cover - signal race
+                return 0
 
     from repro.serve import ReproServer
 
+    if args.trace is not None:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.enable()
     server = ReproServer(
         Session(**session_config), host=args.host, port=args.port
     )
@@ -424,7 +461,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         # In-flight requests finish answering (bounded) before exit 0.
         server.drain(args.drain_timeout)
         server.close()
+        if args.trace is not None:
+            from repro.obs import trace as obs_trace
+
+            tracer = obs_trace.disable()
+            if tracer is not None:
+                obs_trace.export_chrome(args.trace, tracer.events())
+                print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import top as obs_top
+
+    if args.obs_command == "top":
+        return obs_top.run_top(
+            args.host, args.port, interval=args.interval, once=args.once
+        )
+    return obs_top.run_metrics(args.host, args.port, as_json=args.json)
 
 
 def _read_report(path: str):
@@ -490,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="insert the fences and dump the final IR")
     p.add_argument("--json", action="store_true",
                    help="emit the serialized report instead of the table")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="span-trace this run and write a Chrome "
+                        "trace_event JSON file (chrome://tracing, Perfetto)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("check", help="model-check SC vs a weak memory model")
@@ -509,6 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-states", type=int, default=1_000_000)
     p.add_argument("--json", action="store_true",
                    help="emit the serialized report instead of text")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="span-trace this run and write a Chrome "
+                        "trace_event JSON file (chrome://tracing, Perfetto)")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("simulate", help="run the timed TSO simulator")
@@ -611,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="include aggregated analysis-cache hit/miss "
                         "counters in the report")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="span-trace this run and write a Chrome "
+                        "trace_event JSON file (chrome://tracing, Perfetto)")
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser(
@@ -684,12 +747,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--query-cache-dir", default=None,
                    help="directory for the persistent query cache "
                         "(fact results keyed by content fingerprint)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="span-trace the daemon (workers included on the "
+                        "cluster path) and write a Chrome trace_event "
+                        "JSON file at shutdown")
+    p.add_argument("--slow-query", type=float, default=None, metavar="SECONDS",
+                   help="log query evaluations at or over this many "
+                        "seconds (query, key, input fingerprint); the log "
+                        "tail is served by the 'metrics' op")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "models", help="list the memory-model registry"
     )
     p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser(
+        "obs",
+        help="observability views over a running serve daemon or cluster",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p_top = obs_sub.add_parser(
+        "top", help="live per-op latency / per-worker / slow-query view"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, required=True)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds (default 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render one frame and exit (for scripting)")
+    p_top.set_defaults(func=cmd_obs)
+    p_metrics = obs_sub.add_parser(
+        "metrics", help="dump one metrics exposition and exit"
+    )
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, required=True)
+    p_metrics.add_argument("--json", action="store_true",
+                           help="emit the JSON payload instead of the "
+                                "Prometheus text format")
+    p_metrics.set_defaults(func=cmd_obs)
 
     p = sub.add_parser(
         "report", help="pretty-print or diff a serialized report"

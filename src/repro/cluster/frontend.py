@@ -32,9 +32,12 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
+import random
 import secrets
 import signal
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -49,6 +52,8 @@ from repro.cluster.protocol import (
 from repro.cluster.router import HashRing, routing_key
 from repro.cluster.store import ArtifactStore
 from repro.cluster.worker import spawn_worker
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass
@@ -63,7 +68,9 @@ class ClusterConfig:
     request_timeout: float | None = 300.0
     #: How long graceful shutdown waits for in-flight work.
     drain_timeout: float = 10.0
-    #: Hint returned with ``overloaded`` responses.
+    #: Base backoff hint returned with ``overloaded`` responses; the
+    #: actual hint is jittered over [0.5x, 1.5x) so a burst of refused
+    #: clients does not retry in lockstep.
     retry_after: float = 0.25
     health_interval: float = 0.5
     hello_timeout: float = 60.0
@@ -77,6 +84,11 @@ class ClusterConfig:
     artifact_dir: str | None = None
     #: Keyword arguments for each worker's ``Session``.
     session: dict[str, Any] = field(default_factory=dict)
+    #: Enable span tracing in every worker process (spans ship back in
+    #: response frames and merge into the frontend's tracer).
+    trace: bool = False
+    #: Slow-query log threshold (seconds) applied in every worker.
+    slow_query: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -88,13 +100,21 @@ class ClusterConfig:
 class _Pending:
     """One request waiting in a worker's FIFO."""
 
-    __slots__ = ("frame", "key", "future", "retried", "control")
+    __slots__ = (
+        "frame", "key", "future", "retried", "control",
+        "created", "sent", "sent_wall_us",
+    )
 
     def __init__(self, frame: dict, key: str | None,
                  future: asyncio.Future, control: bool = False) -> None:
         self.frame = frame
         self.key = key
         self.future = future
+        #: Monotonic enqueue time (queue-wait metric baseline).
+        self.created = time.perf_counter()
+        #: Monotonic + wall time the frame hit the link (RTT baseline).
+        self.sent = 0.0
+        self.sent_wall_us = 0
         #: Set once the request has been forwarded after a crash;
         #: a second crash fails it cleanly instead of looping.
         self.retried = False
@@ -297,6 +317,8 @@ class ClusterServer:
             self._token,
             self.config.session,
             str(self.store.directory),
+            trace_enabled=self.config.trace,
+            slow_query=self.config.slow_query,
         )
         self._procs.append(process)
         try:
@@ -349,6 +371,13 @@ class ClusterServer:
                     # only, the link itself is fine.
                     self._finish(entry, {"ok": False, "error": str(exc)})
                     continue
+                obs_metrics.REGISTRY.observe(
+                    "repro_cluster_queue_wait_seconds",
+                    time.perf_counter() - entry.created,
+                    worker=str(handle.id),
+                )
+                entry.sent = time.perf_counter()
+                entry.sent_wall_us = time.time_ns() // 1000
                 handle.inflight.append(entry)
                 handle.writer.write(data)
                 await handle.writer.drain()
@@ -368,6 +397,13 @@ class ClusterServer:
                     continue  # stray frame: ignore rather than desync
                 entry = handle.inflight.popleft()
                 handle.served += 1
+                if entry.sent:
+                    rtt = time.perf_counter() - entry.sent
+                    obs_metrics.REGISTRY.observe(
+                        "repro_cluster_link_rtt_seconds", rtt,
+                        worker=str(handle.id),
+                    )
+                    self._note_link(handle, entry, rtt, frame.get("spans"))
                 payload = frame.get("payload")
                 if not isinstance(payload, dict):
                     payload = {"ok": False, "error": "malformed worker response"}
@@ -382,6 +418,36 @@ class ClusterServer:
     def _finish(entry: _Pending, response: dict) -> None:
         if not entry.future.done():
             entry.future.set_result(response)
+
+    def _note_link(
+        self, handle: _WorkerHandle, entry: _Pending, rtt: float, spans
+    ) -> None:
+        """Merge a worker's shipped spans and synthesize the link span
+        (send -> response) on the frontend's own timeline."""
+        tracer = obs_trace.active()
+        if tracer is None:
+            return
+        if isinstance(spans, list):
+            tracer.ingest(spans)
+        args: dict[str, Any] = {"worker": handle.id}
+        trace_id = entry.frame.get("trace")
+        if trace_id is not None:
+            args["trace"] = trace_id
+        tracer.record({
+            "name": "cluster.link",
+            "cat": "cluster",
+            "ph": "X",
+            "ts": entry.sent_wall_us,
+            "dur": int(rtt * 1e6),
+            "pid": os.getpid(),
+            "tid": threading.get_native_id(),
+            "args": args,
+        })
+
+    def _retry_hint(self) -> float:
+        """Jittered ``retry_after``: uniform over [0.5x, 1.5x) of the
+        configured base, so refused clients don't retry in lockstep."""
+        return round(self.config.retry_after * (0.5 + random.random()), 4)
 
     def _worker_died(self, handle: _WorkerHandle) -> None:
         """Rebalance away from a dead worker and respawn its slot."""
@@ -442,7 +508,7 @@ class ClusterServer:
                 {
                     "ok": False,
                     "error": "overloaded",
-                    "retry_after": self.config.retry_after,
+                    "retry_after": self._retry_hint(),
                 },
             )
             return
@@ -492,17 +558,23 @@ class ClusterServer:
             return {
                 "ok": False,
                 "error": "overloaded",
-                "retry_after": self.config.retry_after,
+                "retry_after": self._retry_hint(),
             }
-        entry = _Pending(
-            {"t": "req", "payload": payload}, key, self._loop.create_future()
-        )
+        frame = {"t": "req", "payload": payload}
+        trace_id = obs_trace.current_trace_id()
+        if trace_id is not None:
+            frame["trace"] = trace_id
+        entry = _Pending(frame, key, self._loop.create_future())
         handle.submit(entry)
         timeout = self.config.request_timeout
+        dispatch_span = obs_trace.span(
+            "cluster.dispatch", cat="cluster", worker=handle.id
+        )
         try:
-            if timeout is None:
-                return await entry.future
-            return await asyncio.wait_for(entry.future, timeout)
+            with dispatch_span:
+                if timeout is None:
+                    return await entry.future
+                return await asyncio.wait_for(entry.future, timeout)
         except asyncio.TimeoutError:
             # wait_for cancelled the future: the reader task will drop
             # the straggler's eventual response on the floor.
@@ -602,9 +674,25 @@ class ClusterServer:
         key = routing_key(payload)
         if key is not None:
             self._note_key(key)
-        response = dict(await self._request(payload, key))
+        kind = str(payload.get("kind"))
+        started = time.perf_counter()
+        with obs_trace.request_scope(), obs_trace.span(
+            "cluster.request", cat="cluster", kind=kind
+        ):
+            response = dict(await self._request(payload, key))
+        ok = bool(response.get("ok"))
+        registry = obs_metrics.REGISTRY
+        registry.observe(
+            "repro_cluster_request_seconds",
+            time.perf_counter() - started,
+            kind=kind,
+        )
+        registry.inc(
+            "repro_cluster_requests_total",
+            kind=kind, ok="true" if ok else "false",
+        )
         response["id"] = req_id
-        if response.get("ok"):
+        if ok:
             self.served += 1
         else:
             self.errors += 1
@@ -623,6 +711,8 @@ class ClusterServer:
             }, False
         if op == "stats":
             return await self._stats_op(req_id), False
+        if op == "metrics":
+            return await self._metrics_op(req_id), False
         if op == "shutdown":
             self.begin_drain()
             return {"ok": True, "id": req_id, "bye": True}, True
@@ -655,6 +745,24 @@ class ClusterServer:
                 row["errors"] = probe.get("errors")
                 row["session"] = probe.get("session")
             rows.append(row)
+        # Slots mid-restart have no handle yet; surface them instead of
+        # silently shrinking the table.
+        present = {worker_id for worker_id, _handle in handles}
+        for worker_id in range(self.config.workers):
+            if worker_id in present:
+                continue
+            rows.append({
+                "worker": worker_id,
+                "pid": None,
+                "alive": False,
+                "restarting": True,
+                "queue_depth": 0,
+                "inflight": 0,
+                "answered": 0,
+                "restarts": self._restarts.get(worker_id, 0),
+                "session": None,
+            })
+        rows.sort(key=lambda row: row["worker"])
         shard_map = {
             key: self._ring.locate(key) for key in sorted(self._seen_keys)
         }
@@ -676,6 +784,48 @@ class ClusterServer:
                 "shard_map": shard_map,
                 "store": self.store.stats() if self.store is not None else None,
             },
+        }
+
+    async def _metrics_op(self, req_id) -> dict:
+        """Scrape every worker's registry and aggregate with our own.
+
+        Histograms share one fixed bucket ladder, so cross-worker
+        aggregation is a per-bucket sum; counters and gauges add.
+        """
+        handles = sorted(self._handles.items())
+        probes: list[dict | None] = []
+        if handles:
+            probes = await asyncio.gather(
+                *(
+                    self._submit_control(handle, {"t": "op", "op": "metrics"})
+                    for _, handle in handles
+                )
+            )
+        payloads = [obs_metrics.REGISTRY.to_payload()]
+        per_worker = []
+        slow = list(obs_trace.SLOW_QUERIES.entries())
+        for (worker_id, _handle), probe in zip(handles, probes):
+            if not (isinstance(probe, dict) and probe.get("ok")):
+                continue
+            worker_metrics = probe.get("metrics")
+            if isinstance(worker_metrics, dict):
+                payloads.append(worker_metrics)
+                per_worker.append({
+                    "worker": worker_id,
+                    "pid": probe.get("pid"),
+                    "metrics": worker_metrics,
+                })
+            for entry in probe.get("slow_queries") or ():
+                if isinstance(entry, dict):
+                    slow.append(dict(entry, worker=worker_id))
+        merged = obs_metrics.merge_payloads(payloads)
+        return {
+            "ok": True,
+            "id": req_id,
+            "metrics": merged,
+            "text": obs_metrics.render_prometheus(merged),
+            "workers": per_worker,
+            "slow_queries": slow,
         }
 
     # --- threaded embedding (tests, examples) -----------------------------
@@ -720,6 +870,13 @@ def render_stats(stats: dict) -> str:
         )
     ]
     for row in cluster.get("workers", ()):
+        if row.get("restarting"):
+            lines.append(
+                "  worker {worker} (restarting): restarts={restarts}".format(
+                    worker=row.get("worker"), restarts=row.get("restarts"),
+                )
+            )
+            continue
         session = row.get("session") or {}
         query_cache = session.get("query_cache") or {}
         hit_rate = query_cache.get("hit_rate")

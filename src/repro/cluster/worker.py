@@ -36,6 +36,7 @@ from repro.cluster.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.obs import trace as obs_trace
 
 #: Fork keeps worker start-up at milliseconds on POSIX; spawn is the
 #: portable fallback (every ``worker_main`` argument is picklable).
@@ -59,6 +60,8 @@ class WorkerLoop:
         session_config: dict[str, Any] | None = None,
         artifact_dir: str | None = None,
         max_frame: int = MAX_FRAME,
+        trace_enabled: bool = False,
+        slow_query: float | None = None,
     ) -> None:
         from repro.api.session import Session
         from repro.serve.server import ServeDispatcher
@@ -70,7 +73,16 @@ class WorkerLoop:
             config["query_cache_dir"] = artifact_dir
         self.worker_id = worker_id
         self.max_frame = max_frame
+        if trace_enabled:
+            obs_trace.enable()
+        if slow_query is not None:
+            obs_trace.SLOW_QUERIES.threshold = slow_query
         self.dispatcher = ServeDispatcher(Session(**config))
+        # Session construction may have buffered spans; drop them so the
+        # first request's response frame ships only its own spans.
+        tracer = obs_trace.active()
+        if tracer is not None:
+            tracer.drain()
 
     def handle_frame(self, frame: dict) -> dict:
         """Answer one decoded frame with one response frame."""
@@ -79,13 +91,26 @@ class WorkerLoop:
             return {"t": "res", "payload": self._handle_op(frame)}
         if kind == "req":
             payload = frame.get("payload")
-            if not isinstance(payload, dict):
-                response = _error_response("'payload' must be a JSON object")
-            else:
-                response, _stop = self.dispatcher.handle_line(
-                    json.dumps(payload)
-                )
-            return {"t": "res", "payload": response}
+            trace_id = frame.get("trace")
+            scope = obs_trace.request_scope(
+                trace_id if isinstance(trace_id, str) else None
+            )
+            with scope, obs_trace.span(
+                "worker.dispatch", cat="worker", worker=self.worker_id
+            ):
+                if not isinstance(payload, dict):
+                    response = _error_response("'payload' must be a JSON object")
+                else:
+                    response, _stop = self.dispatcher.handle_line(
+                        json.dumps(payload)
+                    )
+            out = {"t": "res", "payload": response}
+            tracer = obs_trace.active()
+            if tracer is not None:
+                # The loop is single-threaded, so everything buffered
+                # since the last drain belongs to this request.
+                out["spans"] = tracer.drain()
+            return out
         return {
             "t": "res",
             "payload": _error_response(f"unknown frame type {kind!r}"),
@@ -116,6 +141,20 @@ class WorkerLoop:
                 "served": self.dispatcher.served,
                 "errors": self.dispatcher.errors,
                 "session": session_stats,
+            }
+        if op == "metrics":
+            try:
+                metrics = self.dispatcher.metrics_payload()
+            except Exception as exc:  # noqa: BLE001 - same daemon
+                # boundary: a metrics scrape must never kill the loop.
+                detail = exc.args[0] if exc.args else exc
+                return _error_response(f"{type(exc).__name__}: {detail}")
+            return {
+                "ok": True,
+                "worker": self.worker_id,
+                "pid": os.getpid(),
+                "metrics": metrics,
+                "slow_queries": obs_trace.SLOW_QUERIES.entries(),
             }
         return _error_response(f"unknown worker op {op!r}")
 
@@ -149,9 +188,18 @@ def run_worker(
     session_config: dict[str, Any] | None = None,
     artifact_dir: str | None = None,
     max_frame: int = MAX_FRAME,
+    trace_enabled: bool = False,
+    slow_query: float | None = None,
 ) -> int:
     """Build a session and serve one connected frontend link."""
-    loop = WorkerLoop(worker_id, session_config, artifact_dir, max_frame)
+    loop = WorkerLoop(
+        worker_id,
+        session_config,
+        artifact_dir,
+        max_frame,
+        trace_enabled=trace_enabled,
+        slow_query=slow_query,
+    )
     return loop.serve(sock)
 
 
@@ -162,6 +210,8 @@ def worker_main(
     token: str,
     session_config: dict[str, Any] | None,
     artifact_dir: str | None,
+    trace_enabled: bool = False,
+    slow_query: float | None = None,
 ) -> int:  # pragma: no cover - subprocess entry (loop covered in-process)
     # The frontend owns signal-driven shutdown: it drains and then
     # closes the link (EOF) or, past the deadline, terminates us.
@@ -176,7 +226,14 @@ def worker_main(
         {"t": "hello", "worker": worker_id, "token": token, "pid": os.getpid()},
     )
     try:
-        return run_worker(sock, worker_id, session_config, artifact_dir)
+        return run_worker(
+            sock,
+            worker_id,
+            session_config,
+            artifact_dir,
+            trace_enabled=trace_enabled,
+            slow_query=slow_query,
+        )
     finally:
         with contextlib.suppress(OSError):
             sock.close()
@@ -189,12 +246,17 @@ def spawn_worker(
     token: str,
     session_config: dict[str, Any] | None,
     artifact_dir: str | None,
+    trace_enabled: bool = False,
+    slow_query: float | None = None,
 ) -> multiprocessing.process.BaseProcess:
     """Start one worker process dialing back to the frontend."""
     ctx = multiprocessing.get_context(START_METHOD)
     process = ctx.Process(
         target=worker_main,
-        args=(worker_id, host, port, token, session_config, artifact_dir),
+        args=(
+            worker_id, host, port, token, session_config, artifact_dir,
+            trace_enabled, slow_query,
+        ),
         name=f"repro-cluster-worker-{worker_id}",
         daemon=True,  # never outlive a crashed frontend
     )

@@ -34,6 +34,8 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.core.pipeline import PipelineVariant
 from repro.frontend import compile_source
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.registry.models import backend_for_model, get_model, model_keys
 from repro.registry.variants import get_variant, pipeline_variant_keys
 
@@ -202,9 +204,21 @@ def execute_job_group(jobs: "tuple[BatchJob, ...]") -> list[BatchResult]:
 
 
 def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
+    start = time.perf_counter()
+    cell_span = obs_trace.span(
+        "batch.cell",
+        cat="batch",
+        program=job.program,
+        variant=job.variant,
+        model=job.model,
+    )
+    with cell_span:
+        return _run_cell(job, ir, context, start)
+
+
+def _run_cell(job: BatchJob, ir, context, start: float) -> BatchResult:
     from contextlib import nullcontext
 
-    start = time.perf_counter()
     recording = (
         context.collect_stats() if context is not None else nullcontext(None)
     )
@@ -254,6 +268,10 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
         )
         fence_cost = summary.cost
         flavors = dict(summary.flavors)
+    elapsed = time.perf_counter() - start
+    obs_metrics.REGISTRY.observe(
+        "repro_batch_cell_seconds", elapsed, variant=job.variant, model=job.model
+    )
     return BatchResult(
         program=job.program,
         variant=job.variant,
@@ -261,7 +279,7 @@ def _execute_cell(job: BatchJob, ir, context) -> BatchResult:
         key=job.content_key(),
         functions=functions,
         ordering_kinds=kinds,
-        elapsed=time.perf_counter() - start,
+        elapsed=elapsed,
         context_hits=context_hits,
         context_misses=context_misses,
         context_by_fact=context_by_fact,

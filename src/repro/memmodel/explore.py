@@ -60,6 +60,8 @@ from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.analysis.aliasing import UNKNOWN, AllocaObj, GlobalObj, PointsTo
 from repro.ir.function import Program
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.ir.instructions import (
     AtomicAdd,
     AtomicXchg,
@@ -477,6 +479,10 @@ class CoreExplorer:
 
     DEFAULT_MAX_STATES = 1_000_000
 
+    #: Registry key used to label this explorer's metrics samples
+    #: (``repro_explore_*_total{model=...}``); subclasses override.
+    MODEL_KEY = "generic"
+
     def __init__(
         self,
         program: Program,
@@ -501,6 +507,8 @@ class CoreExplorer:
         self.canonicalize = canonicalize
         self.deepening = deepening
         self.initial_depth = initial_depth
+        self.sleep_blocked = 0
+        self.pruned_transitions = 0
 
     # --- semantics hooks (subclass responsibility) -----------------------
     def initial_state(self) -> tuple:
@@ -554,27 +562,53 @@ class CoreExplorer:
             FutureFootprints(self.program, self.layout) if self.reduction else None
         )
         classes = symmetry_classes(self.program) if self.canonicalize else ()
+        # Per-exploration reduction counters, flushed to the metrics
+        # registry once at the end (the DFS itself stays metric-free).
+        self.sleep_blocked = 0
+        self.pruned_transitions = 0
 
-        if not self.deepening:
-            outcomes, states, hit_states, _ = self._run(oracle, classes, None)
-            complete = not hit_states
-            verdict = "complete" if complete else "bounded:max-states"
-            rounds = 1
-        else:
-            depth = max(1, self.initial_depth)
-            rounds = 0
-            while True:
-                rounds += 1
-                outcomes, states, hit_states, hit_depth = self._run(
-                    oracle, classes, depth
+        with obs_trace.span(
+            "explore.run", cat="explore",
+            model=self.MODEL_KEY, program=self.program.name,
+        ) as sp:
+            if not self.deepening:
+                outcomes, states, hit_states, _ = self._run(
+                    oracle, classes, None
                 )
-                if hit_states:
-                    complete, verdict = False, "bounded:max-states"
-                    break
-                if not hit_depth:
-                    complete, verdict = True, "complete"
-                    break
-                depth *= 2
+                visited = states
+                complete = not hit_states
+                verdict = "complete" if complete else "bounded:max-states"
+                rounds = 1
+            else:
+                depth = max(1, self.initial_depth)
+                rounds = 0
+                visited = 0
+                while True:
+                    rounds += 1
+                    outcomes, states, hit_states, hit_depth = self._run(
+                        oracle, classes, depth
+                    )
+                    visited += states
+                    if hit_states:
+                        complete, verdict = False, "bounded:max-states"
+                        break
+                    if not hit_depth:
+                        complete, verdict = True, "complete"
+                        break
+                    depth *= 2
+            sp.set(states=visited, verdict=verdict, rounds=rounds)
+        registry = obs_metrics.REGISTRY
+        registry.inc(
+            "repro_explore_states_total", visited, model=self.MODEL_KEY
+        )
+        registry.inc(
+            "repro_explore_sleep_blocked_total",
+            self.sleep_blocked, model=self.MODEL_KEY,
+        )
+        registry.inc(
+            "repro_explore_pruned_total",
+            self.pruned_transitions, model=self.MODEL_KEY,
+        )
         if classes:
             outcomes = close_outcomes(outcomes, classes)
         return ExplorationResult(
@@ -712,7 +746,9 @@ class CoreExplorer:
             if sleep:
                 asleep = {e[0] for e in sleep}
                 explorable = [t for t in trans if t.key not in asleep]
+                self.pruned_transitions += len(trans) - len(explorable)
                 if not explorable:
+                    self.sleep_blocked += 1
                     continue  # everything here was explored from a sibling
             else:
                 explorable = trans
@@ -726,6 +762,7 @@ class CoreExplorer:
 
             safe = self._pick_safe(state, explorable, oracle)
             if safe is not None:
+                self.pruned_transitions += len(explorable) - 1
                 new_sleep = tuple(e for e in sleep if not _dependent(e, safe))
                 for succ in safe.successors:
                     stack.append((succ, new_sleep, ndepth))

@@ -42,6 +42,8 @@ class PSOExplorer(CoreExplorer):
     """DPOR DFS over the PSO state graph (threads x per-address
     buffers). State = (memory, threads, buffers)."""
 
+    MODEL_KEY = "pso"
+
     def initial_state(self) -> tuple:
         threads = tuple(self.executor.start_all())
         return (

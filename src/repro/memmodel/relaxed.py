@@ -111,6 +111,7 @@ class RelaxedExplorer(CoreExplorer):
 
     State = (memory, prev, threads, buffers, fresh)."""
 
+    MODEL_KEY = "relaxed"
     #: Arch whose flavor catalog gives fences their kill-sets.
     arch = "arm"
     #: This explorer gives flavored fences their declared (weaker)
@@ -413,10 +414,12 @@ class RelaxedExplorer(CoreExplorer):
 class ARMExplorer(RelaxedExplorer):
     """ARMv7-style relaxed exploration (``dmb`` flavor catalog)."""
 
+    MODEL_KEY = "arm"
     arch = "arm"
 
 
 class POWERExplorer(RelaxedExplorer):
     """POWER relaxed exploration (``sync``/``lwsync``/``eieio`` catalog)."""
 
+    MODEL_KEY = "power"
     arch = "power"

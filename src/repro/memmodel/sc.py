@@ -86,6 +86,7 @@ def make_outcome(
 class SCExplorer(CoreExplorer):
     """DPOR DFS over the SC state graph. State = (memory, threads)."""
 
+    MODEL_KEY = "sc"
     DEFAULT_MAX_STATES = 500_000
 
     def initial_state(self) -> tuple:

@@ -38,6 +38,8 @@ class TSOExplorer(CoreExplorer):
 
     State = (memory, threads, buffers)."""
 
+    MODEL_KEY = "x86-tso"
+
     @staticmethod
     def _buffer_lookup(buffer: Buffer, addr: int) -> Optional[int]:
         """Newest buffered value for ``addr``, if any (store forwarding)."""

@@ -1,0 +1,22 @@
+"""`repro.obs`: zero-dependency tracing, metrics, and profiling.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.trace` — span-based tracing with Chrome
+  ``trace_event`` export, a propagated trace id, and a slow-query log.
+  Disabled (the default) it is a deterministic no-op: ``span()``
+  returns one shared singleton and records nothing.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket latency histograms (p50/p95/p99), exposed
+  as Prometheus text format v0 and as JSON, with cross-worker payload
+  merging for the cluster's ``metrics`` op.
+* :mod:`repro.obs.top` — the ``repro obs top`` / ``repro obs
+  metrics`` CLI renderers over the servers' wire ops.
+
+The instrumentation points (span names, metric names) are a stable
+contract: perf PRs are measured against them.
+"""
+
+from repro.obs import metrics, trace
+
+__all__ = ["metrics", "trace"]

@@ -35,12 +35,14 @@ import itertools
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 from repro.ir.function import Function, Program
 from repro.ir.printer import format_function
+from repro.obs import trace as obs_trace
 from repro.registry.core import Registry
 
 if TYPE_CHECKING:  # runtime-lazy: the facade imports this module
@@ -60,6 +62,17 @@ _store_counter = itertools.count()
 def fingerprint_function(func: Function) -> str:
     """Content fingerprint of one IR function (its printed form)."""
     return hashlib.sha256(format_function(func).encode("utf-8")).hexdigest()
+
+
+def describe_key(key: Hashable) -> str:
+    """A short human label for a query key (trace args, slow-query
+    log): IR objects show their name, tuples recurse."""
+    name = getattr(key, "name", None)
+    if isinstance(name, str):
+        return name
+    if isinstance(key, tuple):
+        return "(" + ", ".join(describe_key(part) for part in key) + ")"
+    return repr(key)
 
 
 def fingerprint_program_shape(program: Program) -> str:
@@ -145,11 +158,30 @@ class QueryStats:
     restored: int = 0
     #: Entries evicted by refresh()/invalidation.
     evictions: int = 0
+    #: Per-query-kind counts; ``by_query`` keeps its historical meaning
+    #: (computes per kind) — the observability layer reads the rest.
     by_query: dict[str, int] = field(default_factory=dict)
+    by_query_hits: dict[str, int] = field(default_factory=dict)
+    by_query_misses: dict[str, int] = field(default_factory=dict)
+    by_query_evictions: dict[str, int] = field(default_factory=dict)
 
     def record_compute(self, name: str) -> None:
         self.computes += 1
         self.by_query[name] = self.by_query.get(name, 0) + 1
+
+    def record_hit(self, name: str) -> None:
+        self.hits += 1
+        self.by_query_hits[name] = self.by_query_hits.get(name, 0) + 1
+
+    def record_miss(self, name: str) -> None:
+        self.misses += 1
+        self.by_query_misses[name] = self.by_query_misses.get(name, 0) + 1
+
+    def record_eviction(self, name: str) -> None:
+        self.evictions += 1
+        self.by_query_evictions[name] = (
+            self.by_query_evictions.get(name, 0) + 1
+        )
 
     def to_payload(self) -> dict:
         return {
@@ -160,6 +192,9 @@ class QueryStats:
             "restored": self.restored,
             "evictions": self.evictions,
             "by_query": dict(self.by_query),
+            "by_query_hits": dict(self.by_query_hits),
+            "by_query_misses": dict(self.by_query_misses),
+            "by_query_evictions": dict(self.by_query_evictions),
         }
 
 
@@ -291,18 +326,46 @@ class QueryEngine:
             self.stats.lookups += 1
             self._note(node)
             if node in self._values:
-                self.stats.hits += 1
+                self.stats.record_hit(name)
                 return self._values[node], True
-            self.stats.misses += 1
+            self.stats.record_miss(name)
             spec = self.registry.get(name)
             frames = self._frames()
             if any(frame_node == node for frame_node, _ in frames):
                 raise RuntimeError(f"query cycle at {name!r}")
             frames.append((node, set()))
+            # The span opens inside this thread's dependency frame, so
+            # nested sub-query spans stack under it in the trace; the
+            # miss path always times itself (the slow-query log works
+            # with tracing off), but key description is skipped unless
+            # someone will read it.
+            eval_span = (
+                obs_trace.span(
+                    "query.eval", cat="query",
+                    query=name, key=describe_key(key),
+                )
+                if obs_trace.enabled()
+                else obs_trace.NOOP_SPAN
+            )
+            started = time.perf_counter()
             try:
-                value, restored = self._evaluate(spec, key)
+                with eval_span:
+                    value, restored = self._evaluate(spec, key)
             finally:
                 _, deps = frames.pop()
+            elapsed = time.perf_counter() - started
+            threshold = obs_trace.SLOW_QUERIES.threshold
+            if threshold is not None and elapsed >= threshold:
+                fingerprint = None
+                if spec.input_of is not None:
+                    with contextlib.suppress(Exception):
+                        fingerprint = self._fingerprints.get(
+                            spec.input_of(key)
+                        )
+                obs_trace.SLOW_QUERIES.note(
+                    query=name, key=describe_key(key),
+                    fingerprint=fingerprint, seconds=elapsed,
+                )
             self._values[node] = value
             self._deps[node] = frozenset(deps)
             for dep in deps:
@@ -404,7 +467,8 @@ class QueryEngine:
 
     def clear(self) -> None:
         with self._lock:
-            self.stats.evictions += len(self._values)
+            for node in self._values:
+                self.stats.record_eviction(node[0])
             self._values.clear()
             self._deps.clear()
             self._rdeps.clear()
@@ -427,4 +491,6 @@ class QueryEngine:
                 if dependents is not None:
                     dependents.discard(node)
             self._rdeps.pop(node, None)
-        self.stats.evictions += len(doomed)
+            # Doomed nodes are always derived (query name, key) pairs:
+            # the dirty inputs themselves are roots, never dependents.
+            self.stats.record_eviction(node[0])

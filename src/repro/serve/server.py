@@ -42,6 +42,8 @@ from repro.api.reports import (
     SimulateRequest,
 )
 from repro.api.session import Session
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: request kind -> the Session method that answers it.
 REQUEST_DISPATCH = {
@@ -103,18 +105,44 @@ class ServeDispatcher:
             return self._error(
                 f"not a servable request kind: {kind!r}; known: {known}", req_id
             ), False
-        try:
-            request = REPORT_KINDS.get(kind).from_payload(payload)
-            report = getattr(self.session, method)(request)
-        except Exception as exc:  # noqa: BLE001 - daemon boundary: a bad
-            # request (e.g. type-confused field values that pass the
-            # name-level schema gate) must answer {"ok": false}, never
-            # kill the handler thread or the stdio loop.
-            detail = exc.args[0] if exc.args else exc
-            return self._error(f"{type(exc).__name__}: {detail}", req_id), False
+        started = time.perf_counter()
+        request_span = obs_trace.span("serve.request", cat="serve", kind=kind)
+        with obs_trace.request_scope(), request_span:
+            try:
+                request = REPORT_KINDS.get(kind).from_payload(payload)
+                report = getattr(self.session, method)(request)
+            except Exception as exc:  # noqa: BLE001 - daemon boundary: a
+                # bad request (e.g. type-confused field values that pass
+                # the name-level schema gate) must answer {"ok": false},
+                # never kill the handler thread or the stdio loop.
+                request_span.set(ok=False)
+                self._observe_request(kind, started, ok=False)
+                detail = exc.args[0] if exc.args else exc
+                return self._error(f"{type(exc).__name__}: {detail}", req_id), False
         with self._lock:
             self.served += 1
+        self._observe_request(kind, started, ok=True)
         return {"ok": True, "id": req_id, "report": report.to_payload()}, False
+
+    @staticmethod
+    def _observe_request(kind: str, started: float, ok: bool) -> None:
+        registry = obs_metrics.REGISTRY
+        registry.observe(
+            "repro_serve_request_seconds", time.perf_counter() - started, kind=kind
+        )
+        registry.inc(
+            "repro_serve_requests_total", kind=kind, ok="true" if ok else "false"
+        )
+
+    def metrics_payload(self) -> dict:
+        """Registry snapshot with query-engine counters derived from
+        :meth:`Session.stats` at scrape time — the derived counts match
+        the session's own accounting exactly, by construction."""
+        payload = obs_metrics.REGISTRY.to_payload()
+        obs_metrics.merge_counters(
+            payload, obs_metrics.query_engine_counters(self.session.stats())
+        )
+        return payload
 
     def _handle_op(self, payload: dict) -> tuple[dict, bool]:
         op = payload.get("op")
@@ -137,6 +165,19 @@ class ServeDispatcher:
                 "ok": True, "id": req_id,
                 "server": counters,
                 "session": session_stats,
+            }, False
+        if op == "metrics":
+            try:
+                metrics = self.metrics_payload()
+            except Exception as exc:  # noqa: BLE001 - same daemon
+                # boundary as the request path: never kill the loop.
+                detail = exc.args[0] if exc.args else exc
+                return self._error(f"{type(exc).__name__}: {detail}", req_id), False
+            return {
+                "ok": True, "id": req_id,
+                "metrics": metrics,
+                "text": obs_metrics.render_prometheus(metrics),
+                "slow_queries": obs_trace.SLOW_QUERIES.entries(),
             }, False
         if op == "shutdown":
             return {"ok": True, "id": req_id, "bye": True}, True

@@ -48,6 +48,7 @@ oracle-gated tests assert across the whole corpus.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.arch.backend import ArchBackend, FenceFlavor
@@ -64,6 +65,8 @@ from repro.core.machine_models import MemoryModel, OrderKind
 from repro.core.orderings import OrderingSet
 from repro.ir.function import Function
 from repro.ir.instructions import FenceKind
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.synth.mincut import INF, FlowNetwork
 
 _KINDS = tuple(OrderKind)
@@ -271,75 +274,95 @@ def synthesize_plan(
     plan.discharged = sum(1 for o in orderings if discharged_by_qualifier(o))
     by_block = collect_intervals(func, orderings, model, projection)
     witness: list[tuple[str, int]] = []
+    dp_seconds = 0.0
+    cut_seconds = 0.0
 
-    for block_index in sorted(by_block):
-        block = func.blocks[block_index]
-        ivs = by_block[block_index]
-        full_barriers = barrier_indices(block.instructions, model, for_full=True)
-        any_barriers = barrier_indices(block.instructions, model, for_full=False)
-        full_needed = [
-            iv
-            for iv in ivs
-            if iv.needs_full
-            and not any(satisfied_by_instruction(iv, k) for k in full_barriers)
-        ]
-        _cost, placements = _solve_block(full_needed, backend)
-        cut_value, cut_gaps = block_cut(full_needed, backend)
-        plan.mincut_value += cut_value
-        witness.extend((block.label, gap) for gap in cut_gaps)
+    with obs_trace.span(
+        "synth.plan", cat="synth", function=func.name, arch=backend.key
+    ) as synth_span:
+        for block_index in sorted(by_block):
+            block = func.blocks[block_index]
+            ivs = by_block[block_index]
+            full_barriers = barrier_indices(block.instructions, model, for_full=True)
+            any_barriers = barrier_indices(block.instructions, model, for_full=False)
+            full_needed = [
+                iv
+                for iv in ivs
+                if iv.needs_full
+                and not any(satisfied_by_instruction(iv, k) for k in full_barriers)
+            ]
+            started = time.perf_counter()
+            _cost, placements = _solve_block(full_needed, backend)
+            dp_seconds += time.perf_counter() - started
+            started = time.perf_counter()
+            cut_value, cut_gaps = block_cut(full_needed, backend)
+            cut_seconds += time.perf_counter() - started
+            plan.mincut_value += cut_value
+            witness.extend((block.label, gap) for gap in cut_gaps)
 
-        # Assign every interval to one placed fence that enforces it,
-        # to report each fence's kill-set the same way greedy does.
-        covers: dict[int, set[OrderKind]] = {}
-        for gap, flavor in placements:
-            covers.setdefault(gap, set())
-        for iv in full_needed:
+            # Assign every interval to one placed fence that enforces it,
+            # to report each fence's kill-set the same way greedy does.
+            covers: dict[int, set[OrderKind]] = {}
             for gap, flavor in placements:
-                if iv.lo <= gap <= iv.hi and iv.kind in flavor.kills:
-                    covers[gap].add(iv.kind)
-                    break
-        for gap, flavor in placements:
-            plan.fences.append(
-                LoweredFence(
-                    block.label,
-                    gap,
-                    FenceKind.FULL,
-                    flavor.name,
-                    flavor.cost,
-                    covers=frozenset(
-                        k for k in covers[gap] if k in flavor.kills
-                    ),
+                covers.setdefault(gap, set())
+            for iv in full_needed:
+                for gap, flavor in placements:
+                    if iv.lo <= gap <= iv.hi and iv.kind in flavor.kills:
+                        covers[gap].add(iv.kind)
+                        break
+            for gap, flavor in placements:
+                plan.fences.append(
+                    LoweredFence(
+                        block.label,
+                        gap,
+                        FenceKind.FULL,
+                        flavor.name,
+                        flavor.cost,
+                        covers=frozenset(
+                            k for k in covers[gap] if k in flavor.kills
+                        ),
+                    )
                 )
-            )
 
-        full_gaps = [gap for gap, _flavor in placements]
-        compiler = _stab_compiler(
-            [iv for iv in ivs if not iv.needs_full], full_gaps, any_barriers
+            full_gaps = [gap for gap, _flavor in placements]
+            compiler = _stab_compiler(
+                [iv for iv in ivs if not iv.needs_full], full_gaps, any_barriers
+            )
+            for gap in sorted(compiler):
+                plan.fences.append(
+                    LoweredFence(
+                        block.label,
+                        gap,
+                        FenceKind.COMPILER,
+                        None,
+                        0,
+                        covers=frozenset(compiler[gap]),
+                    )
+                )
+
+        if entry_fence:
+            full = backend.full_flavor()
+            plan.entry_fence = True
+            plan.entry_flavor = full.name
+            plan.entry_cost = full.cost
+        plan.mincut_value += plan.entry_cost
+        plan.witness_cut = tuple(witness)
+
+        greedy = lower_plan(
+            plan_fences(func, orderings, model, entry_fence, projection), backend
         )
-        for gap in sorted(compiler):
-            plan.fences.append(
-                LoweredFence(
-                    block.label,
-                    gap,
-                    FenceKind.COMPILER,
-                    None,
-                    0,
-                    covers=frozenset(compiler[gap]),
-                )
-            )
-
-    if entry_fence:
-        full = backend.full_flavor()
-        plan.entry_fence = True
-        plan.entry_flavor = full.name
-        plan.entry_cost = full.cost
-    plan.mincut_value += plan.entry_cost
-    plan.witness_cut = tuple(witness)
-
-    greedy = lower_plan(
-        plan_fences(func, orderings, model, entry_fence, projection), backend
+        plan.greedy_cost = greedy.cost
+        synth_span.set(
+            cost=plan.cost,
+            greedy_cost=plan.greedy_cost,
+            dp_us=int(dp_seconds * 1e6),
+            mincut_us=int(cut_seconds * 1e6),
+        )
+    registry = obs_metrics.REGISTRY
+    registry.observe("repro_synth_dp_seconds", dp_seconds, arch=backend.key)
+    registry.observe(
+        "repro_synth_mincut_seconds", cut_seconds, arch=backend.key
     )
-    plan.greedy_cost = greedy.cost
     return plan
 
 

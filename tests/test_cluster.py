@@ -329,7 +329,10 @@ def test_request_deadline_and_backpressure():
         handle.submit(_Pending({}, None, server._loop.create_future()))
         overloaded = await server._request({"kind": "x"}, "mp")
         assert overloaded["error"] == "overloaded"
-        assert overloaded["retry_after"] == server.config.retry_after
+        # Jittered hint: uniform over [0.5x, 1.5x) of the configured base.
+        base = server.config.retry_after
+        # round(..., 4) may land exactly on the band edges -> inclusive bounds
+        assert 0.5 * base <= overloaded["retry_after"] <= 1.5 * base
         # With no workers at all the refusal is immediate and explicit.
         server._handles.clear()
         server._ring.remove(0)
@@ -650,3 +653,116 @@ def test_cluster_shutdown_op_drains_and_stops():
     assert not server._thread.is_alive()
     # The owned artifact store is removed on the way out.
     assert not server.store.directory.exists()
+
+
+# --- observability -----------------------------------------------------------
+
+
+def test_retry_hint_jitter_spread():
+    server = _bare_server()
+    base = server.config.retry_after
+    hints = {server._retry_hint() for _ in range(500)}
+    # round(..., 4) may land exactly on the band edges -> inclusive bounds
+    assert all(0.5 * base <= hint <= 1.5 * base for hint in hints)
+    assert len(hints) > 50  # genuinely spread, not quantized to a point
+    assert max(hints) - min(hints) > 0.5 * base  # covers most of the band
+
+
+def test_stats_op_surfaces_restarting_slots():
+    async def scenario():
+        server = ClusterServer(config=ClusterConfig(
+            workers=2, session={"parallel": False}, stats_timeout=0.05
+        ))
+        server._loop = asyncio.get_running_loop()
+        server._restarts[1] = 3
+        server._handles[0] = _WorkerHandle(0, _FakeProc(), None, None, 77)
+        stats = await server._stats_op(None)
+        rows = stats["cluster"]["workers"]
+        assert [row["worker"] for row in rows] == [0, 1]
+        live, respawning = rows
+        assert live["pid"] == 77 and not live.get("restarting")
+        assert respawning["restarting"] and respawning["pid"] is None
+        assert not respawning["alive"] and respawning["restarts"] == 3
+
+    asyncio.run(scenario())
+
+
+def test_render_stats_shows_restarting_workers():
+    payload = {
+        "server": {"workers": 1, "configured_workers": 2, "served": 3,
+                   "errors": 0, "restarts": 2},
+        "cluster": {"workers": [
+            {"worker": 0, "pid": 11, "queue_depth": 0, "inflight": 0,
+             "served": 3, "restarts": 0, "session": None},
+            {"worker": 1, "pid": None, "alive": False, "restarting": True,
+             "queue_depth": 0, "inflight": 0, "answered": 0, "restarts": 2,
+             "session": None},
+        ]},
+    }
+    text = render_stats(payload)
+    assert "worker 0 (pid 11)" in text
+    assert "worker 1 (restarting): restarts=2" in text
+
+
+def test_cluster_metrics_op_aggregates_workers(cluster):
+    request = json.dumps(AnalyzeRequest(program=SPEC).to_payload())
+    analyze, response = _roundtrip(cluster, [request, '{"op": "metrics"}'])
+    assert analyze["ok"] and response["ok"]
+    counters = response["metrics"]["counters"]
+    # Frontend-side per-op accounting...
+    assert any(
+        key.startswith("repro_cluster_requests_total") for key in counters
+    )
+    # ...merged with worker-side query-engine counters over the link.
+    assert counters.get("repro_query_lookups_total", 0) > 0
+    assert response["workers"], "per-worker payloads ride along"
+    assert "# TYPE repro_query_lookups_total counter" in response["text"]
+
+
+def test_cluster_trace_propagates_one_id_end_to_end(tmp_path):
+    from repro.obs import trace as obs_trace
+
+    obs_trace.disable()
+    tracer = obs_trace.enable()
+    server = ClusterServer(config=ClusterConfig(
+        workers=1, session={"parallel": False}, trace=True
+    ))
+    try:
+        server.start_in_thread()
+        (response,) = _roundtrip(
+            server, [json.dumps(AnalyzeRequest(program=SPEC).to_payload())]
+        )
+        assert response["ok"]
+    finally:
+        server.stop_threaded()
+        obs_trace.disable()
+
+    by_name: dict[str, list[dict]] = {}
+    for event in tracer.events():
+        by_name.setdefault(event["name"], []).append(event)
+    for name in ("cluster.request", "cluster.dispatch", "cluster.link",
+                 "worker.dispatch", "query.eval"):
+        assert name in by_name, f"missing {name} span"
+
+    request_span = by_name["cluster.request"][0]
+    trace_id = request_span["args"]["trace"]
+    assert trace_id
+    # One trace id spans the frontend accept, the ring dispatch, the
+    # framed link, and the worker-side dispatch + query evaluations.
+    for name in ("cluster.dispatch", "cluster.link", "worker.dispatch",
+                 "query.eval"):
+        assert all(
+            event["args"]["trace"] == trace_id for event in by_name[name]
+        ), f"{name} spans left the trace"
+    # Two processes, one flame: worker spans keep their own pid.
+    assert by_name["worker.dispatch"][0]["pid"] != request_span["pid"]
+
+    out = tmp_path / "trace.json"
+    obs_trace.export_chrome(out, tracer.events())
+    data = json.loads(out.read_text(encoding="utf-8"))
+    assert set(data) == {"traceEvents", "displayTimeUnit"}
+    timestamps = [event["ts"] for event in data["traceEvents"]]
+    assert timestamps == sorted(timestamps)
+    for event in data["traceEvents"]:
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        assert event["ph"] == "X"

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI gate: the disabled tracer's no-op path costs <2% of bench_query.
+
+The contract (`repro.obs.trace.span` with no tracer installed = one
+module-global read + one shared-singleton return) is what lets the
+instrumentation live inside the query engine's hot lookup path. This
+tool checks it against the real workload, robustly under CI noise:
+
+1. measure the per-call cost of a *disabled* ``span()`` (minimum over
+   repeated tight batches — the minimum filters scheduler noise);
+2. run ``benchmarks/bench_query.py``'s suite once with tracing
+   *enabled* and read the tracer's span-start counter: that is exactly
+   how many ``span()`` calls the disabled run would have made;
+3. assert ``per_call x spans`` is under 2% of the suite's measured
+   cold time.
+
+Comparing a derived product against a measured total avoids the
+classic flaky A/B timing comparison on shared CI runners.
+
+    PYTHONPATH=src python tools/check_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import trace as obs_trace  # noqa: E402
+
+#: Ceiling on disabled-tracer overhead, as a fraction of cold time.
+BUDGET = 0.02
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_query", ROOT / "benchmarks" / "bench_query.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def measure_disabled_span_cost(reps: int = 200_000, batches: int = 5) -> float:
+    """Per-call seconds for ``span()`` with no tracer installed."""
+    assert not obs_trace.enabled(), "tracer must be off for this measurement"
+    span = obs_trace.span
+    best = float("inf")
+    for _ in range(batches):
+        start = time.perf_counter()
+        for _ in range(reps):
+            span("overhead.probe", cat="bench")
+        best = min(best, time.perf_counter() - start)
+    return best / reps
+
+
+def main() -> int:
+    bench = _load_bench()
+
+    per_call = measure_disabled_span_cost()
+
+    tracer = obs_trace.enable()
+    try:
+        result = bench.run_suite()
+    finally:
+        obs_trace.disable()
+
+    spans = tracer.started
+    cold_s = result["totals"]["cold_s"]
+    overhead_s = per_call * spans
+    fraction = overhead_s / cold_s if cold_s > 0 else 0.0
+
+    print(f"disabled span() cost: {per_call * 1e9:.1f} ns/call")
+    print(f"span sites hit by one suite run: {spans}")
+    print(f"projected disabled-path overhead: {overhead_s * 1e3:.3f} ms")
+    print(f"suite cold time: {cold_s:.3f} s")
+    print(f"overhead fraction: {fraction:.5f} (budget {BUDGET})")
+    if fraction >= BUDGET:
+        print(
+            f"FAIL: disabled-tracer overhead {fraction:.2%} exceeds "
+            f"{BUDGET:.0%} of bench_query cold time",
+            file=sys.stderr,
+        )
+        return 1
+    print("ok: disabled-tracer no-op path is within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

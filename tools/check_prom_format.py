@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Prometheus text-format (v0) checker for the ``metrics`` op output.
+
+Validates the subset this repo emits, strictly enough to catch the
+bugs that actually bite scrapers:
+
+* every sample is preceded by a ``# TYPE`` line for its family, and
+  family names match the metric-name grammar;
+* counter families end in ``_total``; histogram families expose
+  ``_bucket``/``_sum``/``_count`` series and nothing else;
+* per labelset, histogram ``le`` buckets are cumulative (monotonically
+  non-decreasing counts), end with ``le="+Inf"``, and the ``+Inf``
+  bucket equals the ``_count`` sample;
+* every value parses as a finite float (counts as non-negative).
+
+Reads stdin by default (``... | python tools/check_prom_format.py``)
+or a file via ``--file``. Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+#: family name -> series-name suffixes a histogram exposes.
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name: str, families: dict[str, str]) -> str | None:
+    """The declared family a sample belongs to, or None."""
+    if sample_name in families:
+        return sample_name
+    for suffix in _HIST_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if families.get(base) == "histogram":
+                return base
+    return None
+
+
+def check_text(text: str) -> list[str]:
+    """All format violations in ``text`` (empty list = valid)."""
+    problems: list[str] = []
+    families: dict[str, str] = {}
+    # (family, frozenset of non-le labels) -> [(le, count), ...] in order
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    sums_seen: set[tuple] = set()
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, name, kind = parts
+            if not _NAME.match(name):
+                problems.append(f"line {lineno}: bad family name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {lineno}: unknown type {kind!r}")
+            if name in families:
+                problems.append(f"line {lineno}: duplicate TYPE for {name}")
+            families[name] = kind
+            if kind == "counter" and not name.endswith("_total"):
+                problems.append(
+                    f"line {lineno}: counter family {name} should end in _total"
+                )
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments: accepted, not required
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        raw_labels = match.group("labels")
+        labels: dict[str, str] = {}
+        if raw_labels:
+            for part in raw_labels.split(","):
+                label = _LABEL.match(part)
+                if label is None:
+                    problems.append(
+                        f"line {lineno}: malformed label {part!r} in {name}"
+                    )
+                    break
+                labels[label.group("key")] = label.group("value")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value in {line!r}")
+            continue
+        if math.isnan(value) or math.isinf(value):
+            problems.append(f"line {lineno}: non-finite value in {name}")
+        family = _family_of(name, families)
+        if family is None:
+            problems.append(f"line {lineno}: sample {name} has no TYPE line")
+            continue
+        kind = families[family]
+        if kind in ("counter", "histogram") and value < 0:
+            problems.append(f"line {lineno}: negative {kind} value in {name}")
+        if kind == "histogram":
+            if name == family:
+                problems.append(
+                    f"line {lineno}: bare histogram sample {name}; expected "
+                    "_bucket/_sum/_count series"
+                )
+                continue
+            series_key = (
+                family,
+                frozenset((k, v) for k, v in labels.items() if k != "le"),
+            )
+            if name.endswith("_bucket"):
+                le_raw = labels.get("le")
+                if le_raw is None:
+                    problems.append(f"line {lineno}: _bucket without le label")
+                    continue
+                le = math.inf if le_raw == "+Inf" else float(le_raw)
+                buckets.setdefault(series_key, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[series_key] = value
+            else:
+                sums_seen.add(series_key)
+
+    for (family, labelset), series in buckets.items():
+        where = f"{family}{{{', '.join(f'{k}={v}' for k, v in sorted(labelset))}}}"
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            problems.append(f"{where}: le buckets out of order")
+        if not les or les[-1] != math.inf:
+            problems.append(f"{where}: bucket series does not end with +Inf")
+        values = [v for _, v in series]
+        if any(b > a for b, a in zip(values, values[1:])):
+            problems.append(f"{where}: bucket counts are not cumulative")
+        if (family, labelset) not in counts:
+            problems.append(f"{where}: missing _count sample")
+        elif les and les[-1] == math.inf and values[-1] != counts[(family, labelset)]:
+            problems.append(
+                f"{where}: +Inf bucket ({values[-1]:g}) != _count "
+                f"({counts[(family, labelset)]:g})"
+            )
+        if (family, labelset) not in sums_seen:
+            problems.append(f"{where}: missing _sum sample")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--file", default=None,
+                        help="exposition file (default: stdin)")
+    args = parser.parse_args(argv)
+    if args.file is None:
+        text = sys.stdin.read()
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    problems = check_text(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    print(f"ok: {samples} sample(s) pass the text-format checks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
